@@ -1,0 +1,125 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (DESIGN.md §2 maps each to its experiment). Benchmarks
+// run the scaled-down Quick workload so `go test -bench=.` completes in
+// minutes; the recross-bench command runs the same experiments at full
+// paper fidelity.
+package recross
+
+import (
+	"io"
+	"testing"
+
+	"recross/internal/experiments"
+)
+
+func benchTable(b *testing.B, run func(experiments.Config) (*experiments.Table, error)) {
+	b.Helper()
+	cfg := experiments.Quick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkFig03AccessCDF regenerates the cumulative access-frequency
+// curves of the Criteo Kaggle tables (paper Fig. 3).
+func BenchmarkFig03AccessCDF(b *testing.B) { benchTable(b, experiments.Fig3) }
+
+// BenchmarkFig04LoadImbalance regenerates the per-op load-imbalance ratios
+// by NMP level for 2/4/8 ranks (paper Fig. 4).
+func BenchmarkFig04LoadImbalance(b *testing.B) { benchTable(b, experiments.Fig4) }
+
+// BenchmarkFig05LevelScaling regenerates the NMP-level speedup vs internal
+// bandwidth comparison (paper Fig. 5).
+func BenchmarkFig05LevelScaling(b *testing.B) { benchTable(b, experiments.Fig5) }
+
+// BenchmarkFig06Timeline regenerates the SALP command timeline (paper
+// Fig. 6).
+func BenchmarkFig06Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty timeline")
+		}
+	}
+}
+
+// BenchmarkFig09VectorLength regenerates the speedup sweep over embedding
+// vector lengths (paper Fig. 9).
+func BenchmarkFig09VectorLength(b *testing.B) { benchTable(b, experiments.Fig9) }
+
+// BenchmarkFig10BatchSize regenerates the speedup sweep over batch sizes
+// (paper Fig. 10).
+func BenchmarkFig10BatchSize(b *testing.B) { benchTable(b, experiments.Fig10) }
+
+// BenchmarkFig11RankCount regenerates the speedup sweep over rank counts
+// (paper Fig. 11).
+func BenchmarkFig11RankCount(b *testing.B) { benchTable(b, experiments.Fig11) }
+
+// BenchmarkFig12Ablation regenerates the SAP/BWP/LAS optimization
+// breakdown (paper Fig. 12).
+func BenchmarkFig12Ablation(b *testing.B) { benchTable(b, experiments.Fig12) }
+
+// BenchmarkFig13Imbalance regenerates the load-imbalance comparison of
+// ReCross against the baselines (paper Fig. 13).
+func BenchmarkFig13Imbalance(b *testing.B) { benchTable(b, experiments.Fig13) }
+
+// BenchmarkFig14Configs regenerates the ReCross configuration exploration
+// (paper Fig. 14).
+func BenchmarkFig14Configs(b *testing.B) { benchTable(b, experiments.Fig14) }
+
+// BenchmarkFig15Energy regenerates the energy breakdown and savings
+// comparison (paper Fig. 15).
+func BenchmarkFig15Energy(b *testing.B) { benchTable(b, experiments.Fig15) }
+
+// BenchmarkTab03Area regenerates the per-architecture area-overhead table
+// (paper Table 3).
+func BenchmarkTab03Area(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.Table3(); len(tb.Rows) != 5 {
+			b.Fatal("table 3 wrong shape")
+		}
+	}
+}
+
+// BenchmarkSuite runs the complete evaluation end to end (quick scale) —
+// the one-shot "reproduce the paper" measurement.
+func BenchmarkSuite(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAll(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensions runs the beyond-paper extension studies (refresh,
+// channels, subarrays, training, latency, DDR4) at quick scale.
+func BenchmarkExtensions(b *testing.B) {
+	cfg := experiments.Quick()
+	runs := []func(experiments.Config) (*experiments.Table, error){
+		experiments.ExtRefresh,
+		experiments.ExtChannels,
+		experiments.ExtSubarrays,
+		experiments.ExtTraining,
+		experiments.ExtLatency,
+		experiments.ExtDDR4,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, run := range runs {
+			if _, err := run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// recross-bench regenerates every table and figure of the paper's
+// evaluation section (§5) and prints them as text tables; EXPERIMENTS.md
+// records a captured run next to the paper's numbers.
+//
+// Usage:
+//
+//	recross-bench [flags] [experiment ...]
+//
+// Experiments: fig3 fig4 fig5 fig6 fig9 fig10 fig11 fig12 fig13 fig14
+// fig15 table3 (default: all, in paper order).
+//
+// Flags:
+//
+//	-quick        scaled-down workload (seconds instead of minutes)
+//	-serial       disable concurrent sweep points
+//	-batch N      batch size (default 32)
+//	-pooling N    gathers per embedding operation (default 80)
+//	-veclen N     embedding vector length (default 64)
+//	-ranks N      ranks per channel (default 2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"recross/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scaled-down workload")
+	csvDir := flag.String("csv", "", "also write each table as <dir>/<experiment>.csv")
+	serial := flag.Bool("serial", false, "disable concurrent sweep points")
+	batch := flag.Int("batch", 0, "batch size (0 = default)")
+	pooling := flag.Int("pooling", 0, "gathers per op (0 = default)")
+	veclen := flag.Int("veclen", 0, "embedding vector length (0 = default)")
+	ranks := flag.Int("ranks", 0, "ranks per channel (0 = default)")
+	flag.Parse()
+
+	cfg := experiments.Paper()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *batch > 0 {
+		cfg.Batch = *batch
+	}
+	if *pooling > 0 {
+		cfg.Pooling = *pooling
+	}
+	if *veclen > 0 {
+		cfg.VecLen = *veclen
+	}
+	if *ranks > 0 {
+		cfg.Ranks = *ranks
+	}
+	if *serial {
+		cfg.Parallel = false
+	}
+
+	runners := map[string]func() (fmt.Stringer, error){
+		"fig3":  func() (fmt.Stringer, error) { return experiments.Fig3(cfg) },
+		"fig4":  func() (fmt.Stringer, error) { return experiments.Fig4(cfg) },
+		"fig5":  func() (fmt.Stringer, error) { return experiments.Fig5(cfg) },
+		"fig6":  func() (fmt.Stringer, error) { s, err := experiments.Fig6(); return text(s), err },
+		"fig9":  func() (fmt.Stringer, error) { return experiments.Fig9(cfg) },
+		"fig10": func() (fmt.Stringer, error) { return experiments.Fig10(cfg) },
+		"fig11": func() (fmt.Stringer, error) { return experiments.Fig11(cfg) },
+		"fig12": func() (fmt.Stringer, error) { return experiments.Fig12(cfg) },
+		"fig13": func() (fmt.Stringer, error) { return experiments.Fig13(cfg) },
+		"fig14": func() (fmt.Stringer, error) { return experiments.Fig14(cfg) },
+		"fig15": func() (fmt.Stringer, error) { return experiments.Fig15(cfg) },
+		"table3": func() (fmt.Stringer, error) {
+			return experiments.Table3(), nil
+		},
+		// Extension studies beyond the paper's evaluation.
+		"ext-refresh":   func() (fmt.Stringer, error) { return experiments.ExtRefresh(cfg) },
+		"ext-channels":  func() (fmt.Stringer, error) { return experiments.ExtChannels(cfg) },
+		"ext-subarrays": func() (fmt.Stringer, error) { return experiments.ExtSubarrays(cfg) },
+		"ext-training":  func() (fmt.Stringer, error) { return experiments.ExtTraining(cfg) },
+		"ext-latency":   func() (fmt.Stringer, error) { return experiments.ExtLatency(cfg) },
+		"ext-ddr4":      func() (fmt.Stringer, error) { return experiments.ExtDDR4(cfg) },
+	}
+	order := []string{"fig3", "fig4", "fig5", "fig6", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "table3"}
+	extOrder := []string{"ext-refresh", "ext-channels", "ext-subarrays",
+		"ext-training", "ext-latency", "ext-ddr4"}
+
+	names := flag.Args()
+	switch {
+	case len(names) == 0:
+		names = order
+	case len(names) == 1 && names[0] == "ext":
+		names = extOrder
+	case len(names) == 1 && names[0] == "all":
+		names = append(append([]string{}, order...), extOrder...)
+	}
+	fmt.Printf("recross-bench: veclen=%d pooling=%d batch=%d ranks=%d quick=%v\n\n",
+		cfg.VecLen, cfg.Pooling, cfg.Batch, cfg.Ranks, *quick)
+	for _, n := range names {
+		run, ok := runners[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %v, %v, 'ext', or 'all')\n", n, order, extOrder)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s took %.1fs)\n\n", n, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if tb, ok := res.(*experiments.Table); ok {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*csvDir, n+".csv")
+				if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+type text string
+
+func (t text) String() string { return string(t) }

@@ -1,0 +1,179 @@
+// recross-sim runs one architecture over one workload and reports latency,
+// row-buffer behaviour, load balance, and the energy account.
+//
+// Usage:
+//
+//	recross-sim -arch recross [-veclen 64 -pooling 80 -batch 32 -ranks 2]
+//	recross-sim -arch all            # compare every architecture
+//	recross-sim -config run.json     # load all parameters from a file
+//	recross-sim -json                # machine-readable results on stdout
+//
+// Architectures: cpu, tensordimm, recnmp, rank-nmp, fafnir, trim-g,
+// trim-b, recross, all.
+//
+// A -config file holds the flag values as JSON, e.g.
+//
+//	{"arch": "recross", "veclen": 64, "pooling": 80,
+//	 "batch": 32, "ranks": 2, "channels": 2, "seed": 777}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"recross"
+)
+
+// fileConfig mirrors the command-line flags for -config files.
+type fileConfig struct {
+	Arch     string `json:"arch"`
+	VecLen   int    `json:"veclen"`
+	Pooling  int    `json:"pooling"`
+	Batch    int    `json:"batch"`
+	Ranks    int    `json:"ranks"`
+	Channels int    `json:"channels"`
+	Seed     int64  `json:"seed"`
+	Profile  int    `json:"profile"`
+	Terabyte bool   `json:"terabyte"`
+}
+
+// jsonResult is the machine-readable output record of one run.
+type jsonResult struct {
+	Arch       string  `json:"arch"`
+	Cycles     int64   `json:"cycles"`
+	Micros     float64 `json:"us"`
+	Lookups    int64   `json:"lookups"`
+	RowHits    int64   `json:"row_hits"`
+	RowMisses  int64   `json:"row_misses"`
+	CacheHits  int64   `json:"cache_hits"`
+	Imbalance  float64 `json:"imbalance"`
+	OpP50      int64   `json:"op_p50_cycles"`
+	OpP99      int64   `json:"op_p99_cycles"`
+	EnergyMJ   float64 `json:"energy_mj"`
+	ACTs       int64   `json:"acts"`
+	RDs        int64   `json:"rds"`
+	WRs        int64   `json:"wrs"`
+	ResultTxns int64   `json:"result_bursts"`
+}
+
+func main() {
+	archFlag := flag.String("arch", "all", "architecture to simulate (or 'all')")
+	veclen := flag.Int("veclen", 64, "embedding vector length (FP32 elements)")
+	pooling := flag.Int("pooling", 80, "gathers per embedding operation")
+	batch := flag.Int("batch", 32, "batch size")
+	ranks := flag.Int("ranks", 2, "ranks per channel")
+	channels := flag.Int("channels", 1, "independent memory channels")
+	seed := flag.Int64("seed", 777, "trace seed")
+	profSamples := flag.Int("profile", 2000, "offline profiling samples")
+	terabyte := flag.Bool("terabyte", false, "use the Criteo-Terabyte-scale spec")
+	configPath := flag.String("config", "", "load parameters from a JSON file")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results")
+	flag.Parse()
+
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fail(err)
+		}
+		fc := fileConfig{
+			Arch: *archFlag, VecLen: *veclen, Pooling: *pooling,
+			Batch: *batch, Ranks: *ranks, Channels: *channels,
+			Seed: *seed, Profile: *profSamples, Terabyte: *terabyte,
+		}
+		if err := json.Unmarshal(data, &fc); err != nil {
+			fail(fmt.Errorf("config %s: %w", *configPath, err))
+		}
+		*archFlag, *veclen, *pooling = fc.Arch, fc.VecLen, fc.Pooling
+		*batch, *ranks, *channels = fc.Batch, fc.Ranks, fc.Channels
+		*seed, *profSamples, *terabyte = fc.Seed, fc.Profile, fc.Terabyte
+	}
+
+	spec := recross.CriteoKaggle(*veclen, *pooling)
+	if *terabyte {
+		spec = recross.CriteoTerabyte(*veclen, *pooling)
+	}
+	if !*jsonOut {
+		fmt.Printf("workload %s: %d tables, %.1f GB; channel capacity %.1f GB\n",
+			spec.Name, len(spec.Tables), gb(spec.TotalBytes()), gb(recross.ChannelBytes(*ranks)))
+	}
+
+	var arches []recross.Arch
+	if *archFlag == "all" {
+		arches = recross.Arches()
+	} else {
+		arches = []recross.Arch{recross.Arch(*archFlag)}
+	}
+
+	profile, err := recross.NewProfile(spec, 12345, *profSamples)
+	if err != nil {
+		fail(err)
+	}
+	cfg := recross.Config{
+		Spec: spec, Ranks: *ranks, Batch: *batch, Channels: *channels,
+		ProfileSamples: *profSamples, Profile: profile,
+	}
+	if *channels > 1 {
+		cfg.Profile = nil // per-channel profiling
+	}
+	gen, err := recross.NewGenerator(spec, *seed)
+	if err != nil {
+		fail(err)
+	}
+	b := gen.Batch(*batch)
+	if !*jsonOut {
+		fmt.Printf("batch: %d samples, %d lookups\n\n", len(b), b.Lookups())
+	}
+
+	var results []jsonResult
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if !*jsonOut {
+		fmt.Fprintln(w, "arch\tcycles\tus\thit-rate\timbalance\tenergy-mJ\tACTs\tRDs")
+	}
+	for _, a := range arches {
+		sys, err := recross.NewSystem(a, cfg)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", a, err))
+		}
+		st, err := sys.Run(b)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", a, err))
+		}
+		hit := float64(st.RowHits) / float64(st.RowHits+st.RowMisses)
+		if *jsonOut {
+			results = append(results, jsonResult{
+				Arch: sys.Name(), Cycles: int64(st.Cycles),
+				Micros:  float64(st.Cycles) / 2.4 / 1e3,
+				Lookups: st.Lookups, RowHits: st.RowHits,
+				RowMisses: st.RowMisses, CacheHits: st.CacheHits,
+				Imbalance: st.Imbalance,
+				OpP50:     int64(st.OpP50), OpP99: int64(st.OpP99),
+				EnergyMJ: st.Energy.Total() * 1e3,
+				ACTs:     st.DRAM.ACTs, RDs: st.DRAM.RDs, WRs: st.DRAM.WRs,
+				ResultTxns: st.DRAM.HostResultTx,
+			})
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\t%.4f\t%d\t%d\n",
+			sys.Name(), st.Cycles, float64(st.Cycles)/2.4/1e3,
+			hit, st.Imbalance, st.Energy.Total()*1e3, st.DRAM.ACTs, st.DRAM.RDs)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fail(err)
+		}
+		return
+	}
+	w.Flush()
+}
+
+func gb(b int64) float64 { return float64(b) / (1 << 30) }
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "recross-sim:", err)
+	os.Exit(1)
+}

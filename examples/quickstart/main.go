@@ -1,0 +1,60 @@
+// Quickstart: build every architecture over a Criteo-Kaggle workload, run
+// the same batch of embedding operations through each, and compare latency,
+// row-buffer behaviour and energy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"recross"
+)
+
+func main() {
+	// The paper's workload: 26 Criteo tables, 64-element vectors, 80
+	// gathers per operation. A smaller pooling keeps this demo snappy.
+	spec := recross.CriteoKaggle(64, 16)
+	fmt.Printf("workload: %s, %d tables, %.1f GB of embeddings\n",
+		spec.Name, len(spec.Tables), float64(spec.TotalBytes())/(1<<30))
+
+	// One profile shared by the architectures that need offline stats.
+	profile, err := recross.NewProfile(spec, 12345, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := recross.Config{Spec: spec, Profile: profile, ProfileSamples: 500}
+
+	// The measured trace: a batch of 8 inference samples.
+	gen, err := recross.NewGenerator(spec, 777)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch := gen.Batch(8)
+	fmt.Printf("batch: %d samples, %d embedding lookups\n\n", len(batch), batch.Lookups())
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "architecture\tcycles\tspeedup\trow hits\tenergy (mJ)")
+	var cpuCycles float64
+	for _, a := range recross.Arches() {
+		sys, err := recross.NewSystem(a, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", a, err)
+		}
+		stats, err := sys.Run(batch)
+		if err != nil {
+			log.Fatalf("%s: %v", a, err)
+		}
+		if a == recross.CPU {
+			cpuCycles = float64(stats.Cycles)
+		}
+		hitRate := float64(stats.RowHits) / float64(stats.RowHits+stats.RowMisses)
+		fmt.Fprintf(w, "%s\t%d\t%.2fx\t%.0f%%\t%.4f\n",
+			sys.Name(), stats.Cycles, cpuCycles/float64(stats.Cycles),
+			100*hitRate, stats.Energy.Total()*1e3)
+	}
+	w.Flush()
+}

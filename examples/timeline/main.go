@@ -1,0 +1,22 @@
+// Timeline: reproduce the paper's Fig. 6 — the DRAM command schedule of
+// four successive accesses to two banks under bank-group-level NMP,
+// bank-level NMP, and subarray-parallel bank-level NMP, showing how SALP
+// overlaps the activations that otherwise serialize at tRC.
+//
+//	go run ./examples/timeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recross/internal/experiments"
+)
+
+func main() {
+	out, err := experiments.Fig6()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

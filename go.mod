@@ -1,0 +1,3 @@
+module recross
+
+go 1.22

@@ -1,0 +1,257 @@
+// Package arch provides the machinery shared by every evaluated
+// architecture (the CPU baseline, TensorDIMM, RecNMP, TRiM-G/B in
+// internal/baseline, and ReCross in internal/core): the System interface
+// the experiment harness drives, vector-slot-to-DRAM-location striping,
+// channel construction and draining, NMP-instruction arrival modelling, and
+// run statistics including per-PE-node loads, the load-imbalance metric of
+// §3.1, and the energy account.
+package arch
+
+import (
+	"fmt"
+
+	"recross/internal/dram"
+	"recross/internal/energy"
+	"recross/internal/memctrl"
+	"recross/internal/nmp"
+	"recross/internal/sim"
+	"recross/internal/stats"
+	"recross/internal/trace"
+)
+
+// RunStats reports one batch execution.
+type RunStats struct {
+	// Cycles is the end-to-end batch latency in DRAM cycles, including
+	// result transfer back to the host.
+	Cycles sim.Cycle
+	// DRAM is the channel's event counters.
+	DRAM dram.Stats
+	// Ops counts PE (or host ALU) arithmetic.
+	Ops nmp.OpStats
+	// RowHits/RowMisses count vector requests served with/without
+	// activations.
+	RowHits, RowMisses int64
+	// Lookups is the number of gathered embedding vectors.
+	Lookups int64
+	// CacheHits counts lookups absorbed by a cache (LLC or RecNMP PE
+	// cache) that never reached DRAM.
+	CacheHits int64
+	// NodeLoads is the per-PE-node busy-time proxy (cycles of data
+	// cadence) used for the load-imbalance ratio.
+	NodeLoads []int64
+	// Imbalance is max(NodeLoads)/mean(NodeLoads), the paper's §3.1 ratio.
+	Imbalance float64
+	// OpP50 and OpP99 are the median and tail per-operation serving
+	// latencies (first instruction arrival to last data delivery).
+	OpP50, OpP99 sim.Cycle
+	// Energy is the priced run.
+	Energy energy.Breakdown
+}
+
+// OpPercentiles extracts the P50/P99 op latencies from a drain result.
+func OpPercentiles(res memctrl.Result) (p50, p99 sim.Cycle) {
+	if len(res.OpLatency) == 0 {
+		return 0, 0
+	}
+	xs := make([]float64, len(res.OpLatency))
+	for i, v := range res.OpLatency {
+		xs[i] = float64(v)
+	}
+	return sim.Cycle(stats.Percentile(xs, 50)), sim.Cycle(stats.Percentile(xs, 99))
+}
+
+// System is one architecture under evaluation.
+type System interface {
+	// Name identifies the architecture ("cpu", "tensordimm", ...).
+	Name() string
+	// Run executes one batch through the timing model.
+	Run(b trace.Batch) (*RunStats, error)
+}
+
+// ChannelSpec configures one simulated memory channel.
+type ChannelSpec struct {
+	Geo    dram.Geometry
+	Tm     dram.Timing
+	Mode   dram.InstrMode
+	Policy memctrl.Policy
+	// SALPBanks lists flat bank indices to make subarray-parallel.
+	SALPBanks []int
+	// Window is the scheduler lookahead (0 => memctrl.DefaultWindow).
+	Window int
+	// OpWindow caps concurrently in-flight embedding ops (0 = unlimited).
+	// NMP designs track in-flight ops with the 1-bit batchTag (§4.2), so
+	// only a handful of ops overlap; the CPU baseline overlaps one op per
+	// core.
+	OpWindow int
+}
+
+// NMPOpWindow is the op concurrency the NMP dispatch pipeline sustains:
+// the 1-bit batchTag allows two open ops per PE, and the dispatcher's
+// queue lets a further pair stream in behind them.
+const NMPOpWindow = 4
+
+// CPUOpWindow is one in-flight embedding op per core (Table 2: 16 cores).
+const CPUOpWindow = 16
+
+// RunChannel drains reqs through a fresh channel and then streams
+// resultBursts of reduced results back over the channel DQ. It returns the
+// end-to-end finish time, the channel stats, and the drain result.
+func RunChannel(spec ChannelSpec, reqs []memctrl.Request, resultBursts int) (sim.Cycle, dram.Stats, memctrl.Result, error) {
+	ch, err := dram.NewChannel(spec.Geo, spec.Tm, spec.Mode)
+	if err != nil {
+		return 0, dram.Stats{}, memctrl.Result{}, err
+	}
+	for _, fb := range spec.SALPBanks {
+		if fb < 0 || fb >= spec.Geo.TotalBanks() {
+			return 0, dram.Stats{}, memctrl.Result{}, fmt.Errorf("arch: SALP bank %d out of range", fb)
+		}
+		ch.EnableSALP(fb)
+	}
+	w := spec.Window
+	if w == 0 {
+		w = memctrl.DefaultWindow
+	}
+	ctl, err := memctrl.New(ch, spec.Policy, w)
+	if err != nil {
+		return 0, dram.Stats{}, memctrl.Result{}, err
+	}
+	ctl.OpWindowLimit = spec.OpWindow
+	res, err := ctl.Drain(reqs)
+	if err != nil {
+		return 0, dram.Stats{}, memctrl.Result{}, err
+	}
+	finish := res.Finish
+	if resultBursts > 0 {
+		finish = ch.StreamResults(resultBursts, finish)
+	}
+	return finish, ch.St, res, nil
+}
+
+// Bursts returns the RD bursts per vector of vecLen FP32 elements, at least
+// one.
+func Bursts(geo dram.Geometry, vecLen int) int {
+	b := (vecLen*4 + geo.BurstBytes - 1) / geo.BurstBytes
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Stripe maps a region-local vector slot onto the region's banks:
+// consecutive slots round-robin across the banks (spreading load), then
+// fill each bank row by row. bursts is the vector's burst count; vectors
+// never straddle rows.
+func Stripe(geo dram.Geometry, banks []int, slot int64, bursts int) (dram.Loc, error) {
+	if len(banks) == 0 {
+		return dram.Loc{}, fmt.Errorf("arch: empty bank set")
+	}
+	if bursts <= 0 || bursts > geo.ColumnsPerRow() {
+		return dram.Loc{}, fmt.Errorf("arch: %d bursts per vector out of range", bursts)
+	}
+	vecPerRow := geo.ColumnsPerRow() / bursts
+	n := int64(len(banks))
+	bank := banks[slot%n]
+	within := slot / n
+	row := int(within / int64(vecPerRow))
+	col := int(within%int64(vecPerRow)) * bursts
+	if row >= geo.RowsPerBank() {
+		return dram.Loc{}, fmt.Errorf("arch: slot %d exceeds capacity of %d banks", slot, len(banks))
+	}
+	// Interleave logical rows across subarrays so consecutive rows (the
+	// hot head, placed densely) land in different subarrays — without
+	// this, rows 0..RowsPerSubarray-1 would all share subarray 0 and
+	// serialize at tRC even in a SALP bank.
+	row = (row%geo.Subarrays)*geo.RowsPerSubarray + row/geo.Subarrays
+	r, bg, bk := geo.BankLoc(bank)
+	return dram.Loc{Rank: r, BG: bg, Bank: bk, Row: row, Col: col}, nil
+}
+
+// InstrCycles returns the instruction-feed cycles per vector lookup, used
+// to stagger request arrivals — the §4.2 bottleneck. One 82-bit NMP
+// instruction covers a whole vector (the vsize field drives the local
+// command expansion): 1 cycle over the 94 two-stage pins, 6 cycles over the
+// bare 14-pin C/A. For the conventional host, cores inject requests at
+// roughly one every other cycle.
+func InstrCycles(mode dram.InstrMode, bursts int) sim.Cycle {
+	if mode == dram.Conventional {
+		return 2
+	}
+	_ = bursts // the instruction is per-vector, independent of length
+	return mode.InstrFeedCycles()
+}
+
+// ReduceOps estimates the PE arithmetic of a run: one FP32 multiply and add
+// per element gathered (weighted sum), plus merge adds for partial-result
+// folding.
+func ReduceOps(lookups, psumFolds int64, vecLen int) nmp.OpStats {
+	return nmp.OpStats{
+		Adds:  (lookups + psumFolds) * int64(vecLen),
+		Mults: lookups * int64(vecLen),
+	}
+}
+
+// LoadsToImbalance converts per-node busy proxies into the paper's
+// imbalance ratio.
+func LoadsToImbalance(loads []int64) float64 {
+	return stats.ImbalanceRatio(loads)
+}
+
+// PsumFloor extends a drain finish time with the occupancy floors of the
+// partial-sum collection paths — the data movement §3.3 says cross-level
+// NMP minimizes ("the accessed data must span bank, bank-group and rank to
+// reach the memory controller ... exploiting three NMP levels minimizes
+// the amount of data transferred as they are reduced promptly").
+//
+// Per-op psums from bank-level PEs cross their bank group's local I/O
+// gating (tCCD_L per burst); psums from bank-group level cross the chip DQ
+// (tCCD_S per burst). The collection is pipelined with ongoing gathers, so
+// it costs nothing while the shared bus has slack — but the batch can
+// never finish before any single bus has moved all its traffic. gatingBusy
+// holds, per bank group, the gather + psum bursts crossing its gating;
+// dqBusy per rank likewise for the chip DQ.
+func PsumFloor(tm dram.Timing, finish sim.Cycle, gatingBusy, dqBusy []int64) sim.Cycle {
+	for _, bursts := range gatingBusy {
+		if f := sim.Cycle(bursts) * tm.TCCDL; f > finish {
+			finish = f
+		}
+	}
+	for _, bursts := range dqBusy {
+		if f := sim.Cycle(bursts) * tm.TCCDS; f > finish {
+			finish = f
+		}
+	}
+	return finish
+}
+
+// DedupOp merges duplicate indices within one embedding operation, summing
+// their weights — the encoder-side memoization rank-NMP designs apply:
+// gathering row X twice with weights w1 and w2 equals gathering it once
+// with w1+w2, so only one DRAM read is issued. Sharp production skews make
+// this very effective on the head of the distribution. The result is used
+// for request generation (timing); for Sum/Max ops the merged weights are
+// ignored, and deduplication is exact for those operators too.
+func DedupOp(op trace.Op) trace.Op {
+	seen := make(map[int64]int, len(op.Indices))
+	out := trace.Op{Table: op.Table}
+	for k, idx := range op.Indices {
+		if j, ok := seen[idx]; ok {
+			out.Weights[j] += op.Weights[k]
+			continue
+		}
+		seen[idx] = len(out.Indices)
+		out.Indices = append(out.Indices, idx)
+		out.Weights = append(out.Weights, op.Weights[k])
+	}
+	return out
+}
+
+// CountBatch returns the total lookups and ops in a batch.
+func CountBatch(b trace.Batch) (lookups, ops int64) {
+	for _, s := range b {
+		for _, op := range s {
+			ops++
+			lookups += int64(len(op.Indices))
+		}
+	}
+	return lookups, ops
+}

@@ -1,0 +1,143 @@
+package arch
+
+import (
+	"fmt"
+	"sync"
+
+	"recross/internal/trace"
+)
+
+// MultiChannel shards an embedding model across several independent memory
+// channels — the standard production deployment (each channel has its own
+// controller, DIMM, and in the NMP designs its own PEs). Tables are
+// distributed round-robin; each channel runs its own System instance over
+// its sub-model, channels execute concurrently, and a batch finishes when
+// the slowest channel does.
+type MultiChannel struct {
+	name     string
+	spec     trace.ModelSpec
+	systems  []System
+	shardOf  []int // table -> channel
+	tableIdx []int // table -> index within its channel's sub-spec
+}
+
+// NewMultiChannel builds `channels` instances via the build callback, each
+// over its round-robin shard of spec's tables.
+func NewMultiChannel(spec trace.ModelSpec, channels int, build func(sub trace.ModelSpec) (System, error)) (*MultiChannel, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if channels <= 0 {
+		return nil, fmt.Errorf("arch: channel count must be positive, got %d", channels)
+	}
+	if channels > len(spec.Tables) {
+		return nil, fmt.Errorf("arch: %d channels for %d tables", channels, len(spec.Tables))
+	}
+	m := &MultiChannel{
+		spec:     spec,
+		shardOf:  make([]int, len(spec.Tables)),
+		tableIdx: make([]int, len(spec.Tables)),
+	}
+	subs := make([]trace.ModelSpec, channels)
+	for c := range subs {
+		subs[c].Name = fmt.Sprintf("%s/ch%d", spec.Name, c)
+	}
+	for i, t := range spec.Tables {
+		c := i % channels
+		m.shardOf[i] = c
+		m.tableIdx[i] = len(subs[c].Tables)
+		// Keep the table's own name so its popularity permutation (seeded
+		// from model+table identity) matches single-channel runs.
+		subs[c].Tables = append(subs[c].Tables, t)
+	}
+	for c := range subs {
+		sys, err := build(subs[c])
+		if err != nil {
+			return nil, fmt.Errorf("arch: channel %d: %w", c, err)
+		}
+		m.systems = append(m.systems, sys)
+		if c == 0 {
+			m.name = sys.Name() + "-multichannel"
+		}
+	}
+	return m, nil
+}
+
+// Channels returns the channel count.
+func (m *MultiChannel) Channels() int { return len(m.systems) }
+
+// Name implements System.
+func (m *MultiChannel) Name() string { return m.name }
+
+// Run implements System: the batch's ops are routed to their tables'
+// channels (with table indices remapped into each sub-spec), the channels
+// run concurrently, and the stats merge with Cycles = slowest channel.
+func (m *MultiChannel) Run(b trace.Batch) (*RunStats, error) {
+	shards := make([]trace.Batch, len(m.systems))
+	for c := range shards {
+		shards[c] = make(trace.Batch, len(b))
+	}
+	for si, s := range b {
+		for _, op := range s {
+			if op.Table < 0 || op.Table >= len(m.shardOf) {
+				return nil, fmt.Errorf("arch: op table %d out of range", op.Table)
+			}
+			c := m.shardOf[op.Table]
+			local := op
+			local.Table = m.tableIdx[op.Table]
+			shards[c][si] = append(shards[c][si], local)
+		}
+	}
+
+	results := make([]*RunStats, len(m.systems))
+	errs := make([]error, len(m.systems))
+	var wg sync.WaitGroup
+	for c := range m.systems {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c], errs[c] = m.systems[c].Run(shards[c])
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("arch: channel %d: %w", c, err)
+		}
+	}
+
+	out := &RunStats{Imbalance: 1}
+	var loads []int64
+	for _, rs := range results {
+		if rs.Cycles > out.Cycles {
+			out.Cycles = rs.Cycles
+		}
+		out.DRAM.ACTs += rs.DRAM.ACTs
+		out.DRAM.PREs += rs.DRAM.PREs
+		out.DRAM.RDs += rs.DRAM.RDs
+		out.DRAM.WRs += rs.DRAM.WRs
+		out.DRAM.BurstsToHost += rs.DRAM.BurstsToHost
+		out.DRAM.BurstsToRank += rs.DRAM.BurstsToRank
+		out.DRAM.BurstsToBG += rs.DRAM.BurstsToBG
+		out.DRAM.BurstsToBank += rs.DRAM.BurstsToBank
+		out.DRAM.HostResultTx += rs.DRAM.HostResultTx
+		out.DRAM.SubarraySwitch += rs.DRAM.SubarraySwitch
+		out.Ops.Add(rs.Ops)
+		out.RowHits += rs.RowHits
+		out.RowMisses += rs.RowMisses
+		out.Lookups += rs.Lookups
+		out.CacheHits += rs.CacheHits
+		out.Energy.ACT += rs.Energy.ACT
+		out.Energy.RD += rs.Energy.RD
+		out.Energy.IO += rs.Energy.IO
+		out.Energy.PE += rs.Energy.PE
+		out.Energy.Static += rs.Energy.Static
+		out.Energy.Cache += rs.Energy.Cache
+		loads = append(loads, rs.NodeLoads...)
+	}
+	out.NodeLoads = loads
+	if len(loads) > 0 {
+		out.Imbalance = LoadsToImbalance(loads)
+	}
+	return out, nil
+}

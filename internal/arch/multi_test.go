@@ -1,0 +1,179 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+
+	"recross/internal/dram"
+	"recross/internal/memctrl"
+	"recross/internal/sim"
+	"recross/internal/trace"
+)
+
+// fakeSystem records what it ran and returns canned stats.
+type fakeSystem struct {
+	spec trace.ModelSpec
+	got  trace.Batch
+	cyc  sim.Cycle
+}
+
+func (f *fakeSystem) Name() string { return "fake" }
+
+func (f *fakeSystem) Run(b trace.Batch) (*RunStats, error) {
+	f.got = b
+	lookups, _ := CountBatch(b)
+	return &RunStats{
+		Cycles:    f.cyc,
+		Lookups:   lookups,
+		NodeLoads: []int64{lookups},
+		Imbalance: 1,
+	}, nil
+}
+
+func TestMultiChannelValidation(t *testing.T) {
+	spec := trace.Uniform(4, 100, 16, 2)
+	build := func(sub trace.ModelSpec) (System, error) { return &fakeSystem{spec: sub}, nil }
+	if _, err := NewMultiChannel(spec, 0, build); err == nil {
+		t.Error("zero channels should error")
+	}
+	if _, err := NewMultiChannel(spec, 5, build); err == nil {
+		t.Error("more channels than tables should error")
+	}
+	if _, err := NewMultiChannel(trace.ModelSpec{}, 1, build); err == nil {
+		t.Error("empty spec should error")
+	}
+}
+
+func TestMultiChannelShardsRoundRobin(t *testing.T) {
+	spec := trace.Uniform(5, 100, 16, 2)
+	var fakes []*fakeSystem
+	m, err := NewMultiChannel(spec, 2, func(sub trace.ModelSpec) (System, error) {
+		f := &fakeSystem{spec: sub, cyc: sim.Cycle(100 * (len(fakes) + 1))}
+		fakes = append(fakes, f)
+		return f, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Channels() != 2 {
+		t.Fatalf("channels = %d", m.Channels())
+	}
+	// Tables 0,2,4 -> channel 0; tables 1,3 -> channel 1.
+	if len(fakes[0].spec.Tables) != 3 || len(fakes[1].spec.Tables) != 2 {
+		t.Fatalf("shard sizes %d/%d, want 3/2",
+			len(fakes[0].spec.Tables), len(fakes[1].spec.Tables))
+	}
+	// Table names survive sharding (popularity permutations must match).
+	if fakes[0].spec.Tables[1].Name != spec.Tables[2].Name {
+		t.Fatalf("table identity lost: %q", fakes[0].spec.Tables[1].Name)
+	}
+	if !strings.Contains(m.Name(), "multichannel") {
+		t.Fatalf("name = %q", m.Name())
+	}
+
+	// Run a batch: ops must be routed to the right shard with remapped
+	// table indices, and the merged cycle count is the slowest channel's.
+	g, err := trace.NewGenerator(spec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Batch(2)
+	rs, err := m.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Cycles != 200 {
+		t.Fatalf("merged cycles = %d, want the slowest channel's 200", rs.Cycles)
+	}
+	lookups, _ := CountBatch(b)
+	if rs.Lookups != lookups {
+		t.Fatalf("merged lookups = %d, want %d", rs.Lookups, lookups)
+	}
+	for c, f := range fakes {
+		for _, s := range f.got {
+			for _, op := range s {
+				if op.Table < 0 || op.Table >= len(f.spec.Tables) {
+					t.Fatalf("channel %d got unremapped table %d", c, op.Table)
+				}
+			}
+		}
+	}
+}
+
+// realMini is a minimal real system over a fresh channel: host reads only.
+type realMini struct {
+	sub trace.ModelSpec
+}
+
+func (r *realMini) Name() string { return "mini" }
+
+func (r *realMini) Run(b trace.Batch) (*RunStats, error) {
+	geo := dram.DDR5(2)
+	base := make([]int64, len(r.sub.Tables))
+	var total int64
+	for i, t := range r.sub.Tables {
+		base[i] = total
+		total += t.Rows
+	}
+	banks := make([]int, geo.TotalBanks())
+	for i := range banks {
+		banks[i] = i
+	}
+	var reqs []memctrl.Request
+	var lookups int64
+	for _, s := range b {
+		for _, op := range s {
+			for _, idx := range op.Indices {
+				lookups++
+				loc, err := Stripe(geo, banks, base[op.Table]+idx, 4)
+				if err != nil {
+					return nil, err
+				}
+				reqs = append(reqs, memctrl.Request{Loc: loc, Cols: 4, Consumer: dram.ToHost})
+			}
+		}
+	}
+	spec := ChannelSpec{Geo: geo, Tm: dram.DDR5Timing(), Mode: dram.Conventional, Policy: memctrl.FRFCFS}
+	finish, st, res, err := RunChannel(spec, reqs, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &RunStats{
+		Cycles: finish, DRAM: st, Lookups: lookups,
+		RowHits: res.RowHits, RowMisses: res.RowMisses,
+		NodeLoads: append([]int64(nil), st.PerRankRDs...), Imbalance: 1,
+	}, nil
+}
+
+func TestMultiChannelScalesRealDrains(t *testing.T) {
+	spec := trace.Uniform(4, 100000, 64, 8)
+	g, err := trace.NewGenerator(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Batch(8)
+
+	single := &realMini{sub: spec}
+	one, err := single.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := NewMultiChannel(spec, 4, func(sub trace.ModelSpec) (System, error) {
+		return &realMini{sub: sub}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := multi.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Lookups != one.Lookups || four.DRAM.RDs != one.DRAM.RDs {
+		t.Fatalf("multi-channel lost work: %d/%d lookups, %d/%d RDs",
+			four.Lookups, one.Lookups, four.DRAM.RDs, one.DRAM.RDs)
+	}
+	speedup := float64(one.Cycles) / float64(four.Cycles)
+	if speedup < 2.5 {
+		t.Fatalf("4-channel speedup = %.2f, want >= 2.5 on a DQ-bound workload", speedup)
+	}
+}

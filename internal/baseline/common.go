@@ -1,0 +1,141 @@
+// Package baseline implements the five comparison architectures of the
+// paper's evaluation (§5.1): a 16-core CPU with a 32 MB LLC, TensorDIMM
+// (rank-level NMP, vertical partitioning), RecNMP (rank-level NMP,
+// horizontal partitioning, 1 MB per-PE hot-entry cache), TRiM-G
+// (bank-group-level NMP) and TRiM-B (bank-level NMP with 0.05 % hot-entry
+// replication). All share the symmetric contiguous layout the paper
+// describes in §3.1: tables allocated contiguously, the row index serving
+// as the memory offset, interleaved across the memory nodes.
+package baseline
+
+import (
+	"fmt"
+
+	"recross/internal/arch"
+	"recross/internal/dram"
+	"recross/internal/energy"
+	"recross/internal/memctrl"
+	"recross/internal/sim"
+	"recross/internal/trace"
+)
+
+// Config is shared by all baseline constructors.
+type Config struct {
+	Spec   trace.ModelSpec
+	Ranks  int
+	Tm     dram.Timing
+	Energy energy.Params
+	// Geo overrides the channel geometry (nil = dram.DDR5(Ranks)).
+	Geo *dram.Geometry
+}
+
+// geometry resolves the channel geometry for the configured rank count.
+func (c Config) geometry() dram.Geometry {
+	if c.Geo != nil {
+		g := *c.Geo
+		g.Ranks = c.Ranks
+		return g
+	}
+	return dram.DDR5(c.Ranks)
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.Ranks == 0 {
+		c.Ranks = 2
+	}
+	if c.Tm == (dram.Timing{}) {
+		c.Tm = dram.DDR5Timing()
+	}
+	if c.Energy == (energy.Params{}) {
+		c.Energy = energy.Default()
+	}
+	return c
+}
+
+// layout is the contiguous symmetric data layout: a single vector-slot
+// space striped over every bank of the channel.
+type layout struct {
+	geo    dram.Geometry
+	spec   trace.ModelSpec
+	vecLen int
+	bursts int
+	base   []int64 // per-table first slot
+	total  int64
+}
+
+func newLayout(spec trace.ModelSpec, geo dram.Geometry) (*layout, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	vecLen := spec.Tables[0].VecLen
+	for _, t := range spec.Tables {
+		if t.VecLen != vecLen {
+			return nil, fmt.Errorf("baseline: mixed vector lengths unsupported")
+		}
+	}
+	l := &layout{geo: geo, spec: spec, vecLen: vecLen, bursts: arch.Bursts(geo, vecLen)}
+	l.base = make([]int64, len(spec.Tables))
+	for i, t := range spec.Tables {
+		l.base[i] = l.total
+		l.total += t.Rows
+	}
+	capSlots := int64(geo.TotalBanks()) * int64(geo.RowsPerBank()) * int64(geo.ColumnsPerRow()/l.bursts)
+	if l.total > capSlots {
+		return nil, fmt.Errorf("baseline: model needs %d vector slots, channel holds %d", l.total, capSlots)
+	}
+	return l, nil
+}
+
+// slot returns the global vector slot of (table, row).
+func (l *layout) slot(table int, row int64) int64 { return l.base[table] + row }
+
+// allBanks returns the flat indices of every bank in the channel.
+func allBanks(geo dram.Geometry) []int {
+	out := make([]int, geo.TotalBanks())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// rankBanks returns the flat indices of every bank in one rank.
+func rankBanks(geo dram.Geometry, rank int) []int {
+	n := geo.BanksPerRank()
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = rank*n + i
+	}
+	return out
+}
+
+// Cache access energies (nanojoules per vector hit): a 32 MB LLC read is
+// roughly 1.2 nJ, RecNMP's small 1 MB PE cache about 0.15 nJ.
+const (
+	llcHitNano     = 1.2
+	peCacheHitNano = 0.15
+)
+
+// finishRun assembles the common RunStats epilogue. cacheNano prices the
+// architecture's cache hits (0 when there is no cache).
+func finishRun(cfg Config, geo dram.Geometry, finish sim.Cycle, st dram.Stats,
+	res memctrl.Result, lookups, cacheHits, psumFolds int64, vecLen int,
+	nodeLoads []int64, cacheNano float64) *arch.RunStats {
+	ops := arch.ReduceOps(lookups, psumFolds, vecLen)
+	e := energy.Account(cfg.Energy, st, ops, finish, geo.Ranks, geo.BurstBytes)
+	e.Cache = energy.CacheEnergy(cacheHits, cacheNano)
+	p50, p99 := arch.OpPercentiles(res)
+	return &arch.RunStats{
+		OpP50: p50, OpP99: p99,
+		Cycles:    finish,
+		DRAM:      st,
+		Ops:       ops,
+		RowHits:   res.RowHits,
+		RowMisses: res.RowMisses,
+		Lookups:   lookups,
+		CacheHits: cacheHits,
+		NodeLoads: nodeLoads,
+		Imbalance: arch.LoadsToImbalance(nodeLoads),
+		Energy:    e,
+	}
+}

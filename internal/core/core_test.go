@@ -1,0 +1,488 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"recross/internal/baseline"
+	"recross/internal/embedding"
+	"recross/internal/nmp"
+	"recross/internal/partition"
+	"recross/internal/trace"
+)
+
+// miniSpec is a small skewed workload for fast tests.
+func miniSpec() trace.ModelSpec {
+	spec := trace.ModelSpec{Name: "mini-core"}
+	for i := 0; i < 4; i++ {
+		spec.Tables = append(spec.Tables, trace.TableSpec{
+			Name: spec.Name + string(rune('a'+i)), Rows: 100000, VecLen: 64,
+			Pooling: 8, Prob: 1, Skew: 1.0 + 0.1*float64(i),
+		})
+	}
+	return spec
+}
+
+func miniConfig() Config {
+	cfg := DefaultConfig(miniSpec())
+	cfg.Batch = 4
+	cfg.ProfileSamples = 300
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := miniConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Ranks = 0 },
+		func(c *Config) { c.NMPBankGroups = 9 },
+		func(c *Config) { c.NMPBankGroups = 2; c.BankPEs = 9 },
+		func(c *Config) { c.NMPBankGroups = 0; c.BankPEs = 1 },
+		func(c *Config) { c.Batch = 0 },
+		func(c *Config) { c.ProfileSamples = 0 },
+		func(c *Config) { c.Spec = trace.ModelSpec{} },
+	}
+	for i, mutate := range cases {
+		c := miniConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestRegionBankPartitionIsComplete(t *testing.T) {
+	r, err := New(miniConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := r.Geometry()
+	seen := map[int]int{}
+	for region, banks := range r.regionBanks {
+		for _, fb := range banks {
+			if prev, dup := seen[fb]; dup {
+				t.Fatalf("bank %d in regions %d and %d", fb, prev, region)
+			}
+			seen[fb] = region
+		}
+	}
+	if len(seen) != geo.TotalBanks() {
+		t.Fatalf("regions cover %d banks, want %d", len(seen), geo.TotalBanks())
+	}
+	// Default 1/4/4 per rank: R = 16 banks/rank, G = 12, B = 4.
+	if len(r.regionBanks[RegionR]) != 32 || len(r.regionBanks[RegionG]) != 24 ||
+		len(r.regionBanks[RegionB]) != 8 {
+		t.Fatalf("region sizes %d/%d/%d, want 32/24/8",
+			len(r.regionBanks[RegionR]), len(r.regionBanks[RegionG]), len(r.regionBanks[RegionB]))
+	}
+}
+
+func TestRegionsCapacityRatio(t *testing.T) {
+	r, err := New(miniConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := r.Regions()
+	// Paper default R:G:B = 16:12:4.
+	if regs[0].CapBytes*12 != regs[1].CapBytes*16 {
+		t.Fatalf("R:G capacity not 16:12 (%d vs %d)", regs[0].CapBytes, regs[1].CapBytes)
+	}
+	if regs[1].CapBytes*4 != regs[2].CapBytes*12 {
+		t.Fatalf("G:B capacity not 12:4 (%d vs %d)", regs[1].CapBytes, regs[2].CapBytes)
+	}
+	for _, reg := range regs {
+		if reg.BW <= 0 {
+			t.Fatalf("region %s has no bandwidth", reg.Name)
+		}
+	}
+	// SALP off lowers the B-region bandwidth estimate.
+	cfg := miniConfig()
+	cfg.SAP = false
+	cfg.Profile = r.Profile()
+	r2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Regions()[2].BW >= regs[2].BW {
+		t.Fatal("disabling SAP should lower the B-region bandwidth estimate")
+	}
+}
+
+func TestExtremeConfigsBuildAndRun(t *testing.T) {
+	// The §5.4 corner cases: c2 empties the G-region, c5 empties R and G.
+	base := miniConfig()
+	prof, err := partition.NewProfile(base.Spec, base.Seed, base.ProfileSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(base.Spec, 3)
+	b := g.Batch(2)
+	for _, pes := range [][2]int{{4, 16}, {8, 32}, {8, 8}} {
+		cfg := base
+		cfg.Profile = prof
+		cfg.NMPBankGroups, cfg.BankPEs = pes[0], pes[1]
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatalf("config %v: %v", pes, err)
+		}
+		if _, err := r.Run(b); err != nil {
+			t.Fatalf("config %v run: %v", pes, err)
+		}
+	}
+}
+
+func TestRunStatsSanity(t *testing.T) {
+	r, err := New(miniConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(miniSpec(), 3)
+	b := g.Batch(4)
+	rs, err := r.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookups, _ := archCountBatch(b)
+	// The encoder dedups repeated indices within an op, so the executed
+	// lookups are bounded by (and close to) the raw count.
+	if rs.Lookups > lookups || rs.Lookups < lookups/2 {
+		t.Fatalf("lookups = %d, want within [%d, %d]", rs.Lookups, lookups/2, lookups)
+	}
+	if rs.Cycles <= 0 || rs.Imbalance < 1 || rs.Energy.Total() <= 0 {
+		t.Fatalf("implausible stats: %+v", rs)
+	}
+	// The hot head always lands in the B-region; tiny workloads that fit
+	// entirely in B may rationally skip R and G (their buses carry the
+	// fixed psum-collection cost), so only the bank level is mandatory.
+	if rs.DRAM.BurstsToBank == 0 {
+		t.Fatalf("B-region idle: %+v", rs.DRAM)
+	}
+	if rs.DRAM.BurstsToHost != 0 {
+		t.Fatal("no gather should cross to the host under NMP")
+	}
+}
+
+func TestSALPEnablesSubarraySwitches(t *testing.T) {
+	cfg := miniConfig()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(miniSpec(), 3)
+	b := g.Batch(4)
+	withSAP, err := r.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withSAP.DRAM.SubarraySwitch == 0 {
+		t.Fatal("SALP banks recorded no subarray handovers")
+	}
+	cfg2 := miniConfig()
+	cfg2.SAP = false
+	cfg2.Profile = r.Profile()
+	r2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSAP, err := r2.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noSAP.DRAM.SubarraySwitch != 0 {
+		t.Fatal("subarray switches recorded with SAP disabled")
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	// Base -> +SAP -> +BWP should be monotonically faster (Fig. 12); LAS
+	// may be roughly neutral on small workloads, so it only must not
+	// regress badly.
+	prof, err := partition.NewProfile(miniSpec(), 12345, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(miniSpec(), 3)
+	b := g.Batch(8)
+	run := func(sap, bwp, las bool) float64 {
+		cfg := miniConfig()
+		cfg.Profile = prof
+		cfg.SAP, cfg.BWP, cfg.LAS = sap, bwp, las
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := r.Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(rs.Cycles)
+	}
+	base := run(false, false, false)
+	sap := run(true, false, false)
+	bwp := run(true, true, false)
+	las := run(true, true, true)
+	t.Logf("base=%.0f +SAP=%.0f +BWP=%.0f +LAS=%.0f", base, sap, bwp, las)
+	if sap >= base {
+		t.Errorf("SAP did not help: %.0f -> %.0f", base, sap)
+	}
+	if bwp >= sap*1.05 {
+		t.Errorf("BWP regressed: %.0f -> %.0f", sap, bwp)
+	}
+	if las >= bwp*1.10 {
+		t.Errorf("LAS regressed badly: %.0f -> %.0f", bwp, las)
+	}
+}
+
+func TestReduceBatchMatchesReference(t *testing.T) {
+	spec := miniSpec()
+	r, err := New(miniConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer, err := embedding.NewLayer(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(spec, 11)
+	b := g.Batch(4)
+	got, err := r.ReduceBatch(layer, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, s := range b {
+		want, err := layer.ReduceSample(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for oi := range s {
+			if !embedding.AlmostEqual(got[si][oi], want[oi], 1e-3) {
+				t.Fatalf("sample %d op %d: cross-level reduction diverged", si, oi)
+			}
+		}
+	}
+}
+
+func TestPEBreakdown(t *testing.T) {
+	r, err := New(miniConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, bg, bank, salp := r.PEBreakdown()
+	if rank != 1 || bg != 4 || bank != 4 || salp != 4 {
+		t.Fatalf("PE breakdown = %d/%d/%d/%d, want 1/4/4/4", rank, bg, bank, salp)
+	}
+	if r.Name() != "recross" {
+		t.Fatal("name wrong")
+	}
+}
+
+// TestPaperOrdering is the headline integration test: on the full
+// Criteo-Kaggle workload at paper parameters, the architectures must order
+// as the paper's Fig. 9 geomeans do: CPU slowest, then TensorDIMM, RecNMP,
+// TRiM-G, TRiM-B, with ReCross fastest.
+func TestPaperOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale ordering in short mode")
+	}
+	spec := trace.CriteoKaggle(64, 80)
+	prof, err := partition.NewProfile(spec, 12345, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := baseline.Config{Spec: spec, Ranks: 2}
+	g, err := trace.NewGenerator(spec, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Batch(32)
+
+	cycles := map[string]float64{}
+	{
+		s, err := baseline.NewCPU(bcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := s.Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles["cpu"] = float64(rs.Cycles)
+	}
+	{
+		s, err := baseline.NewTensorDIMM(bcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := s.Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles["tensordimm"] = float64(rs.Cycles)
+	}
+	{
+		s, err := baseline.NewRecNMP(bcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := s.Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles["recnmp"] = float64(rs.Cycles)
+	}
+	{
+		s, err := baseline.NewTRiMG(bcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := s.Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles["trim-g"] = float64(rs.Cycles)
+	}
+	{
+		s, err := baseline.NewTRiMB(bcfg, prof.Hists)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := s.Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles["trim-b"] = float64(rs.Cycles)
+	}
+	{
+		cfg := DefaultConfig(spec)
+		cfg.Profile = prof
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := s.Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles["recross"] = float64(rs.Cycles)
+	}
+	for n, c := range cycles {
+		t.Logf("%-11s %10.0f cycles  %.2fx over cpu", n, c, cycles["cpu"]/c)
+	}
+	// Strict ordering for the clearly separated tiers, with slack only at
+	// the TRiM-B/ReCross boundary: in our reproduction those two are a
+	// statistical tie at vector length 64 (the paper separates them 1.8x;
+	// see EXPERIMENTS.md "systematic gaps"), with ReCross clearly ahead at
+	// shorter vectors.
+	order := []string{"cpu", "tensordimm", "recnmp", "trim-g", "trim-b"}
+	for i := 0; i+1 < len(order); i++ {
+		slow, fast := order[i], order[i+1]
+		if cycles[fast] > cycles[slow]*1.02 {
+			t.Errorf("%s (%.0f) should be faster than %s (%.0f)",
+				fast, cycles[fast], slow, cycles[slow])
+		}
+	}
+	if cycles["recross"] > cycles["trim-b"]*1.06 {
+		t.Errorf("ReCross (%.0f) fell behind the TRiM-B tie band (%.0f)",
+			cycles["recross"], cycles["trim-b"])
+	}
+	// ReCross must clearly beat the coarser NMPs and the CPU.
+	if ratio := cycles["trim-g"] / cycles["recross"]; ratio < 1.05 {
+		t.Errorf("ReCross over TRiM-G = %.2fx, want >= 1.05 (paper: 2.5x)", ratio)
+	}
+	if ratio := cycles["cpu"] / cycles["recross"]; ratio < 2.5 {
+		t.Errorf("ReCross over CPU = %.2fx, want >= 2.5 (paper: 15.5x)", ratio)
+	}
+}
+
+func archCountBatch(b trace.Batch) (int64, int64) {
+	var lookups, ops int64
+	for _, s := range b {
+		for _, op := range s {
+			ops++
+			lookups += int64(len(op.Indices))
+		}
+	}
+	return lookups, ops
+}
+
+func TestNodeLoadsCoverAllPEs(t *testing.T) {
+	r, err := New(miniConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(miniSpec(), 3)
+	rs, err := r.Run(g.Batch(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 rank PEs + 8 NMP bank groups + 8 SALP banks = 18 nodes.
+	if len(rs.NodeLoads) != 18 {
+		t.Fatalf("node loads cover %d PEs, want 18", len(rs.NodeLoads))
+	}
+	var sum int64
+	for _, l := range rs.NodeLoads {
+		if l < 0 {
+			t.Fatal("negative node load")
+		}
+		sum += l
+	}
+	if sum == 0 {
+		t.Fatal("no PE recorded load")
+	}
+}
+
+func TestLevelStringsInRegions(t *testing.T) {
+	r, err := New(miniConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := r.Regions()
+	if regs[0].Level != nmp.LevelRank || regs[1].Level != nmp.LevelBankGroup || regs[2].Level != nmp.LevelBank {
+		t.Fatal("region levels wrong")
+	}
+	if math.IsNaN(r.Decision().T) || r.Decision().T <= 0 {
+		t.Fatal("decision estimate missing")
+	}
+}
+
+func TestReduceBatchAllKinds(t *testing.T) {
+	spec := miniSpec()
+	r, err := New(miniConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer, err := embedding.NewLayer(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(spec, 23)
+	b := g.Batch(2)
+	// Rewrite op kinds: one table sums, one maxes, the rest weighted.
+	for si := range b {
+		for oi := range b[si] {
+			switch oi % 3 {
+			case 1:
+				b[si][oi].Kind = trace.Sum
+			case 2:
+				b[si][oi].Kind = trace.Max
+			}
+		}
+	}
+	got, err := r.ReduceBatch(layer, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, s := range b {
+		for oi, op := range s {
+			want, err := layer.Reduce(op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !embedding.AlmostEqual(got[si][oi], want, 1e-3) {
+				t.Fatalf("kind %v: cross-level reduction diverged at %d/%d", op.Kind, si, oi)
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"recross/internal/arch"
+	"recross/internal/embedding"
+	"recross/internal/nmp"
+	"recross/internal/trace"
+)
+
+// ReduceBatch executes a batch functionally through the cross-level PE
+// hierarchy: each gathered vector is weighted and accumulated in the PE of
+// the memory node its row is placed on (bank PE, bank-group PE or rank PE),
+// partial sums are folded up the tree, and the rank summarizer emits one
+// result vector per op — the execution flow of §4.4. The returned slices
+// are indexed [sample][op].
+//
+// This is the correctness path; Run is the timing path. Integration tests
+// check ReduceBatch against the flat embedding.Layer reference.
+func (r *ReCross) ReduceBatch(layer *embedding.Layer, b trace.Batch) ([][][]float32, error) {
+	if layer == nil {
+		return nil, fmt.Errorf("core: nil layer")
+	}
+	out := make([][][]float32, len(b))
+	row := make([]float32, r.vecLen)
+	for si, s := range b {
+		out[si] = make([][]float32, len(s))
+		for oi, op := range s {
+			res, err := r.reduceOp(layer, op, row)
+			if err != nil {
+				return nil, err
+			}
+			out[si][oi] = res
+		}
+	}
+	return out, nil
+}
+
+// reduceOp routes one embedding operation through the PE tree.
+func (r *ReCross) reduceOp(layer *embedding.Layer, op trace.Op, row []float32) ([]float32, error) {
+	if op.Table < 0 || op.Table >= layer.Tables() {
+		return nil, fmt.Errorf("core: table %d out of range", op.Table)
+	}
+	tab := layer.Table(op.Table)
+	if tab.VecLen() != r.vecLen {
+		return nil, fmt.Errorf("core: layer vector length %d != %d", tab.VecLen(), r.vecLen)
+	}
+
+	// Lazily created PEs per (region, node) touched by this op.
+	type nodeKey struct {
+		region int
+		node   int
+	}
+	units := make(map[nodeKey]*nmp.ComputeUnit)
+	unitFor := func(k nodeKey) (*nmp.ComputeUnit, error) {
+		if u, ok := units[k]; ok {
+			return u, nil
+		}
+		u, err := nmp.NewComputeUnit(r.vecLen)
+		if err != nil {
+			return nil, err
+		}
+		units[k] = u
+		return u, nil
+	}
+
+	opc := nmp.OpWeightedSum
+	switch op.Kind {
+	case trace.Sum:
+		opc = nmp.OpSum
+	case trace.Max:
+		opc = nmp.OpMax
+	}
+
+	geo := r.geo
+	for k, idx := range op.Indices {
+		if idx < 0 || idx >= tab.Rows() {
+			return nil, fmt.Errorf("core: index %d out of [0,%d)", idx, tab.Rows())
+		}
+		region, slot := r.pl.Locate(op.Table, idx)
+		loc, err := arch.Stripe(geo, r.regionBanks[region], slot, r.bursts)
+		if err != nil {
+			return nil, err
+		}
+		var key nodeKey
+		switch region {
+		case RegionR:
+			key = nodeKey{RegionR, loc.Rank}
+		case RegionG:
+			key = nodeKey{RegionG, geo.FlatBG(loc)}
+		default:
+			key = nodeKey{RegionB, geo.FlatBank(loc)}
+		}
+		u, err := unitFor(key)
+		if err != nil {
+			return nil, err
+		}
+		tab.Row(idx, row)
+		var w float32 = 1
+		if opc == nmp.OpWeightedSum {
+			w = op.Weights[k]
+		}
+		if err := u.Accumulate(opc, row, w); err != nil {
+			return nil, err
+		}
+	}
+
+	// Fold bank PEs into their bank group's PE, bank groups into their
+	// rank's PE, and ranks into the DIMM buffer's rank summarizer.
+	rankUnits := make(map[int]*nmp.ComputeUnit)
+	getRank := func(rank int) (*nmp.ComputeUnit, error) {
+		if u, ok := rankUnits[rank]; ok {
+			return u, nil
+		}
+		u, err := nmp.NewComputeUnit(r.vecLen)
+		if err != nil {
+			return nil, err
+		}
+		rankUnits[rank] = u
+		return u, nil
+	}
+	bgUnits := make(map[int]*nmp.ComputeUnit)
+	for k, u := range units {
+		if k.region != RegionB {
+			continue
+		}
+		bg := k.node / geo.Banks // flat bank -> flat bank group
+		dst, ok := bgUnits[bg]
+		if !ok {
+			var err error
+			dst, err = nmp.NewComputeUnit(r.vecLen)
+			if err != nil {
+				return nil, err
+			}
+			bgUnits[bg] = dst
+		}
+		if err := dst.AccumulatePsum(opc, u.Result()); err != nil {
+			return nil, err
+		}
+	}
+	for k, u := range units {
+		if k.region != RegionG {
+			continue
+		}
+		dst, ok := bgUnits[k.node]
+		if !ok {
+			bgUnits[k.node] = u
+			continue
+		}
+		if err := dst.AccumulatePsum(opc, u.Result()); err != nil {
+			return nil, err
+		}
+	}
+	for bg, u := range bgUnits {
+		rank := bg / geo.BankGroups
+		dst, err := getRank(rank)
+		if err != nil {
+			return nil, err
+		}
+		if err := dst.AccumulatePsum(opc, u.Result()); err != nil {
+			return nil, err
+		}
+	}
+	for k, u := range units {
+		if k.region != RegionR {
+			continue
+		}
+		dst, err := getRank(k.node)
+		if err != nil {
+			return nil, err
+		}
+		if err := dst.AccumulatePsum(opc, u.Result()); err != nil {
+			return nil, err
+		}
+	}
+
+	summ, err := nmp.NewRankSummarizer(r.vecLen)
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range rankUnits {
+		if err := summ.Fold(opc, u.Result()); err != nil {
+			return nil, err
+		}
+	}
+	return summ.Result(), nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"recross/internal/arch"
+	"recross/internal/dram"
+	"recross/internal/energy"
+	"recross/internal/memctrl"
+	"recross/internal/partition"
+	"recross/internal/sim"
+	"recross/internal/trace"
+)
+
+// Rebalance implements the dynamic embedding scheduling of §4.5: when the
+// access-frequency spectrum drifts (rarely-accessed rows becoming popular
+// and vice versa), the host periodically re-profiles, re-solves the
+// bandwidth-aware partitioning, and rebuilds the placement so newly-hot
+// rows migrate into the high-parallelism B-region and cooled rows retire to
+// the capacity-optimized R-region. The hardware regions are unchanged; only
+// the mapping tables are rewritten.
+//
+// prof must describe the same model spec the instance was built with.
+func (r *ReCross) Rebalance(prof *partition.Profile) error {
+	if prof == nil {
+		return fmt.Errorf("core: nil profile")
+	}
+	if len(prof.Spec.Tables) != len(r.cfg.Spec.Tables) {
+		return fmt.Errorf("core: profile covers %d tables, spec has %d",
+			len(prof.Spec.Tables), len(r.cfg.Spec.Tables))
+	}
+	for i, t := range prof.Spec.Tables {
+		have := r.cfg.Spec.Tables[i]
+		if t.Rows != have.Rows || t.VecLen != have.VecLen {
+			return fmt.Errorf("core: profile table %q shape %dx%d != spec %dx%d",
+				t.Name, t.Rows, t.VecLen, have.Rows, have.VecLen)
+		}
+	}
+
+	regions := r.Regions()
+	var dec *partition.Decision
+	var err error
+	if r.cfg.BWP {
+		dec, err = partition.SolveLP(prof, regions, r.cfg.Batch)
+	} else {
+		dec, err = partition.Greedy(prof, regions, r.cfg.Batch)
+	}
+	if err != nil {
+		return fmt.Errorf("core: rebalance partitioning: %w", err)
+	}
+	pl, err := partition.Build(prof, dec)
+	if err != nil {
+		return fmt.Errorf("core: rebalance placement: %w", err)
+	}
+	r.prof, r.dec, r.pl = prof, dec, pl
+	return nil
+}
+
+// RunTraining executes one online-training step (§4.5): the batch's
+// embedding gathers run through the NMP hierarchy as in Run, and afterwards
+// the host writes the updated embedding rows back — one write per distinct
+// row the batch touched, to its mapped physical location. Update writes
+// come from the host, occupy the channel DQ, and respect tWR/tWTR.
+func (r *ReCross) RunTraining(b trace.Batch) (*arch.RunStats, error) {
+	geo := r.geo
+	var reqs []memctrl.Request
+	var lookups int64
+	var opID int32
+	var seq int64
+	instr := arch.InstrCycles(dram.NMPTwoStage, r.bursts)
+
+	type rowKey struct {
+		table int
+		row   int64
+	}
+	touched := map[rowKey]bool{}
+	for _, s := range b {
+		for _, op := range s {
+			op = arch.DedupOp(op)
+			for _, idx := range op.Indices {
+				lookups++
+				touched[rowKey{op.Table, idx}] = true
+				region, slot := r.pl.Locate(op.Table, idx)
+				loc, err := arch.Stripe(geo, r.regionBanks[region], slot, r.bursts)
+				if err != nil {
+					return nil, err
+				}
+				reqs = append(reqs, memctrl.Request{
+					Loc: loc, Cols: r.bursts,
+					Consumer: r.consumers[region],
+					Arrival:  sim.Cycle(seq) * instr, Op: opID,
+				})
+				seq++
+			}
+			opID++
+		}
+	}
+	ops := int64(opID)
+	// The gradient write-back phase: one write per distinct touched row,
+	// dependent on the forward results, so it arrives after the gathers.
+	writeArrival := sim.Cycle(seq) * instr
+	writes := int64(0)
+	for k := range touched {
+		region, slot := r.pl.Locate(k.table, k.row)
+		loc, err := arch.Stripe(geo, r.regionBanks[region], slot, r.bursts)
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, memctrl.Request{
+			Loc: loc, Cols: r.bursts, Write: true,
+			Arrival: writeArrival, Op: opID,
+		})
+		writes++
+	}
+	// Map iteration order is random; restore the op-order invariant the
+	// controller requires (all writes share one op id, so sorting is not
+	// needed — they are appended after every read op).
+
+	policy := memctrl.FRFCFS
+	if r.cfg.LAS {
+		policy = memctrl.LAS
+	}
+	var salpBanks []int
+	if r.cfg.SAP {
+		salpBanks = r.regionBanks[RegionB]
+	}
+	spec := arch.ChannelSpec{
+		Geo: geo, Tm: r.cfg.Tm, Mode: dram.NMPTwoStage,
+		Policy: policy, SALPBanks: salpBanks,
+		OpWindow: arch.NMPOpWindow,
+	}
+	finish, st, res, err := arch.RunChannel(spec, reqs, int(ops)*r.bursts)
+	if err != nil {
+		return nil, err
+	}
+	opsStats := arch.ReduceOps(lookups, ops*int64(geo.Ranks), r.vecLen)
+	rs := &arch.RunStats{
+		Cycles:    finish,
+		DRAM:      st,
+		Ops:       opsStats,
+		RowHits:   res.RowHits,
+		RowMisses: res.RowMisses,
+		Lookups:   lookups,
+	}
+	rs.Imbalance = 1
+	rs.Energy = energy.Account(r.cfg.Energy, st, opsStats, finish, geo.Ranks, geo.BurstBytes)
+	return rs, nil
+}

@@ -1,0 +1,453 @@
+// Package core implements ReCross, the paper's primary contribution (§4): a
+// cross-level NMP architecture offering rank-, bank-group- and
+// subarray-parallel bank-level processing in one DIMM-based memory system,
+// fed by the bandwidth-aware partitioner of internal/partition. The memory
+// space is split into the R-, G- and B-regions of §4.1; each embedding
+// table is spread across them according to its profiled access
+// distribution, so the small hot head enjoys subarray-level parallelism
+// while the cold tail rests in capacity-optimized rank-level memory.
+package core
+
+import (
+	"fmt"
+
+	"recross/internal/arch"
+	"recross/internal/dram"
+	"recross/internal/energy"
+	"recross/internal/memctrl"
+	"recross/internal/nmp"
+	"recross/internal/partition"
+	"recross/internal/sim"
+	"recross/internal/trace"
+)
+
+// Config describes a ReCross instance. The zero value is not valid; start
+// from DefaultConfig.
+type Config struct {
+	Spec   trace.ModelSpec
+	Ranks  int
+	Tm     dram.Timing
+	Energy energy.Params
+
+	// NMPBankGroups is the number of bank groups per rank with a
+	// bank-group-level PE (default 4 of 8; §5.4's first config knob).
+	NMPBankGroups int
+	// BankPEs is the number of banks per rank with a bank-level PE,
+	// distributed one-per-NMP-bank-group first (default 4, i.e. one per
+	// NMP bank group).
+	BankPEs int
+
+	// Optimization toggles — the Fig. 12 ablation switches.
+	SAP bool // subarray-level parallelism in B-region banks
+	BWP bool // LP bandwidth-aware partitioning (false => crude greedy)
+	LAS bool // locality-aware scheduling (false => plain FR-FCFS)
+
+	// Batch is the batch size the partitioner optimizes for.
+	Batch int
+	// ProfileSamples is the length of the offline profiling pass.
+	ProfileSamples int
+	// Seed seeds the profiling generator.
+	Seed int64
+	// Profile, when non-nil, supplies a precomputed profile for Spec and
+	// skips the internal profiling pass — the experiment harness shares
+	// one profile across many configurations.
+	Profile *partition.Profile
+	// Subarrays overrides the per-bank subarray count (0 = the geometry
+	// default of 256); bank capacity is preserved. Used by the SALP
+	// sensitivity study.
+	Subarrays int
+	// Geo overrides the channel geometry (nil = dram.DDR5(Ranks)); pair a
+	// DDR4 geometry with dram.DDR4Timing() in Tm.
+	Geo *dram.Geometry
+}
+
+// DefaultConfig returns the paper's ReCross-d: 1 rank PE, 4 bank-group PEs
+// and 4 bank PEs per rank (R:G:B capacity 16:12:4), all optimizations on.
+func DefaultConfig(spec trace.ModelSpec) Config {
+	return Config{
+		Spec:           spec,
+		Ranks:          2,
+		Tm:             dram.DDR5Timing(),
+		Energy:         energy.Default(),
+		NMPBankGroups:  4,
+		BankPEs:        4,
+		SAP:            true,
+		BWP:            true,
+		LAS:            true,
+		Batch:          32,
+		ProfileSamples: 2000,
+		Seed:           12345,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	geo := dram.DDR5(c.Ranks)
+	if c.Geo != nil {
+		geo = *c.Geo
+		geo.Ranks = c.Ranks
+		if err := geo.Validate(); err != nil {
+			return err
+		}
+	}
+	switch {
+	case c.Ranks <= 0:
+		return fmt.Errorf("core: ranks must be positive, got %d", c.Ranks)
+	case c.NMPBankGroups < 0 || c.NMPBankGroups > geo.BankGroups:
+		return fmt.Errorf("core: NMP bank groups %d out of [0,%d]", c.NMPBankGroups, geo.BankGroups)
+	case c.BankPEs < 0 || c.BankPEs > c.NMPBankGroups*geo.Banks:
+		return fmt.Errorf("core: %d bank PEs exceed the %d banks of the NMP bank groups",
+			c.BankPEs, c.NMPBankGroups*geo.Banks)
+	case c.NMPBankGroups == 0 && c.BankPEs > 0:
+		return fmt.Errorf("core: bank PEs require NMP bank groups")
+	case c.Batch <= 0:
+		return fmt.Errorf("core: batch must be positive, got %d", c.Batch)
+	case c.ProfileSamples <= 0:
+		return fmt.Errorf("core: profile samples must be positive, got %d", c.ProfileSamples)
+	case c.Subarrays < 0 || (c.Subarrays > 0 && geo.RowsPerBank()%c.Subarrays != 0):
+		return fmt.Errorf("core: subarray count %d must divide the %d rows per bank",
+			c.Subarrays, geo.RowsPerBank())
+	}
+	return c.Spec.Validate()
+}
+
+// Region indices within a ReCross placement, ordered coarse to fine.
+const (
+	RegionR = 0
+	RegionG = 1
+	RegionB = 2
+)
+
+// ReCross is a configured instance: profile, partitioning decision,
+// placement and region bank sets, ready to run batches.
+type ReCross struct {
+	cfg  Config
+	geo  dram.Geometry
+	prof *partition.Profile
+	dec  *partition.Decision
+	pl   *partition.Placement
+	// regionBanks[j] lists the flat banks of region j.
+	regionBanks [3][]int
+	bursts      int
+	vecLen      int
+	consumers   [3]dram.Consumer
+}
+
+// New profiles the workload, solves the partitioning, and builds the
+// placement.
+func New(cfg Config) (*ReCross, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geo := dram.DDR5(cfg.Ranks)
+	if cfg.Geo != nil {
+		geo = *cfg.Geo
+		geo.Ranks = cfg.Ranks
+	}
+	if cfg.Subarrays > 0 {
+		geo.RowsPerSubarray = geo.RowsPerBank() / cfg.Subarrays
+		geo.Subarrays = cfg.Subarrays
+	}
+	r := &ReCross{
+		cfg:       cfg,
+		geo:       geo,
+		vecLen:    cfg.Spec.Tables[0].VecLen,
+		bursts:    arch.Bursts(geo, cfg.Spec.Tables[0].VecLen),
+		consumers: [3]dram.Consumer{dram.ToRankPE, dram.ToBankGroupPE, dram.ToBankPE},
+	}
+	r.assignBanks()
+
+	prof := cfg.Profile
+	if prof == nil {
+		var err error
+		prof, err = partition.NewProfile(cfg.Spec, cfg.Seed, cfg.ProfileSamples)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.prof = prof
+	var err error
+
+	regions := r.Regions()
+	if cfg.BWP {
+		r.dec, err = partition.SolveLP(prof, regions, cfg.Batch)
+	} else {
+		r.dec, err = partition.Greedy(prof, regions, cfg.Batch)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.pl, err = partition.Build(prof, r.dec)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// assignBanks carves the channel into the R-, G- and B-region bank sets:
+// within each rank, bank groups [0, NMPBankGroups) are NMP-featured; bank
+// PEs are spread round-robin across the NMP groups' banks.
+func (r *ReCross) assignBanks() {
+	geo := r.geo
+	bankPEPerBG := make([]int, r.cfg.NMPBankGroups)
+	for i := 0; i < r.cfg.BankPEs; i++ {
+		bankPEPerBG[i%r.cfg.NMPBankGroups]++
+	}
+	for rank := 0; rank < geo.Ranks; rank++ {
+		for bg := 0; bg < geo.BankGroups; bg++ {
+			for bank := 0; bank < geo.Banks; bank++ {
+				fb := geo.FlatBank(dram.Loc{Rank: rank, BG: bg, Bank: bank})
+				switch {
+				case bg >= r.cfg.NMPBankGroups:
+					r.regionBanks[RegionR] = append(r.regionBanks[RegionR], fb)
+				case bank < bankPEPerBG[bg]:
+					r.regionBanks[RegionB] = append(r.regionBanks[RegionB], fb)
+				default:
+					r.regionBanks[RegionG] = append(r.regionBanks[RegionG], fb)
+				}
+			}
+		}
+	}
+}
+
+// Regions returns the three partition regions with capacity and estimated
+// internal bandwidth (bytes per cycle), ordered R, G, B.
+func (r *ReCross) Regions() []partition.Region {
+	geo, tm := r.geo, r.cfg.Tm
+	bb := float64(geo.BurstBytes)
+	B := float64(r.bursts)
+	vecBytes := B * bb
+
+	// Effective per-node vector cadence, assuming mostly row misses for R
+	// and G (cold/warm data) and row-buffer reuse with subarray handover
+	// for the SALP B-region (hot data).
+	missVec := float64(tm.TRC) // one tRC per vector on a conventional bank
+	if t := B * float64(tm.TCCDL); t > missVec {
+		missVec = t
+	}
+	salpVec := (B-1)*float64(tm.TCCDL) + float64(tm.TRA)
+	if !r.cfg.SAP {
+		salpVec = missVec
+	}
+
+	mk := func(banks []int, perNodeBW float64, nodes int) float64 {
+		if len(banks) == 0 || nodes == 0 {
+			return 0
+		}
+		bankBound := float64(len(banks)) * vecBytes / missVec
+		nodeBound := perNodeBW * float64(nodes)
+		if bankBound < nodeBound {
+			return bankBound
+		}
+		return nodeBound
+	}
+
+	// R: one PE per rank, serialized on the chip DQ at tCCD_S.
+	rBW := mk(r.regionBanks[RegionR], bb/float64(tm.TCCDS), geo.Ranks)
+	// G: one PE per NMP bank group, local gating at tCCD_L.
+	gBW := mk(r.regionBanks[RegionG], bb/float64(tm.TCCDL), r.cfg.NMPBankGroups*geo.Ranks)
+	// B: one PE per SALP bank at the subarray-parallel vector cadence.
+	var bBW float64
+	if n := len(r.regionBanks[RegionB]); n > 0 {
+		bBW = float64(n) * vecBytes / salpVec
+	}
+
+	// Fixed per-batch psum-collection time on each region's shared bus
+	// (§3.3): every op flushes one partial sum from each touched
+	// lower-level PE. Bank-group psums cross the chip DQ (the R-region's
+	// resource), bank psums cross their group's gating (the G-region's).
+	var fixedR, fixedG float64
+	for _, t := range r.cfg.Spec.Tables {
+		opsPerBatch := t.Prob * float64(r.cfg.Batch)
+		bgPsums := float64(minInt(r.cfg.NMPBankGroups*geo.Ranks, t.Pooling))
+		bankPsums := float64(minInt(r.cfg.BankPEs*geo.Ranks, t.Pooling))
+		fixedR += opsPerBatch * bgPsums * B * float64(tm.TCCDS) / float64(geo.Ranks)
+		if r.cfg.NMPBankGroups > 0 {
+			fixedG += opsPerBatch * bankPsums * B * float64(tm.TCCDL) /
+				float64(r.cfg.NMPBankGroups*geo.Ranks)
+		}
+	}
+
+	capOf := func(banks []int) int64 { return int64(len(banks)) * geo.BankBytes() }
+	return []partition.Region{
+		{Name: "R", Level: nmp.LevelRank, CapBytes: capOf(r.regionBanks[RegionR]), BW: rBW, FixedCycles: fixedR},
+		{Name: "G", Level: nmp.LevelBankGroup, CapBytes: capOf(r.regionBanks[RegionG]), BW: gBW, FixedCycles: fixedG},
+		{Name: "B", Level: nmp.LevelBank, CapBytes: capOf(r.regionBanks[RegionB]), BW: bBW},
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Decision exposes the partitioning decision (for the experiment harness).
+func (r *ReCross) Decision() *partition.Decision { return r.dec }
+
+// Placement exposes the row placement.
+func (r *ReCross) Placement() *partition.Placement { return r.pl }
+
+// Profile exposes the offline profile.
+func (r *ReCross) Profile() *partition.Profile { return r.prof }
+
+// Geometry returns the channel geometry.
+func (r *ReCross) Geometry() dram.Geometry { return r.geo }
+
+// Name implements arch.System.
+func (r *ReCross) Name() string { return "recross" }
+
+// PEBreakdown returns (rank PEs, bank-group PEs, bank PEs, SALP banks) for
+// the area model.
+func (r *ReCross) PEBreakdown() (rank, bg, bank, salp int) {
+	salpBanks := 0
+	if r.cfg.SAP {
+		salpBanks = r.cfg.BankPEs
+	}
+	return 1, r.cfg.NMPBankGroups, r.cfg.BankPEs, salpBanks
+}
+
+// Run implements arch.System: one batch through the timing model.
+func (r *ReCross) Run(b trace.Batch) (*arch.RunStats, error) {
+	geo := r.geo
+	var reqs []memctrl.Request
+	var lookups, ops int64
+	var opID int32
+	var seq int64
+	instr := arch.InstrCycles(dram.NMPTwoStage, r.bursts)
+
+	// Per-PE-node load accumulators for the imbalance metric: rank PEs,
+	// then BG PEs, then bank PEs.
+	rankLoad := make([]int64, geo.Ranks)
+	bgLoad := make([]int64, geo.Ranks*geo.BankGroups)
+	bankLoad := make([]int64, geo.TotalBanks())
+
+	// Per-op touched PEs, for the partial-sum collection cost (§3.3).
+	var bankPsums, bgPsums int64
+	touchedBank := make([]bool, geo.TotalBanks())
+	touchedBG := make([]bool, geo.Ranks*geo.BankGroups)
+	bankPsumBursts := make([]int64, geo.Ranks*geo.BankGroups) // per gating
+	bgPsumBursts := make([]int64, geo.Ranks)                  // per chip DQ
+
+	for _, s := range b {
+		for _, op := range s {
+			op = arch.DedupOp(op)
+			for i := range touchedBank {
+				touchedBank[i] = false
+			}
+			for i := range touchedBG {
+				touchedBG[i] = false
+			}
+			for _, idx := range op.Indices {
+				lookups++
+				region, slot := r.pl.Locate(op.Table, idx)
+				loc, err := arch.Stripe(geo, r.regionBanks[region], slot, r.bursts)
+				if err != nil {
+					return nil, fmt.Errorf("core: region %d: %w", region, err)
+				}
+				switch region {
+				case RegionR:
+					rankLoad[loc.Rank] += int64(r.bursts)
+				case RegionG:
+					bgLoad[geo.FlatBG(loc)] += int64(r.bursts)
+					touchedBG[geo.FlatBG(loc)] = true
+				default:
+					bankLoad[geo.FlatBank(loc)] += int64(r.bursts)
+					touchedBank[geo.FlatBank(loc)] = true
+					touchedBG[geo.FlatBG(loc)] = true
+				}
+				reqs = append(reqs, memctrl.Request{
+					Loc: loc, Cols: r.bursts,
+					Consumer: r.consumers[region],
+					Arrival:  sim.Cycle(seq) * instr, Op: opID,
+				})
+				seq++
+			}
+			for fb, v := range touchedBank {
+				if v {
+					bankPsums++
+					bankPsumBursts[fb/geo.Banks] += int64(r.bursts)
+				}
+			}
+			for fbg, v := range touchedBG {
+				if v {
+					bgPsums++
+					bgPsumBursts[fbg/geo.BankGroups] += int64(r.bursts)
+				}
+			}
+			ops++
+			opID++
+		}
+	}
+
+	policy := memctrl.FRFCFS
+	if r.cfg.LAS {
+		policy = memctrl.LAS
+	}
+	var salpBanks []int
+	if r.cfg.SAP {
+		salpBanks = r.regionBanks[RegionB]
+	}
+	spec := arch.ChannelSpec{
+		Geo: geo, Tm: r.cfg.Tm, Mode: dram.NMPTwoStage,
+		Policy: policy, SALPBanks: salpBanks,
+		OpWindow: arch.NMPOpWindow,
+	}
+	// The rank summarizer returns one vector per op to the host.
+	finish, st, res, err := arch.RunChannel(spec, reqs, int(ops)*r.bursts)
+	if err != nil {
+		return nil, err
+	}
+	// Partial sums climb the tree: B-region bank PEs through their bank
+	// group's gating (shared with G-region gathers), NMP bank-group PEs
+	// over the chip DQ (shared with R-region gathers) to the rank PE.
+	// With only 1+4+4 PEs per rank this traffic is small — the §3.3
+	// advantage of reducing data promptly at every level.
+	gatingBusy := make([]int64, geo.Ranks*geo.BankGroups)
+	for fbg := range gatingBusy {
+		gatingBusy[fbg] = bgLoad[fbg] + bankPsumBursts[fbg]
+	}
+	dqBusy := make([]int64, geo.Ranks)
+	for rank := range dqBusy {
+		dqBusy[rank] = rankLoad[rank] + bgPsumBursts[rank]
+	}
+	finish = arch.PsumFloor(r.cfg.Tm, finish, gatingBusy, dqBusy)
+
+	// Imbalance across all PEs, each node's load expressed as busy cycles
+	// at its own data cadence.
+	var nodeLoads []int64
+	tm := r.cfg.Tm
+	for _, l := range rankLoad {
+		nodeLoads = append(nodeLoads, l*int64(tm.TCCDS))
+	}
+	for bgi, l := range bgLoad {
+		if l > 0 || r.isNMPBG(bgi) {
+			nodeLoads = append(nodeLoads, l*int64(tm.TCCDL))
+		}
+	}
+	for _, fb := range r.regionBanks[RegionB] {
+		nodeLoads = append(nodeLoads, bankLoad[fb]*int64(tm.TCCDL))
+	}
+
+	psums := ops * int64(geo.Ranks*(1+r.cfg.NMPBankGroups+r.cfg.BankPEs))
+	ops2 := arch.ReduceOps(lookups, psums, r.vecLen)
+	p50, p99 := arch.OpPercentiles(res)
+	return &arch.RunStats{
+		OpP50:     p50,
+		OpP99:     p99,
+		Cycles:    finish,
+		DRAM:      st,
+		Ops:       ops2,
+		RowHits:   res.RowHits,
+		RowMisses: res.RowMisses,
+		Lookups:   lookups,
+		NodeLoads: nodeLoads,
+		Imbalance: arch.LoadsToImbalance(nodeLoads),
+		Energy:    energy.Account(r.cfg.Energy, st, ops2, finish, geo.Ranks, geo.BurstBytes),
+	}, nil
+}
+
+func (r *ReCross) isNMPBG(flatBG int) bool {
+	return flatBG%r.geo.BankGroups < r.cfg.NMPBankGroups
+}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+
+	"recross/internal/trace"
+)
+
+func TestVeclen256Fits(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	spec := trace.CriteoKaggle(256, 8)
+	cfg := DefaultConfig(spec)
+	cfg.Batch = 2
+	cfg.ProfileSamples = 200
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(spec, 3)
+	if _, err := r.Run(g.Batch(2)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package dlrm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"recross/internal/trace"
+)
+
+func TestNewMLPValidation(t *testing.T) {
+	if _, err := NewMLP([]int{4}, 1); err == nil {
+		t.Error("single layer should error")
+	}
+	if _, err := NewMLP([]int{4, 0, 2}, 1); err == nil {
+		t.Error("zero layer size should error")
+	}
+}
+
+func TestMLPForwardShapeAndDeterminism(t *testing.T) {
+	m, err := NewMLP([]int{4, 8, 2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InputSize() != 4 || m.OutputSize() != 2 {
+		t.Fatal("sizes wrong")
+	}
+	x := []float32{1, -1, 0.5, 2}
+	a, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Forward(x)
+	if len(a) != 2 || a[0] != b[0] || a[1] != b[1] {
+		t.Fatal("forward not deterministic or wrong shape")
+	}
+	if _, err := m.Forward([]float32{1}); err == nil {
+		t.Fatal("wrong input width should error")
+	}
+}
+
+func TestMLPReLUOnHiddenOnly(t *testing.T) {
+	// With a single (output) layer, negative outputs must pass through.
+	m, _ := NewMLP([]int{2, 1}, 3)
+	neg := false
+	for s := int64(0); s < 20 && !neg; s++ {
+		m2, _ := NewMLP([]int{2, 1}, s)
+		out, _ := m2.Forward([]float32{1, 1})
+		if out[0] < 0 {
+			neg = true
+		}
+	}
+	_ = m
+	if !neg {
+		t.Fatal("output layer appears to clamp negatives (ReLU leak)")
+	}
+}
+
+func testSpec() trace.ModelSpec {
+	return trace.Uniform(4, 500, 16, 3)
+}
+
+func TestModelPredictInUnitInterval(t *testing.T) {
+	m, err := New(testSpec(), 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := trace.NewGenerator(testSpec(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := make([]float32, 8)
+	for i := range dense {
+		dense[i] = float32(i) / 8
+	}
+	for n := 0; n < 10; n++ {
+		s := g.Sample()
+		p, err := m.Predict(dense, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p <= 0 || p >= 1 {
+			t.Fatalf("CTR %g outside (0,1)", p)
+		}
+	}
+}
+
+func TestPredictPooledMatchesPredict(t *testing.T) {
+	spec := testSpec()
+	m, err := New(spec, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(spec, 9)
+	s := g.Sample()
+	dense := make([]float32, 8)
+	direct, err := m.Predict(dense, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := m.Embedding.ReduceSample(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPooled, err := m.PredictPooled(dense, pooled, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(direct-viaPooled) > 1e-9 {
+		t.Fatalf("pooled path %g != direct %g", viaPooled, direct)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	if _, err := New(testSpec(), 0, 1); err == nil {
+		t.Error("zero dense features should error")
+	}
+	mixed := testSpec()
+	mixed.Tables[1].VecLen = 32
+	if _, err := New(mixed, 4, 1); err == nil {
+		t.Error("mixed embedding dims should error")
+	}
+	m, _ := New(testSpec(), 8, 1)
+	g, _ := trace.NewGenerator(testSpec(), 1)
+	s := g.Sample()
+	if _, err := m.PredictPooled(make([]float32, 8), nil, s); err == nil {
+		t.Error("pooled count mismatch should error")
+	}
+}
+
+// Property: CTR stays in (0,1) for arbitrary dense inputs.
+func TestPredictBoundedProperty(t *testing.T) {
+	spec := testSpec()
+	m, err := New(spec, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(spec, 2)
+	s := g.Sample()
+	f := func(a, b, c, d float32) bool {
+		clamp := func(v float32) float32 {
+			if v != v || v > 1e6 || v < -1e6 {
+				return 0
+			}
+			return v
+		}
+		p, err := m.Predict([]float32{clamp(a), clamp(b), clamp(c), clamp(d)}, s)
+		return err == nil && p > 0 && p < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	spec := testSpec()
+	m, _ := New(spec, 8, 42)
+	g, _ := trace.NewGenerator(spec, 5)
+	s := g.Sample()
+	dense := make([]float32, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(dense, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

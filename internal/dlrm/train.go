@@ -1,0 +1,222 @@
+package dlrm
+
+import (
+	"fmt"
+	"math"
+
+	"recross/internal/embedding"
+	"recross/internal/trace"
+)
+
+// Training support: full backpropagation through the top MLP, the pairwise
+// feature interaction, the bottom MLP, and the embedding gathers. This
+// powers the online-training path — the gradient write-back set of
+// ReCross.RunTraining is exactly the rows TrainStep touches — and lets the
+// examples train a small model for real.
+
+// forwardTrace caches the activations a backward pass needs.
+type forwardTrace struct {
+	inputs [][]float32 // per layer, the input vector
+	pre    [][]float32 // per layer, the pre-activation output
+	out    []float32   // network output
+}
+
+// forwardT runs the MLP keeping activations.
+func (m *MLP) forwardT(x []float32) (*forwardTrace, error) {
+	if len(x) != m.sizes[0] {
+		return nil, fmt.Errorf("dlrm: input width %d, want %d", len(x), m.sizes[0])
+	}
+	tr := &forwardTrace{}
+	cur := x
+	for l := range m.weights {
+		in, out := m.sizes[l], m.sizes[l+1]
+		tr.inputs = append(tr.inputs, cur)
+		pre := make([]float32, out)
+		w := m.weights[l]
+		for o := 0; o < out; o++ {
+			acc := m.biases[l][o]
+			row := w[o*in : (o+1)*in]
+			for i, v := range cur {
+				acc += row[i] * v
+			}
+			pre[o] = acc
+		}
+		tr.pre = append(tr.pre, pre)
+		next := make([]float32, out)
+		copy(next, pre)
+		if l+1 < len(m.weights) {
+			for i := range next {
+				if next[i] < 0 {
+					next[i] = 0
+				}
+			}
+		}
+		cur = next
+	}
+	tr.out = cur
+	return tr, nil
+}
+
+// backward applies gradient dOut at the output, updates weights with
+// learning rate lr, and returns the gradient w.r.t. the input.
+func (m *MLP) backward(tr *forwardTrace, dOut []float32, lr float32) []float32 {
+	grad := dOut
+	for l := len(m.weights) - 1; l >= 0; l-- {
+		in, out := m.sizes[l], m.sizes[l+1]
+		// ReLU derivative on hidden layers.
+		if l+1 < len(m.weights) {
+			for o := 0; o < out; o++ {
+				if tr.pre[l][o] <= 0 {
+					grad[o] = 0
+				}
+			}
+		}
+		w := m.weights[l]
+		dIn := make([]float32, in)
+		x := tr.inputs[l]
+		for o := 0; o < out; o++ {
+			g := grad[o]
+			if g == 0 {
+				continue
+			}
+			row := w[o*in : (o+1)*in]
+			for i := 0; i < in; i++ {
+				dIn[i] += row[i] * g
+				row[i] -= lr * g * x[i]
+			}
+			m.biases[l][o] -= lr * g
+		}
+		grad = dIn
+	}
+	return grad
+}
+
+// TrainStep runs one SGD step on a single labelled sample: forward through
+// the full DLRM, binary-cross-entropy loss against label (0 or 1), backward
+// through both MLPs and the interaction, and embedding-row updates applied
+// to the Dense tables. It returns the pre-update loss and the set of
+// embedding rows it updated — the write-back set an NMP memory system must
+// persist (see core.ReCross.RunTraining).
+//
+// The embedding layer must be built from Dense tables (trainable); the
+// procedural tables are read-only.
+func (m *Model) TrainStep(dense []float32, s trace.Sample, label float64, lr float32) (loss float64, touched []trace.Op, err error) {
+	if label != 0 && label != 1 {
+		return 0, nil, fmt.Errorf("dlrm: label must be 0 or 1, got %g", label)
+	}
+	if len(s) != len(m.Spec.Tables) {
+		return 0, nil, fmt.Errorf("dlrm: sample accesses %d tables, want %d", len(s), len(m.Spec.Tables))
+	}
+	// Forward: pooled embeddings, bottom MLP, interaction, top MLP.
+	pooled, err := m.Embedding.ReduceSample(s)
+	if err != nil {
+		return 0, nil, err
+	}
+	botTr, err := m.Bottom.forwardT(dense)
+	if err != nil {
+		return 0, nil, err
+	}
+	bot := botTr.out
+	vecs := append([][]float32{bot}, pooled...)
+	feats := make([]float32, 0, m.Top.InputSize())
+	feats = append(feats, bot...)
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := 0; i < len(vecs); i++ {
+		for j := i + 1; j < len(vecs); j++ {
+			var dot float32
+			for k := 0; k < m.vecLen; k++ {
+				dot += vecs[i][k] * vecs[j][k]
+			}
+			feats = append(feats, dot)
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	topTr, err := m.Top.forwardT(feats)
+	if err != nil {
+		return 0, nil, err
+	}
+	p := sigmoid(float64(topTr.out[0]))
+	// BCE loss and its gradient at the logit: p - label.
+	const eps = 1e-7
+	loss = -(label*math.Log(p+eps) + (1-label)*math.Log(1-p+eps))
+	dLogit := float32(p - label)
+
+	// Backward through the top MLP.
+	dFeats := m.Top.backward(topTr, []float32{dLogit}, lr)
+
+	// Split the feature gradient: bottom-output passthrough + interaction.
+	dVecs := make([][]float32, len(vecs))
+	for i := range dVecs {
+		dVecs[i] = make([]float32, m.vecLen)
+	}
+	copy(dVecs[0], dFeats[:m.vecLen])
+	for pi, pr := range pairs {
+		g := dFeats[m.vecLen+pi]
+		for k := 0; k < m.vecLen; k++ {
+			dVecs[pr.i][k] += g * vecs[pr.j][k]
+			dVecs[pr.j][k] += g * vecs[pr.i][k]
+		}
+	}
+
+	// Bottom MLP update.
+	m.Bottom.backward(botTr, dVecs[0], lr)
+
+	// Embedding updates: each gathered row receives weight * dPooled.
+	row := make([]float32, m.vecLen)
+	for oi, op := range s {
+		tab, ok := m.Embedding.Table(op.Table).(*embedding.Dense)
+		if !ok {
+			return 0, nil, fmt.Errorf("dlrm: table %d is not trainable (need Dense)", op.Table)
+		}
+		dPooled := dVecs[oi+1]
+		for k, idx := range op.Indices {
+			w := op.Weights[k]
+			tab.Row(idx, row)
+			for e := 0; e < m.vecLen; e++ {
+				row[e] -= lr * w * dPooled[e]
+			}
+			if err := tab.SetRow(idx, row); err != nil {
+				return 0, nil, err
+			}
+		}
+		touched = append(touched, op)
+	}
+	return loss, touched, nil
+}
+
+// NewTrainable builds a DLRM over Dense (trainable) embedding tables with
+// small random initial values.
+func NewTrainable(spec trace.ModelSpec, denseFeatures int, seed int64) (*Model, error) {
+	m, err := New(spec, denseFeatures, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Replace the procedural layer with trainable Dense tables initialized
+	// from the procedural values (deterministic).
+	tables := make([]embedding.Table, len(spec.Tables))
+	for i, ts := range spec.Tables {
+		d, err := embedding.NewDense(ts.Rows, ts.VecLen)
+		if err != nil {
+			return nil, err
+		}
+		src := m.Embedding.Table(i)
+		row := make([]float32, ts.VecLen)
+		for r := int64(0); r < ts.Rows; r++ {
+			src.Row(r, row)
+			for j := range row {
+				row[j] *= 0.1 // small init
+			}
+			if err := d.SetRow(r, row); err != nil {
+				return nil, err
+			}
+		}
+		tables[i] = d
+	}
+	layer, err := embedding.NewLayerFromTables(tables)
+	if err != nil {
+		return nil, err
+	}
+	m.Embedding = layer
+	return m, nil
+}

@@ -1,0 +1,156 @@
+package dlrm
+
+import (
+	"math"
+	"testing"
+
+	"recross/internal/trace"
+)
+
+func trainSpec() trace.ModelSpec {
+	return trace.Uniform(3, 200, 8, 2)
+}
+
+func TestNewTrainableUsesDenseTables(t *testing.T) {
+	m, err := NewTrainable(trainSpec(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(trainSpec(), 2)
+	s := g.Sample()
+	dense := []float32{0.1, 0.2, 0.3, 0.4}
+	p, err := m.Predict(dense, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p >= 1 {
+		t.Fatalf("CTR %g outside (0,1)", p)
+	}
+}
+
+func TestTrainStepReducesLoss(t *testing.T) {
+	m, err := NewTrainable(trainSpec(), 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(trainSpec(), 3)
+	s := g.Sample()
+	dense := []float32{0.5, -0.2, 0.8, 0.1}
+
+	first, _, err := m.TrainStep(dense, s, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 60; i++ {
+		last, _, err = m.TrainStep(dense, s, 1, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %.4f -> %.4f", first, last)
+	}
+	// Fitting one sample hard should drive its CTR toward the label.
+	p, err := m.Predict(dense, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.8 {
+		t.Fatalf("after overfitting, CTR = %.3f, want > 0.8", p)
+	}
+}
+
+func TestTrainStepSeparatesTwoSamples(t *testing.T) {
+	m, err := NewTrainable(trainSpec(), 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(trainSpec(), 5)
+	pos := g.Sample()
+	neg := g.Sample()
+	dPos := []float32{1, 0, 0, 0}
+	dNeg := []float32{0, 1, 0, 0}
+	for i := 0; i < 200; i++ {
+		if _, _, err := m.TrainStep(dPos, pos, 1, 0.03); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := m.TrainStep(dNeg, neg, 0, 0.03); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pPos, _ := m.Predict(dPos, pos)
+	pNeg, _ := m.Predict(dNeg, neg)
+	if pPos < 0.7 || pNeg > 0.3 {
+		t.Fatalf("failed to separate: P(pos)=%.3f P(neg)=%.3f", pPos, pNeg)
+	}
+}
+
+func TestTrainStepTouchedRowsMatchSample(t *testing.T) {
+	m, err := NewTrainable(trainSpec(), 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(trainSpec(), 9)
+	s := g.Sample()
+	_, touched, err := m.TrainStep(make([]float32, 4), s, 0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(touched) != len(s) {
+		t.Fatalf("touched %d ops, want %d", len(touched), len(s))
+	}
+	for oi := range s {
+		if touched[oi].Table != s[oi].Table {
+			t.Fatal("touched set does not mirror the sample")
+		}
+	}
+}
+
+func TestTrainStepValidation(t *testing.T) {
+	m, err := NewTrainable(trainSpec(), 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(trainSpec(), 1)
+	s := g.Sample()
+	if _, _, err := m.TrainStep(make([]float32, 4), s, 0.5, 0.01); err == nil {
+		t.Error("non-binary label should error")
+	}
+	if _, _, err := m.TrainStep(make([]float32, 4), s[:1], 1, 0.01); err == nil {
+		t.Error("partial sample should error")
+	}
+	// Procedural (read-only) tables must be rejected.
+	ro, err := New(trainSpec(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ro.TrainStep(make([]float32, 4), s, 1, 0.01); err == nil {
+		t.Error("training procedural tables should error")
+	}
+}
+
+func TestTrainingUpdatesEmbeddingRows(t *testing.T) {
+	m, err := NewTrainable(trainSpec(), 4, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewGenerator(trainSpec(), 21)
+	s := g.Sample()
+	before := make([]float32, 8)
+	m.Embedding.Table(s[0].Table).Row(s[0].Indices[0], before)
+	if _, _, err := m.TrainStep(make([]float32, 4), s, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	after := make([]float32, 8)
+	m.Embedding.Table(s[0].Table).Row(s[0].Indices[0], after)
+	same := true
+	for i := range before {
+		if math.Abs(float64(before[i]-after[i])) > 1e-9 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("training did not update the gathered embedding row")
+	}
+}

@@ -1,0 +1,147 @@
+// Package dram models a DDR5 main-memory channel at DRAM-command
+// granularity: per-bank state machines enforcing the full timing-constraint
+// set of the paper's Table 2 (tRCD, tCL, tRP, tRAS, tRC, tBL, tCCD_S/L,
+// tFAW, tRRD_S/L), open-page row-buffer policy, the data-path occupancy
+// rules that distinguish host-, rank-, bank-group- and bank-level consumers,
+// and the subarray-level parallelism (SALP) extension ReCross adds to
+// B-region banks (per-subarray local row buffers decoupled from the global
+// bitlines, with the new tRA read-to-select constraint).
+//
+// This package is the substitution for the modified Ramulator the paper
+// evaluates on (DESIGN.md §3): command-level rather than cycle-ticked, but
+// enforcing the same constraints, with event-driven time skipping.
+package dram
+
+import "fmt"
+
+// Geometry describes the organisation of one memory channel, following the
+// paper's Table 2: DDR5 x8 devices, 1 DIMM per channel, 2 ranks per DIMM,
+// 8 bank groups per rank, 4 banks per bank group, 256 subarrays per bank.
+type Geometry struct {
+	Ranks           int
+	BankGroups      int // per rank
+	Banks           int // per bank group
+	Subarrays       int // per bank
+	RowsPerSubarray int
+	RowBytes        int // logical row size across the lock-stepped chips
+	BurstBytes      int // bytes delivered per RD burst (DDR5 sub-channel: 64)
+}
+
+// DDR5 returns the paper's default geometry with the given rank count.
+// Each bank is 512 MB (64 Ki rows x 8 KB), so a 2-rank channel holds 32 GB.
+func DDR5(ranks int) Geometry {
+	return Geometry{
+		Ranks:           ranks,
+		BankGroups:      8,
+		Banks:           4,
+		Subarrays:       256,
+		RowsPerSubarray: 256,
+		RowBytes:        8192,
+		BurstBytes:      64,
+	}
+}
+
+// DDR4 returns a DDR4 organisation (§2.2: half the bank groups of DDR5,
+// same banks per group): 16 banks per rank, 512 MB each from 8 Gb x8
+// devices, so a 2-rank channel holds 16 GB. Timings are in DDR4-3200
+// cycles (1600 MHz clock); see DDR4Timing.
+func DDR4(ranks int) Geometry {
+	return Geometry{
+		Ranks:           ranks,
+		BankGroups:      4,
+		Banks:           4,
+		Subarrays:       256,
+		RowsPerSubarray: 256,
+		RowBytes:        8192,
+		BurstBytes:      64,
+	}
+}
+
+// Validate reports the first structural problem with the geometry.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Ranks <= 0:
+		return fmt.Errorf("dram: ranks must be positive, got %d", g.Ranks)
+	case g.BankGroups <= 0:
+		return fmt.Errorf("dram: bank groups must be positive, got %d", g.BankGroups)
+	case g.Banks <= 0:
+		return fmt.Errorf("dram: banks per group must be positive, got %d", g.Banks)
+	case g.Subarrays <= 0:
+		return fmt.Errorf("dram: subarrays must be positive, got %d", g.Subarrays)
+	case g.RowsPerSubarray <= 0:
+		return fmt.Errorf("dram: rows per subarray must be positive, got %d", g.RowsPerSubarray)
+	case g.RowBytes <= 0 || g.BurstBytes <= 0:
+		return fmt.Errorf("dram: row/burst bytes must be positive")
+	case g.RowBytes%g.BurstBytes != 0:
+		return fmt.Errorf("dram: row size %d not a multiple of burst size %d", g.RowBytes, g.BurstBytes)
+	}
+	return nil
+}
+
+// TotalBanks returns the number of banks in the channel.
+func (g Geometry) TotalBanks() int { return g.Ranks * g.BankGroups * g.Banks }
+
+// BanksPerRank returns the number of banks in one rank.
+func (g Geometry) BanksPerRank() int { return g.BankGroups * g.Banks }
+
+// ColumnsPerRow returns the number of RD bursts needed to stream a full row.
+func (g Geometry) ColumnsPerRow() int { return g.RowBytes / g.BurstBytes }
+
+// RowsPerBank returns the number of rows in one bank.
+func (g Geometry) RowsPerBank() int { return g.Subarrays * g.RowsPerSubarray }
+
+// BankBytes returns the capacity of one bank.
+func (g Geometry) BankBytes() int64 {
+	return int64(g.RowsPerBank()) * int64(g.RowBytes)
+}
+
+// ChannelBytes returns the capacity of the whole channel.
+func (g Geometry) ChannelBytes() int64 {
+	return g.BankBytes() * int64(g.TotalBanks())
+}
+
+// Loc addresses one burst-aligned column within the channel.
+type Loc struct {
+	Rank int
+	BG   int // bank group within rank
+	Bank int // bank within bank group
+	Row  int // row within bank (0 .. RowsPerBank)
+	Col  int // burst column within row (0 .. ColumnsPerRow)
+}
+
+// Subarray returns the subarray index the row falls in.
+func (g Geometry) Subarray(row int) int { return row / g.RowsPerSubarray }
+
+// FlatBank returns the channel-wide dense index of the bank at l.
+func (g Geometry) FlatBank(l Loc) int {
+	return (l.Rank*g.BankGroups+l.BG)*g.Banks + l.Bank
+}
+
+// FlatBG returns the channel-wide dense index of the bank group at l.
+func (g Geometry) FlatBG(l Loc) int { return l.Rank*g.BankGroups + l.BG }
+
+// BankLoc returns the (rank, bg, bank) coordinates of a flat bank index.
+func (g Geometry) BankLoc(flat int) (rank, bg, bank int) {
+	bank = flat % g.Banks
+	flat /= g.Banks
+	bg = flat % g.BankGroups
+	rank = flat / g.BankGroups
+	return rank, bg, bank
+}
+
+// CheckLoc reports whether l is within the geometry.
+func (g Geometry) CheckLoc(l Loc) error {
+	switch {
+	case l.Rank < 0 || l.Rank >= g.Ranks:
+		return fmt.Errorf("dram: rank %d out of [0,%d)", l.Rank, g.Ranks)
+	case l.BG < 0 || l.BG >= g.BankGroups:
+		return fmt.Errorf("dram: bank group %d out of [0,%d)", l.BG, g.BankGroups)
+	case l.Bank < 0 || l.Bank >= g.Banks:
+		return fmt.Errorf("dram: bank %d out of [0,%d)", l.Bank, g.Banks)
+	case l.Row < 0 || l.Row >= g.RowsPerBank():
+		return fmt.Errorf("dram: row %d out of [0,%d)", l.Row, g.RowsPerBank())
+	case l.Col < 0 || l.Col >= g.ColumnsPerRow():
+		return fmt.Errorf("dram: column %d out of [0,%d)", l.Col, g.ColumnsPerRow())
+	}
+	return nil
+}

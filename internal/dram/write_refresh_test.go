@@ -1,0 +1,115 @@
+package dram
+
+import (
+	"testing"
+
+	"recross/internal/sim"
+)
+
+func TestWriteReadTurnaround(t *testing.T) {
+	c := newTestChannel(t, 2, Conventional)
+	l := Loc{Row: 3}
+	c.IssueACT(l, 0)
+	_, wrDone := c.IssueWR(l, 0)
+	rd, _ := c.IssueRD(l, ToHost, 0)
+	if rd < wrDone+c.Tm.TWTR {
+		t.Fatalf("RD at %d violates tWTR after write data at %d", rd, wrDone)
+	}
+	if c.St.WRs != 1 {
+		t.Fatalf("WRs = %d, want 1", c.St.WRs)
+	}
+}
+
+func TestWriteRecoveryGatesPrecharge(t *testing.T) {
+	c := newTestChannel(t, 2, Conventional)
+	c.IssueACT(Loc{Row: 3}, 0)
+	_, wrDone := c.IssueWR(Loc{Row: 3}, 0)
+	// Conflicting activation must wait tWR (recovery) + tRP after the
+	// write data landed.
+	act := c.EarliestACT(Loc{Row: 9}, wrDone)
+	if act < wrDone+c.Tm.TWR+c.Tm.TRP {
+		t.Fatalf("conflict ACT at %d, want >= %d (write recovery + precharge)",
+			act, wrDone+c.Tm.TWR+c.Tm.TRP)
+	}
+}
+
+func TestWritesOccupyChannelDQ(t *testing.T) {
+	c := newTestChannel(t, 2, Conventional)
+	c.IssueACT(Loc{Bank: 0, Row: 1}, 0)
+	c.IssueACT(Loc{Bank: 1, Row: 1}, 0)
+	w1, _ := c.IssueWR(Loc{Bank: 0, Row: 1}, 500)
+	w2, _ := c.IssueWR(Loc{Bank: 1, Row: 1}, 500)
+	if w2-w1 < c.Tm.TBL {
+		t.Fatalf("writes to different banks overlapped on the DQ: gap %d", w2-w1)
+	}
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	tm := DDR5Timing()
+	if tm.TREFI != 0 || tm.TRFC != 0 {
+		t.Fatal("refresh should be opt-in")
+	}
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := tm
+	bad.TREFI = 100 // tRFC missing
+	if err := bad.Validate(); err == nil {
+		t.Fatal("tREFI without tRFC should fail validation")
+	}
+	bad = tm
+	bad.TREFI, bad.TRFC = 100, 100
+	if err := bad.Validate(); err == nil {
+		t.Fatal("tRFC >= tREFI should fail validation")
+	}
+}
+
+func TestRefreshBlocksWindow(t *testing.T) {
+	tm := DDR5Timing().WithRefresh()
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChannel(DDR5(2), tm, Conventional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A command landing inside a refresh window is pushed past it.
+	inWindow := tm.TREFI + tm.TRFC/2
+	act := c.EarliestACT(Loc{Row: 1}, inWindow)
+	if act < tm.TREFI+tm.TRFC {
+		t.Fatalf("ACT at %d inside refresh window [%d,%d)", act, tm.TREFI, tm.TREFI+tm.TRFC)
+	}
+	// A command just after the window is not delayed further.
+	after := tm.TREFI + tm.TRFC + 1
+	act2 := c.EarliestACT(Loc{Row: 1}, after)
+	if act2 != after {
+		t.Fatalf("ACT after refresh delayed: %d, want %d", act2, after)
+	}
+}
+
+func TestRefreshStealsBandwidth(t *testing.T) {
+	// The same long stream of row-hit reads must take ~tRFC/tREFI longer
+	// with refresh enabled.
+	run := func(tm Timing) sim.Cycle {
+		c, err := NewChannel(DDR5(2), tm, NMPTwoStage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := Loc{Row: 0}
+		c.IssueACT(l, 0)
+		var last sim.Cycle
+		for i := 0; i < 4000; i++ {
+			_, last = c.IssueRD(l, ToBankPE, 0)
+		}
+		return last
+	}
+	plain := run(DDR5Timing())
+	refreshed := run(DDR5Timing().WithRefresh())
+	if refreshed <= plain {
+		t.Fatalf("refresh did not cost anything: %d vs %d", refreshed, plain)
+	}
+	overhead := float64(refreshed-plain) / float64(plain)
+	if overhead > 0.25 {
+		t.Fatalf("refresh overhead %.2f implausibly high", overhead)
+	}
+}

@@ -1,0 +1,218 @@
+// Package embedding provides the functional model of the DLRM embedding
+// layer (paper §2.1): embedding tables, gather (table lookup) and pooling
+// (weighted-sum reduction) operations. It is the ground truth the NMP
+// architectures' reduced results are validated against bit-for-bit.
+//
+// Production tables reach billions of parameters, so the default Table is
+// procedural: row values are derived deterministically from (table, row,
+// element) with a splitmix-style hash, giving reproducible "stored" data
+// with zero resident memory. Small materialized tables are also provided
+// for training-style use (the DLRM example).
+package embedding
+
+import (
+	"fmt"
+	"math"
+
+	"recross/internal/trace"
+)
+
+// Table is a read-only embedding table.
+type Table interface {
+	// Rows returns the number of embedding rows.
+	Rows() int64
+	// VecLen returns the embedding dimension.
+	VecLen() int
+	// Row writes row i's vector into dst (len == VecLen) and returns dst.
+	Row(i int64, dst []float32) []float32
+}
+
+// Procedural is a deterministic, zero-memory table: element (i, j) of table
+// `id` is a pseudorandom value in [-1, 1) derived by hashing.
+type Procedural struct {
+	id     uint64
+	rows   int64
+	vecLen int
+}
+
+// NewProcedural builds a procedural table.
+func NewProcedural(id uint64, rows int64, vecLen int) (*Procedural, error) {
+	if rows <= 0 || vecLen <= 0 {
+		return nil, fmt.Errorf("embedding: invalid table shape %dx%d", rows, vecLen)
+	}
+	return &Procedural{id: id, rows: rows, vecLen: vecLen}, nil
+}
+
+func (t *Procedural) Rows() int64 { return t.rows }
+
+func (t *Procedural) VecLen() int { return t.vecLen }
+
+func (t *Procedural) Row(i int64, dst []float32) []float32 {
+	if i < 0 || i >= t.rows {
+		panic(fmt.Sprintf("embedding: row %d out of [0,%d)", i, t.rows))
+	}
+	if len(dst) != t.vecLen {
+		panic(fmt.Sprintf("embedding: dst length %d != %d", len(dst), t.vecLen))
+	}
+	seed := splitmix(t.id*0x9E3779B97F4A7C15 + uint64(i) + 1)
+	for j := range dst {
+		seed = splitmix(seed)
+		// Map the top 24 bits to [-1, 1).
+		dst[j] = float32(seed>>40)/float32(1<<23) - 1
+	}
+	return dst
+}
+
+// splitmix is the SplitMix64 finalizer — a high-quality 64-bit mixer.
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Dense is a materialized table backed by a flat float32 slice.
+type Dense struct {
+	data   []float32
+	rows   int64
+	vecLen int
+}
+
+// NewDense allocates a zeroed rows x vecLen table.
+func NewDense(rows int64, vecLen int) (*Dense, error) {
+	if rows <= 0 || vecLen <= 0 {
+		return nil, fmt.Errorf("embedding: invalid table shape %dx%d", rows, vecLen)
+	}
+	return &Dense{data: make([]float32, rows*int64(vecLen)), rows: rows, vecLen: vecLen}, nil
+}
+
+func (t *Dense) Rows() int64 { return t.rows }
+
+func (t *Dense) VecLen() int { return t.vecLen }
+
+func (t *Dense) Row(i int64, dst []float32) []float32 {
+	if i < 0 || i >= t.rows {
+		panic(fmt.Sprintf("embedding: row %d out of [0,%d)", i, t.rows))
+	}
+	copy(dst, t.data[i*int64(t.vecLen):(i+1)*int64(t.vecLen)])
+	return dst
+}
+
+// SetRow overwrites row i.
+func (t *Dense) SetRow(i int64, v []float32) error {
+	if i < 0 || i >= t.rows {
+		return fmt.Errorf("embedding: row %d out of [0,%d)", i, t.rows)
+	}
+	if len(v) != t.vecLen {
+		return fmt.Errorf("embedding: vector length %d != %d", len(v), t.vecLen)
+	}
+	copy(t.data[i*int64(t.vecLen):], v)
+	return nil
+}
+
+// Layer is the embedding layer of one model: one table per sparse feature.
+type Layer struct {
+	tables []Table
+}
+
+// NewLayer builds a layer of procedural tables matching spec.
+func NewLayer(spec trace.ModelSpec) (*Layer, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	l := &Layer{tables: make([]Table, len(spec.Tables))}
+	for i, ts := range spec.Tables {
+		t, err := NewProcedural(uint64(i)+1, ts.Rows, ts.VecLen)
+		if err != nil {
+			return nil, err
+		}
+		l.tables[i] = t
+	}
+	return l, nil
+}
+
+// NewLayerFromTables wraps explicit tables (e.g. trained Dense ones).
+func NewLayerFromTables(tables []Table) (*Layer, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("embedding: no tables")
+	}
+	return &Layer{tables: tables}, nil
+}
+
+// Tables returns the number of tables.
+func (l *Layer) Tables() int { return len(l.tables) }
+
+// Table returns table ti.
+func (l *Layer) Table(ti int) Table { return l.tables[ti] }
+
+// Reduce executes one embedding operation functionally: gather op.Indices
+// from the table and pool them under op.Kind. This is the reference the
+// NMP results must match.
+func (l *Layer) Reduce(op trace.Op) ([]float32, error) {
+	if op.Table < 0 || op.Table >= len(l.tables) {
+		return nil, fmt.Errorf("embedding: table %d out of range", op.Table)
+	}
+	if op.Kind == trace.WeightedSum && len(op.Indices) != len(op.Weights) {
+		return nil, fmt.Errorf("embedding: %d indices but %d weights", len(op.Indices), len(op.Weights))
+	}
+	t := l.tables[op.Table]
+	out := make([]float32, t.VecLen())
+	row := make([]float32, t.VecLen())
+	for k, idx := range op.Indices {
+		if idx < 0 || idx >= t.Rows() {
+			return nil, fmt.Errorf("embedding: index %d out of [0,%d)", idx, t.Rows())
+		}
+		t.Row(idx, row)
+		switch op.Kind {
+		case trace.Sum:
+			for j := range out {
+				out[j] += row[j]
+			}
+		case trace.Max:
+			if k == 0 {
+				copy(out, row)
+			} else {
+				for j := range out {
+					if row[j] > out[j] {
+						out[j] = row[j]
+					}
+				}
+			}
+		case trace.WeightedSum:
+			w := op.Weights[k]
+			for j := range out {
+				out[j] += w * row[j]
+			}
+		default:
+			return nil, fmt.Errorf("embedding: unknown reduce kind %d", op.Kind)
+		}
+	}
+	return out, nil
+}
+
+// ReduceSample reduces every op of a sample, returning one vector per op.
+func (l *Layer) ReduceSample(s trace.Sample) ([][]float32, error) {
+	out := make([][]float32, len(s))
+	for i, op := range s {
+		v, err := l.Reduce(op)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// AlmostEqual reports whether two vectors agree within tol elementwise —
+// reductions may reassociate FP32 adds across PEs.
+func AlmostEqual(a, b []float32, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(float64(a[i]-b[i])) > tol {
+			return false
+		}
+	}
+	return true
+}

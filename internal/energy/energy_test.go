@@ -1,0 +1,106 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"recross/internal/dram"
+	"recross/internal/nmp"
+)
+
+func TestDefaultsValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.AddPico = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative coefficient should fail validation")
+	}
+}
+
+func TestAccountKnownCounts(t *testing.T) {
+	p := Default()
+	st := dram.Stats{
+		ACTs:         10,
+		BurstsToBank: 100,
+		BurstsToHost: 50,
+		HostResultTx: 5,
+	}
+	ops := nmp.OpStats{Adds: 1000, Mults: 500}
+	b := Account(p, st, ops, 1000, 2, 64)
+
+	if want := 10 * 2e-9; math.Abs(b.ACT-want) > 1e-15 {
+		t.Fatalf("ACT = %g, want %g", b.ACT, want)
+	}
+	// RD: 150 bursts x 512 bits x 4.2 pJ.
+	if want := 150 * 512 * 4.2e-12; math.Abs(b.RD-want) > 1e-15 {
+		t.Fatalf("RD = %g, want %g", b.RD, want)
+	}
+	// IO: host bursts + result tx (rank bursts zero here) = 55 x 512 x 4 pJ.
+	if want := 55 * 512 * 4e-12; math.Abs(b.IO-want) > 1e-15 {
+		t.Fatalf("IO = %g, want %g", b.IO, want)
+	}
+	if want := (1000*0.9 + 500*2.4) * 1e-12; math.Abs(b.PE-want) > 1e-18 {
+		t.Fatalf("PE = %g, want %g", b.PE, want)
+	}
+	if want := 1000 * 2 * 250e-12; math.Abs(b.Static-want) > 1e-15 {
+		t.Fatalf("Static = %g, want %g", b.Static, want)
+	}
+	if math.Abs(b.Total()-(b.ACT+b.RD+b.IO+b.PE+b.Static)) > 1e-18 {
+		t.Fatal("Total != sum of parts")
+	}
+}
+
+func TestNMPSavesIOEnergy(t *testing.T) {
+	p := Default()
+	// Same data volume: host-consumed vs bank-PE-consumed.
+	host := Account(p, dram.Stats{BurstsToHost: 1000}, nmp.OpStats{}, 0, 2, 64)
+	bank := Account(p, dram.Stats{BurstsToBank: 1000}, nmp.OpStats{}, 0, 2, 64)
+	if bank.IO >= host.IO {
+		t.Fatalf("bank-PE IO energy %g not less than host %g", bank.IO, host.IO)
+	}
+	if bank.RD != host.RD {
+		t.Fatal("RD energy should be identical for the same burst count")
+	}
+}
+
+func TestTableAreasMatchPaper(t *testing.T) {
+	rows := TableAreas()
+	want := map[string][2]float64{
+		"TensorDIMM": {0.28, 0},
+		"RecNMP":     {0.54, 0},
+		"TRiM-G":     {0.36, 2.03},
+		"TRiM-B":     {0.36, 11.5},
+		"ReCross":    {0.34, 2.35},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		w, ok := want[r.Arch]
+		if !ok {
+			t.Fatalf("unexpected arch %q", r.Arch)
+		}
+		if math.Abs(r.RankPEMM2-w[0]) > 0.01 {
+			t.Errorf("%s rank PE area = %g, want %g", r.Arch, r.RankPEMM2, w[0])
+		}
+		if math.Abs(r.ChipPEMM2-w[1]) > 0.02 {
+			t.Errorf("%s chip PE area = %g, want %g", r.Arch, r.ChipPEMM2, w[1])
+		}
+	}
+}
+
+func TestChipAreaScalesWithPEs(t *testing.T) {
+	m := DefaultAreaModel()
+	small := m.ChipArea(4, 4, 4)
+	big := m.ChipArea(8, 32, 32)
+	if big <= small {
+		t.Fatal("more PEs should cost more area")
+	}
+	// The ReCross-c5 style config (all banks bank-level) should exceed the
+	// TRiM-B row scale: the paper's Fig. 14 area-efficiency argument.
+	if big < 10 {
+		t.Fatalf("full bank-PE population area %g implausibly small", big)
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"recross/internal/energy"
+)
+
+// Fig15 reproduces the energy comparison: per-architecture energy breakdown
+// (ACT / RD / off-chip IO / PE / static) and the savings of ReCross over
+// each baseline. Paper: ReCross saves 58.5 % vs CPU, 57.2 % vs TensorDIMM,
+// 51.9 % vs RecNMP, 28.5 % vs TRiM-G, 23.7 % vs TRiM-B.
+func Fig15(cfg Config) (*Table, error) {
+	set, err := NewArchSet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := set.RunAll()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Fig. 15 — energy breakdown (millijoules per batch) and ReCross savings",
+		Note:  "paper savings vs: CPU 58.5%, TensorDIMM 57.2%, RecNMP 51.9%, TRiM-G 28.5%, TRiM-B 23.7%",
+		Cols:  []string{"architecture", "ACT", "RD", "IO", "PE", "cache", "static", "total", "recross-saves"},
+	}
+	mJ := func(j float64) string { return fmt.Sprintf("%.4f", j*1e3) }
+	rcTotal := stats["recross"].Energy.Total()
+	for _, name := range ArchNames {
+		e := stats[name].Energy
+		saves := "-"
+		if name != "recross" && e.Total() > 0 {
+			saves = fmt.Sprintf("%.1f%%", 100*(1-rcTotal/e.Total()))
+		}
+		t.AddRow(name, mJ(e.ACT), mJ(e.RD), mJ(e.IO), mJ(e.PE), mJ(e.Cache), mJ(e.Static),
+			mJ(e.Total()), saves)
+	}
+	return t, nil
+}
+
+// Table3 reproduces the area-overhead table.
+func Table3() *Table {
+	t := &Table{
+		Title: "Table 3 — extra area overhead per architecture",
+		Note:  "rank PE per DIMM buffer chip; BG/bank PEs per DRAM chip (40nm-calibrated model)",
+		Cols:  []string{"architecture", "rank-PE-mm2", "chip-PE-mm2"},
+	}
+	for _, a := range energy.TableAreas() {
+		t.AddRow(a.Arch, f2(a.RankPEMM2), f2(a.ChipPEMM2))
+	}
+	return t
+}
+
+// RunAll executes the complete evaluation suite in paper order, writing
+// each table to w as it completes.
+func RunAll(cfg Config, w io.Writer) error {
+	steps := []struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}{
+		{"Fig3", func() (fmt.Stringer, error) { return Fig3(cfg) }},
+		{"Fig4", func() (fmt.Stringer, error) { return Fig4(cfg) }},
+		{"Fig5", func() (fmt.Stringer, error) { return Fig5(cfg) }},
+		{"Fig6", func() (fmt.Stringer, error) {
+			s, err := Fig6()
+			return stringResult(s), err
+		}},
+		{"Fig9", func() (fmt.Stringer, error) { return Fig9(cfg) }},
+		{"Fig10", func() (fmt.Stringer, error) { return Fig10(cfg) }},
+		{"Fig11", func() (fmt.Stringer, error) { return Fig11(cfg) }},
+		{"Fig12", func() (fmt.Stringer, error) { return Fig12(cfg) }},
+		{"Fig13", func() (fmt.Stringer, error) { return Fig13(cfg) }},
+		{"Fig14", func() (fmt.Stringer, error) { return Fig14(cfg) }},
+		{"Fig15", func() (fmt.Stringer, error) { return Fig15(cfg) }},
+		{"Table3", func() (fmt.Stringer, error) { return Table3(), nil }},
+	}
+	for _, s := range steps {
+		res, err := s.run()
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", s.name, err)
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", res.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type stringResult string
+
+func (s stringResult) String() string { return string(s) }

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestConfigs(t *testing.T) {
+	if err := Paper().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Quick().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Quick()
+	bad.Batch = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero batch should fail validation")
+	}
+}
+
+func TestArchSetBuildsAllSix(t *testing.T) {
+	set, err := NewArchSet(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Systems) != 6 {
+		t.Fatalf("built %d systems, want 6", len(set.Systems))
+	}
+	for _, name := range ArchNames {
+		if set.Systems[name] == nil {
+			t.Fatalf("missing %s", name)
+		}
+	}
+	stats, err := set.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Speedups(stats, "cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp["cpu"] != 1 {
+		t.Fatalf("cpu speedup over itself = %f", sp["cpu"])
+	}
+	if _, err := Speedups(stats, "nope"); err == nil {
+		t.Fatal("unknown base should error")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Note: "n", Cols: []string{"a", "bbbb"}}
+	tb.AddRow("1", "2")
+	out := tb.String()
+	for _, want := range []string{"== T ==", "n", "a", "bbbb", "1", "2", "----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3CurvesAreSkewedAndMonotone(t *testing.T) {
+	tb, err := Fig3(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 26 {
+		t.Fatalf("Fig3 rows = %d, want 26", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		prev := 0.0
+		for _, cell := range r[2:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < prev-1e-9 || v < 0 || v > 1 {
+				t.Fatalf("coverage not monotone in [0,1]: %v", r)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestFig4ImbalanceGrowsWithGranularity(t *testing.T) {
+	tb, err := Fig4(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("Fig4 rows = %d, want 3 rank configs", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		rank, _ := strconv.ParseFloat(r[1], 64)
+		bg, _ := strconv.ParseFloat(r[2], 64)
+		bank, _ := strconv.ParseFloat(r[3], 64)
+		// The paper's Observation 1: finer granularity, worse imbalance.
+		if !(rank <= bg && bg <= bank) {
+			t.Fatalf("imbalance not increasing with granularity: %v", r)
+		}
+		if rank < 1 {
+			t.Fatalf("imbalance below 1: %v", r)
+		}
+	}
+}
+
+func TestFig5BandwidthOutpacesSpeedup(t *testing.T) {
+	tb, err := Fig5(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 9 {
+		t.Fatalf("Fig5 rows = %d, want 9", len(tb.Rows))
+	}
+	// Paper's Observation 2: at fixed ranks, internal bandwidth scales far
+	// faster than speedup from bank-group to bank level.
+	var bgSp, bankSp, bgBW, bankBW float64
+	for _, r := range tb.Rows {
+		if r[0] != "2" {
+			continue
+		}
+		sp, _ := strconv.ParseFloat(r[2], 64)
+		bw, _ := strconv.ParseFloat(r[3], 64)
+		switch r[1] {
+		case "bankgroup":
+			bgSp, bgBW = sp, bw
+		case "bank":
+			bankSp, bankBW = sp, bw
+		}
+	}
+	if bankBW/bgBW < 3.9 {
+		t.Fatalf("bank/bankgroup bandwidth ratio = %.1f, want 4", bankBW/bgBW)
+	}
+	if bankSp/bgSp > 2 {
+		t.Fatalf("bank-level speedup %.2fx over bank-group exceeds plausible range", bankSp/bgSp)
+	}
+}
+
+func TestFig6TimelineShowsSALPOverlap(t *testing.T) {
+	out, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(a)", "(b)", "(c)", "ACT", "RD", "subarray"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q", want)
+		}
+	}
+	// Extract the three finish cycles; SALP (c) must finish first.
+	var finishes []int
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.Index(line, "finished at cycle "); i >= 0 {
+			v, err := strconv.Atoi(strings.TrimSpace(line[i+len("finished at cycle "):]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			finishes = append(finishes, v)
+		}
+	}
+	if len(finishes) != 3 {
+		t.Fatalf("want 3 scenarios, got %d", len(finishes))
+	}
+	if !(finishes[2] < finishes[1] && finishes[1] <= finishes[0]) {
+		t.Fatalf("scenario finishes not improving: %v", finishes)
+	}
+}
+
+func TestFig12AblationImproves(t *testing.T) {
+	tb, err := Fig12(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("Fig12 rows = %d, want 4", len(tb.Rows))
+	}
+	base, _ := strconv.ParseFloat(tb.Rows[0][1], 64)
+	full, _ := strconv.ParseFloat(tb.Rows[3][1], 64)
+	if full <= base {
+		t.Fatalf("full ReCross (%.2f) not faster than Base (%.2f)", full, base)
+	}
+}
+
+func TestFig13IncludesNoBWP(t *testing.T) {
+	tb, err := Fig13(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 7 {
+		t.Fatalf("Fig13 rows = %d, want 6 archs + recross-noBWP", len(tb.Rows))
+	}
+	if tb.Rows[6][0] != "recross-noBWP" {
+		t.Fatalf("last row = %v", tb.Rows[6])
+	}
+}
+
+func TestFig15EnergyAndTable3(t *testing.T) {
+	tb, err := Fig15(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("Fig15 rows = %d, want 6", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		total, err := strconv.ParseFloat(r[7], 64)
+		if err != nil || total <= 0 {
+			t.Fatalf("bad energy total in %v", r)
+		}
+	}
+	t3 := Table3()
+	if len(t3.Rows) != 5 {
+		t.Fatalf("Table3 rows = %d, want 5", len(t3.Rows))
+	}
+}
+
+func TestSweepsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps in short mode")
+	}
+	cfg := Quick()
+	t10, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t10.Rows) != 4 {
+		t.Fatalf("quick Fig10 rows = %d, want 4", len(t10.Rows))
+	}
+	t11, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t11.Rows) != 3 {
+		t.Fatalf("Fig11 rows = %d, want 3", len(t11.Rows))
+	}
+	// Every speedup cell parses and is positive; CPU column is 1.00.
+	for _, r := range t11.Rows {
+		for i, cell := range r[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil || v <= 0 {
+				t.Fatalf("bad speedup %q in %v", cell, r)
+			}
+			if ArchNames[i] == "cpu" && v != 1 {
+				t.Fatalf("cpu speedup %v != 1", v)
+			}
+		}
+	}
+}
+
+func TestFig14Configs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("config exploration in short mode")
+	}
+	tb, err := Fig14(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("Fig14 rows = %d, want 6", len(tb.Rows))
+	}
+	// Area must increase from d to c5.
+	first, _ := strconv.ParseFloat(tb.Rows[0][2], 64)
+	last, _ := strconv.ParseFloat(tb.Rows[5][2], 64)
+	if last <= first {
+		t.Fatalf("c5 area (%.2f) not larger than d (%.2f)", last, first)
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedNames(m)
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("sorted = %v", got)
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension studies in short mode")
+	}
+	cfg := Quick()
+	refresh, err := ExtRefresh(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refresh.Rows) != 2 {
+		t.Fatalf("ExtRefresh rows = %d", len(refresh.Rows))
+	}
+	for _, r := range refresh.Rows {
+		plain, _ := strconv.ParseFloat(r[1], 64)
+		refreshed, _ := strconv.ParseFloat(r[2], 64)
+		if refreshed < plain {
+			t.Fatalf("refresh made %s faster: %v", r[0], r)
+		}
+	}
+	channels, err := ExtChannels(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range channels.Rows {
+		sp, _ := strconv.ParseFloat(r[4], 64)
+		if sp < 1.5 {
+			t.Fatalf("4-channel speedup for %s only %.2f", r[0], sp)
+		}
+	}
+	subs, err := ExtSubarrays(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c16, _ := strconv.ParseFloat(subs.Rows[0][1], 64)
+	c256, _ := strconv.ParseFloat(subs.Rows[2][1], 64)
+	if c256 > c16 {
+		t.Fatalf("more subarrays slower: 16->%v 256->%v", c16, c256)
+	}
+	training, err := ExtTraining(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(training.Rows) != 2 {
+		t.Fatal("ExtTraining shape wrong")
+	}
+	lat, err := ExtLatency(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range lat.Rows {
+		p50, _ := strconv.ParseFloat(r[1], 64)
+		p99, _ := strconv.ParseFloat(r[2], 64)
+		if p99 < p50 || p50 <= 0 {
+			t.Fatalf("latency percentiles implausible: %v", r)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Cols: []string{"a", "b"}}
+	tb.AddRow("1", "x,y")
+	tb.AddRow("2", `q"r`)
+	got := tb.CSV()
+	want := "a,b\n1,\"x,y\"\n2,\"q\"\"r\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// sweep runs one full ArchSet per point and collects speedups over the CPU
+// baseline of the same point. Points run concurrently when cfg.Parallel.
+func sweep[T any](cfg Config, points []T, configure func(Config, T) Config,
+	label func(T) string) (*Table, error) {
+	type row struct {
+		label    string
+		speedups map[string]float64
+	}
+	rows := make([]row, len(points))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	runPoint := func(i int, p T) {
+		pc := configure(cfg, p)
+		set, err := NewArchSet(pc)
+		if err == nil {
+			var st map[string]*archStats
+			_ = st
+			stats, err2 := set.RunAll()
+			if err2 != nil {
+				err = err2
+			} else {
+				var sp map[string]float64
+				sp, err = Speedups(stats, "cpu")
+				if err == nil {
+					mu.Lock()
+					rows[i] = row{label: label(p), speedups: sp}
+					mu.Unlock()
+					return
+				}
+			}
+		}
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("point %s: %w", label(p), err)
+		}
+		mu.Unlock()
+	}
+
+	for i, p := range points {
+		if cfg.Parallel {
+			wg.Add(1)
+			go func(i int, p T) {
+				defer wg.Done()
+				runPoint(i, p)
+			}(i, p)
+		} else {
+			runPoint(i, p)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	t := &Table{Cols: append([]string{"point"}, ArchNames...)}
+	for _, r := range rows {
+		cells := []string{r.label}
+		for _, a := range ArchNames {
+			cells = append(cells, f2(r.speedups[a]))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+type archStats = struct{}
+
+// Fig9 sweeps the embedding vector length (paper: 16..256 elements, batch
+// 32) and reports each architecture's speedup over the CPU baseline at the
+// same vector length.
+func Fig9(cfg Config) (*Table, error) {
+	vecLens := []int{16, 32, 64, 128, 256}
+	t, err := sweep(cfg, vecLens,
+		func(c Config, v int) Config { c.VecLen = v; return c },
+		func(v int) string { return fmt.Sprintf("veclen=%d", v) })
+	if err != nil {
+		return nil, err
+	}
+	t.Title = "Fig. 9 — speedup over CPU vs embedding vector length"
+	t.Note = fmt.Sprintf("batch=%d pooling=%d ranks=%d; paper geomeans: ReCross 15.5x CPU, 2.5x TRiM-G, 1.8x TRiM-B",
+		cfg.Batch, cfg.Pooling, cfg.Ranks)
+	return t, nil
+}
+
+// Fig10 sweeps the batch size (paper: 1..128, vector length 64).
+func Fig10(cfg Config) (*Table, error) {
+	batches := []int{1, 4, 16, 32, 64, 128}
+	if cfg.Batch <= 8 { // quick mode: stay small
+		batches = []int{1, 2, 4, 8}
+	}
+	t, err := sweep(cfg, batches,
+		func(c Config, b int) Config { c.Batch = b; return c },
+		func(b int) string { return fmt.Sprintf("batch=%d", b) })
+	if err != nil {
+		return nil, err
+	}
+	t.Title = "Fig. 10 — speedup over CPU vs batch size"
+	t.Note = fmt.Sprintf("veclen=%d pooling=%d ranks=%d; paper: speedups grow slightly with batch size",
+		cfg.VecLen, cfg.Pooling, cfg.Ranks)
+	return t, nil
+}
+
+// Fig11 sweeps the rank count (paper: 2, 4, 8).
+func Fig11(cfg Config) (*Table, error) {
+	ranks := []int{2, 4, 8}
+	t, err := sweep(cfg, ranks,
+		func(c Config, r int) Config { c.Ranks = r; return c },
+		func(r int) string { return fmt.Sprintf("ranks=%d", r) })
+	if err != nil {
+		return nil, err
+	}
+	t.Title = "Fig. 11 — speedup over CPU vs rank count"
+	t.Note = "paper: ReCross scales well with ranks (designed inside the rank)"
+	return t, nil
+}
+
+// SortedNames returns map keys sorted, for deterministic rendering.
+func SortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,143 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"recross/internal/dram"
+	"recross/internal/sim"
+)
+
+// TestTimingConstraintAudit drains random workloads with command recording
+// enabled and then verifies, post hoc, that the issued command stream never
+// violated the DRAM timing constraints — the safety net under every
+// scheduler change.
+func TestTimingConstraintAudit(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 15; trial++ {
+		geo := dram.DDR5(2)
+		tm := dram.DDR5Timing()
+		ch, err := dram.NewChannel(geo, tm, dram.NMPTwoStage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch.Record = true
+		salp := trial%2 == 1
+		if salp {
+			for fb := 0; fb < 8; fb++ {
+				ch.EnableSALP(fb)
+			}
+		}
+		pol := FRFCFS
+		if trial%3 == 0 {
+			pol = LAS
+		}
+		ctl, err := New(ch, pol, DefaultWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl.OpWindowLimit = 4
+
+		n := rng.Intn(300) + 50
+		reqs := make([]Request, n)
+		for i := range reqs {
+			cols := 1 << rng.Intn(3)
+			reqs[i] = Request{
+				Loc: dram.Loc{
+					Rank: rng.Intn(geo.Ranks),
+					BG:   rng.Intn(geo.BankGroups),
+					Bank: rng.Intn(geo.Banks),
+					Row:  rng.Intn(geo.RowsPerBank()),
+					Col:  rng.Intn(geo.ColumnsPerRow()-cols) / cols * cols,
+				},
+				Cols:     cols,
+				Consumer: dram.Consumer(rng.Intn(4)),
+				Arrival:  sim.Cycle(i),
+				Op:       int32(i / 10),
+			}
+		}
+		if _, err := ctl.Drain(reqs); err != nil {
+			t.Fatal(err)
+		}
+		audit(t, ch, salp)
+	}
+}
+
+// audit replays the recorded command trace against the constraint set.
+func audit(t *testing.T, ch *dram.Channel, salp bool) {
+	t.Helper()
+	geo, tm := ch.Geo, ch.Tm
+	type cmd = dram.CmdEvent
+	var (
+		lastACTBank = map[int]sim.Cycle{} // flat bank -> last ACT
+		lastACTSub  = map[[2]int]sim.Cycle{}
+		lastACTBG   = map[int]sim.Cycle{}
+		lastACTRank = map[int]sim.Cycle{}
+		lastRDBank  = map[int]sim.Cycle{}
+		actHist     = map[int][]sim.Cycle{} // rank -> ACT times (tFAW)
+	)
+	neg := sim.Cycle(-1 << 40)
+	at := func(m map[int]sim.Cycle, k int) sim.Cycle {
+		if v, ok := m[k]; ok {
+			return v
+		}
+		return neg
+	}
+	check := func(ev cmd, got, earliest sim.Cycle, what string) {
+		if got < earliest {
+			t.Fatalf("%s violated: %s at %d, earliest legal %d (loc %+v)",
+				what, ev.Kind, got, earliest, ev.Loc)
+		}
+	}
+	for _, ev := range ch.Trace {
+		fb := geo.FlatBank(ev.Loc)
+		fbg := geo.FlatBG(ev.Loc)
+		sub := geo.Subarray(ev.Loc.Row)
+		switch ev.Kind {
+		case "ACT":
+			if salp && ch.IsSALP(fb) {
+				if v, ok := lastACTSub[[2]int{fb, sub}]; ok {
+					check(ev, ev.At, v+tm.TRC, "same-subarray tRC")
+				}
+				check(ev, ev.At, at(lastACTBank, fb)+tm.TRRDL, "SALP inter-subarray tRRD_L")
+			} else {
+				check(ev, ev.At, at(lastACTBank, fb)+tm.TRC, "same-bank tRC")
+			}
+			check(ev, ev.At, at(lastACTBG, fbg)+tm.TRRDL, "same-BG tRRD_L")
+			check(ev, ev.At, at(lastACTRank, ev.Loc.Rank)+tm.TRRDS, "same-rank tRRD_S")
+			hist := actHist[ev.Loc.Rank]
+			if len(hist) >= 4 {
+				check(ev, ev.At, hist[len(hist)-4]+tm.TFAW, "tFAW")
+			}
+			actHist[ev.Loc.Rank] = append(hist, ev.At)
+			lastACTBank[fb] = ev.At
+			lastACTSub[[2]int{fb, sub}] = ev.At
+			lastACTBG[fbg] = ev.At
+			lastACTRank[ev.Loc.Rank] = ev.At
+		case "RD":
+			// The row must have been activated at least tRCD earlier.
+			var act sim.Cycle
+			var ok bool
+			if salp && ch.IsSALP(fb) {
+				act, ok = lastACTSub[[2]int{fb, sub}]
+			} else {
+				act, ok = lastACTBank[fb], lastACTBank[fb] != 0
+				_, ok = lastACTBank[fb]
+			}
+			if !ok {
+				t.Fatalf("RD at %d with no prior ACT (loc %+v)", ev.At, ev.Loc)
+			}
+			check(ev, ev.At, act+tm.TRCD, "tRCD")
+			// Same-bank RD cadence (tCCD_L floor holds in all modes; the
+			// SALP tRA handover is >= tCCD_L in the default timing).
+			check(ev, ev.At, at(lastRDBank, fb)+tm.TCCDL, "same-bank tCCD_L")
+			if ev.Done != ev.At+tm.TCL+tm.TBL {
+				t.Fatalf("RD data time wrong: %d vs %d", ev.Done, ev.At+tm.TCL+tm.TBL)
+			}
+			lastRDBank[fb] = ev.At
+		}
+	}
+	if len(ch.Trace) == 0 {
+		t.Fatal("no commands recorded")
+	}
+}

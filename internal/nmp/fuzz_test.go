@@ -1,0 +1,63 @@
+package nmp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary 128-bit patterns to the instruction decoder:
+// it must either reject them or produce an instruction that re-encodes to
+// the identical wire form (no mutation can silently alias two programs).
+func FuzzDecode(f *testing.F) {
+	valid, _ := Encode(Instr{
+		Opcode: OpWeightedSum, Cmd: CmdRD, Addr: 0x123456789,
+		VSizeLog2: 2, Weight: 1.5, BatchTag: true, BGTag: true, BankTag: true,
+	})
+	f.Add(valid.Lo, valid.Hi)
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, lo, hi uint64) {
+		in, err := Decode(Packed{Lo: lo, Hi: hi})
+		if err != nil {
+			return // rejection is fine
+		}
+		p2, err := Encode(in)
+		if err != nil {
+			t.Fatalf("decoded instruction does not re-encode: %+v: %v", in, err)
+		}
+		if p2.Lo != lo || p2.Hi != hi {
+			t.Fatalf("round trip changed bits: %x/%x -> %x/%x", lo, hi, p2.Lo, p2.Hi)
+		}
+	})
+}
+
+// FuzzEncode checks that every in-range instruction encodes and decodes
+// back to itself bit-exactly.
+func FuzzEncode(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint64(42), uint8(3), float32(2.5), true, false, true, false)
+	f.Fuzz(func(t *testing.T, op, cmd uint8, addr uint64, vs uint8, w float32, batch, last, bg, bank bool) {
+		in := Instr{
+			Opcode:    Opcode(op % 8),
+			Cmd:       DDRCmd(cmd % 8),
+			Addr:      addr & ((1 << 34) - 1),
+			VSizeLog2: vs % 8,
+			Weight:    w,
+			BatchTag:  batch,
+			LastTag:   last,
+			BGTag:     bg || bank,
+			BankTag:   bank,
+		}
+		p, err := Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Decode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Addr != in.Addr || out.Opcode != in.Opcode ||
+			math.Float32bits(out.Weight) != math.Float32bits(in.Weight) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
+		}
+	})
+}

@@ -1,0 +1,274 @@
+package nmp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInstrBitsIs82(t *testing.T) {
+	if InstrBits != 82 {
+		t.Fatalf("InstrBits = %d, want 82 (paper §4.2)", InstrBits)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := Instr{
+		Opcode:    OpWeightedSum,
+		Cmd:       CmdRD,
+		Addr:      0x3_DEAD_BEEF,
+		VSizeLog2: 2,
+		Weight:    1.25,
+		BatchTag:  true,
+		LastTag:   false,
+		BGTag:     true,
+		BankTag:   true,
+	}
+	p, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// Property: any valid instruction round-trips bit-exactly, including NaN
+// weights (compared by bit pattern).
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(op, cmd uint8, addr uint64, vs uint8, wbits uint32, batch, last, bg, bank bool) bool {
+		in := Instr{
+			Opcode:    Opcode(op % 8),
+			Cmd:       DDRCmd(cmd % 8),
+			Addr:      addr & ((1 << 34) - 1),
+			VSizeLog2: vs % 8,
+			Weight:    math.Float32frombits(wbits),
+			BatchTag:  batch,
+			LastTag:   last,
+			BGTag:     bg || bank, // bankTag requires BGTag
+			BankTag:   bank,
+		}
+		p, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(p)
+		if err != nil {
+			return false
+		}
+		return out.Opcode == in.Opcode && out.Cmd == in.Cmd &&
+			out.Addr == in.Addr && out.VSizeLog2 == in.VSizeLog2 &&
+			math.Float32bits(out.Weight) == math.Float32bits(in.Weight) &&
+			out.BatchTag == in.BatchTag && out.LastTag == in.LastTag &&
+			out.BGTag == in.BGTag && out.BankTag == in.BankTag
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsOverflow(t *testing.T) {
+	cases := []Instr{
+		{Addr: 1 << 34},
+		{VSizeLog2: 8},
+		{BankTag: true}, // bankTag without BGTag
+	}
+	for i, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("case %d: expected encode error", i)
+		}
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	// Bits beyond the 82-bit width.
+	if _, err := Decode(Packed{Hi: 1 << 30}); err == nil {
+		t.Error("expected error for bits beyond width")
+	}
+	// Nonzero padding (bits 79..81).
+	if _, err := Decode(Packed{Hi: 1 << (79 - 64)}); err == nil {
+		t.Error("expected error for nonzero padding")
+	}
+}
+
+func TestInstrLevelFromTags(t *testing.T) {
+	cases := []struct {
+		bg, bank bool
+		want     Level
+	}{
+		{false, false, LevelRank},
+		{true, false, LevelBankGroup},
+		{true, true, LevelBank},
+	}
+	for _, c := range cases {
+		in := Instr{BGTag: c.bg, BankTag: c.bank}
+		if got := in.Level(); got != c.want {
+			t.Errorf("tags (%v,%v): level = %v, want %v", c.bg, c.bank, got, c.want)
+		}
+	}
+}
+
+func TestInstrBursts(t *testing.T) {
+	if (Instr{VSizeLog2: 0}).Bursts() != 1 || (Instr{VSizeLog2: 4}).Bursts() != 16 {
+		t.Fatal("Bursts decoding wrong")
+	}
+}
+
+func TestComputeUnitWeightedSum(t *testing.T) {
+	u, err := NewComputeUnit(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Accumulate(OpWeightedSum, []float32{1, 2, 3, 4}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Accumulate(OpWeightedSum, []float32{1, 1, 1, 1}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{2.5, 4.5, 6.5, 8.5}
+	got := u.Result()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result = %v, want %v", got, want)
+		}
+	}
+	st := u.Stats()
+	if st.Adds != 8 || st.Mults != 8 {
+		t.Fatalf("stats = %+v, want 8 adds 8 mults", st)
+	}
+}
+
+func TestComputeUnitSumIgnoresWeight(t *testing.T) {
+	u, _ := NewComputeUnit(2)
+	u.Accumulate(OpSum, []float32{1, 2}, 99)
+	got := u.Result()
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("OpSum applied weight: %v", got)
+	}
+	if u.Stats().Mults != 0 {
+		t.Fatal("OpSum should not count multiplies")
+	}
+}
+
+func TestComputeUnitMax(t *testing.T) {
+	u, _ := NewComputeUnit(3)
+	u.Accumulate(OpMax, []float32{-5, 2, 1}, 1)
+	u.Accumulate(OpMax, []float32{-7, 3, 0}, 1)
+	got := u.Result()
+	want := []float32{-5, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("max result = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestComputeUnitReset(t *testing.T) {
+	u, _ := NewComputeUnit(2)
+	u.Accumulate(OpWeightedSum, []float32{1, 1}, 1)
+	u.Reset()
+	got := u.Result()
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("reset accumulator = %v", got)
+	}
+	// Max after reset starts fresh.
+	u.Accumulate(OpMax, []float32{-9, -9}, 1)
+	if got := u.Result(); got[0] != -9 {
+		t.Fatalf("max after reset = %v, want -9", got)
+	}
+}
+
+func TestComputeUnitErrors(t *testing.T) {
+	if _, err := NewComputeUnit(0); err == nil {
+		t.Error("zero length should error")
+	}
+	u, _ := NewComputeUnit(2)
+	if err := u.Accumulate(OpSum, []float32{1}, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if err := u.Accumulate(Opcode(7), []float32{1, 1}, 1); err == nil {
+		t.Error("unknown opcode should error")
+	}
+	if err := u.AccumulatePsum(OpSum, []float32{1}); err == nil {
+		t.Error("psum length mismatch should error")
+	}
+}
+
+// Property: splitting a weighted-sum reduction across two PEs and folding
+// their psums at a higher level matches a single-PE reduction — the
+// cross-level correctness invariant of §4.1.
+func TestHierarchicalReductionEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const vl = 8
+		n := rng.Intn(20) + 2
+		vecs := make([][]float32, n)
+		ws := make([]float32, n)
+		for i := range vecs {
+			vecs[i] = make([]float32, vl)
+			for j := range vecs[i] {
+				vecs[i][j] = rng.Float32()*2 - 1
+			}
+			ws[i] = rng.Float32()
+		}
+		// Flat: one unit reduces everything.
+		flat, _ := NewComputeUnit(vl)
+		for i := range vecs {
+			flat.Accumulate(OpWeightedSum, vecs[i], ws[i])
+		}
+		// Hierarchical: two lower PEs + a summarizer.
+		lo1, _ := NewComputeUnit(vl)
+		lo2, _ := NewComputeUnit(vl)
+		for i := range vecs {
+			u := lo1
+			if i%2 == 1 {
+				u = lo2
+			}
+			u.Accumulate(OpWeightedSum, vecs[i], ws[i])
+		}
+		sum, _ := NewRankSummarizer(vl)
+		sum.Fold(OpWeightedSum, lo1.Result())
+		sum.Fold(OpWeightedSum, lo2.Result())
+		got := sum.Result()
+		want := flat.Result()
+		for j := range want {
+			if math.Abs(float64(got[j]-want[j])) > 1e-4 {
+				return false
+			}
+		}
+		return sum.Psums() == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPEConstruction(t *testing.T) {
+	p, err := NewPE(LevelBank, 17, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Level != LevelBank || p.Node != 17 || p.Unit().VecLen() != 64 {
+		t.Fatalf("PE fields wrong: %+v", p)
+	}
+	if _, err := NewPE(LevelRank, 0, -1); err == nil {
+		t.Error("negative veclen should error")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	names := map[Level]string{
+		LevelRank: "rank", LevelBankGroup: "bank-group",
+		LevelBank: "bank", LevelHost: "host",
+	}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("Level(%d).String() = %q, want %q", l, l.String(), want)
+		}
+	}
+}

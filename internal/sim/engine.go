@@ -1,0 +1,129 @@
+// Package sim provides a small discrete-event simulation kernel used by the
+// DRAM timing model. Time is measured in integer clock cycles of the DRAM
+// I/O clock (DDR5-4800 => 2400 MHz, i.e. one cycle = 1/2.4 ns).
+//
+// The engine is deliberately minimal: an event is a (time, sequence,
+// callback) triple kept in a binary heap. Components schedule callbacks and
+// the engine runs them in time order, skipping over idle cycles entirely, so
+// simulated time can advance by thousands of cycles in one step.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, in DRAM I/O clock cycles.
+type Cycle int64
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event struct {
+	At  Cycle
+	Fn  func(now Cycle)
+	seq uint64 // tie-breaker: FIFO among events at the same cycle
+	idx int
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now    Cycle
+	events eventHeap
+	seq    uint64
+}
+
+// NewEngine returns an engine whose clock starts at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Cycle { return e.now }
+
+// At schedules fn to run at cycle t. Scheduling in the past (t < Now) is a
+// programming error and panics: it would silently corrupt causality.
+func (e *Engine) At(t Cycle, fn func(now Cycle)) *Event {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	ev := &Event{At: t, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Cycle, fn func(now Cycle)) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 || ev.idx >= len(e.events) || e.events[ev.idx] != ev {
+		return
+	}
+	heap.Remove(&e.events, ev.idx)
+	ev.idx = -1
+}
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step runs the single earliest event, advancing the clock to its time.
+// It reports whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	ev.idx = -1
+	e.now = ev.At
+	ev.Fn(e.now)
+	return true
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (e *Engine) Run() Cycle {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= limit. Events scheduled beyond the
+// limit remain queued; the clock is left at the last executed event (or
+// unchanged if none ran).
+func (e *Engine) RunUntil(limit Cycle) {
+	for len(e.events) > 0 && e.events[0].At <= limit {
+		e.Step()
+	}
+}

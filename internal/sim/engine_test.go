@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var got []Cycle
+	for _, at := range []Cycle{30, 10, 20} {
+		at := at
+		e.At(at, func(now Cycle) { got = append(got, now) })
+	}
+	e.Run()
+	want := []Cycle{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameCycle(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func(Cycle) { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterUsesCurrentTime(t *testing.T) {
+	e := NewEngine()
+	var fired Cycle
+	e.At(100, func(now Cycle) {
+		e.After(7, func(now Cycle) { fired = now })
+	})
+	e.Run()
+	if fired != 107 {
+		t.Fatalf("After fired at %d, want 107", fired)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(50, func(Cycle) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(10, func(Cycle) {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.At(10, func(Cycle) { ran = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event still ran")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []Cycle
+	for _, at := range []Cycle{5, 10, 15, 20} {
+		e.At(at, func(now Cycle) { got = append(got, now) })
+	}
+	e.RunUntil(12)
+	if len(got) != 2 || got[0] != 5 || got[1] != 10 {
+		t.Fatalf("RunUntil(12) ran %v, want [5 10]", got)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(got) != 4 {
+		t.Fatalf("remaining events did not run: %v", got)
+	}
+}
+
+// Property: for any set of scheduled times, events fire in nondecreasing
+// time order and the engine ends at the max time.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var fired []Cycle
+		var max Cycle
+		for _, u := range times {
+			at := Cycle(u)
+			if at > max {
+				max = at
+			}
+			e.At(at, func(now Cycle) { fired = append(fired, now) })
+		}
+		end := e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		if len(times) > 0 && end != max {
+			return false
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineStressInterleavedScheduling(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(1))
+	count := 0
+	var spawn func(now Cycle)
+	spawn = func(now Cycle) {
+		count++
+		if count < 5000 {
+			e.After(Cycle(rng.Intn(20)+1), spawn)
+		}
+	}
+	e.At(0, spawn)
+	e.Run()
+	if count != 5000 {
+		t.Fatalf("count = %d, want 5000", count)
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		n := 0
+		var tick func(now Cycle)
+		tick = func(now Cycle) {
+			n++
+			if n < 1000 {
+				e.After(3, tick)
+			}
+		}
+		e.At(0, tick)
+		e.Run()
+	}
+}

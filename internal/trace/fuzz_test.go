@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadBatch throws arbitrary text at the trace parser: it must never
+// panic, and anything it accepts must survive a write/read round trip.
+func FuzzReadBatch(f *testing.F) {
+	f.Add("recross-trace v1\nS\nO 0\n1 0.5\n")
+	f.Add("recross-trace v1\n# comment\nS\nO 3\n9 1\n10 2\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, in string) {
+		b, err := ReadBatch(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBatch(&buf, b); err != nil {
+			t.Fatalf("accepted batch does not serialize: %v", err)
+		}
+		b2, err := ReadBatch(&buf)
+		if err != nil {
+			t.Fatalf("serialized batch does not parse: %v", err)
+		}
+		if len(b2) != len(b) {
+			t.Fatalf("round trip changed sample count: %d -> %d", len(b), len(b2))
+		}
+	})
+}

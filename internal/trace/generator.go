@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"recross/internal/stats"
+)
+
+// ReduceKind selects an op's pooling operator (§4.1: ReCross supports
+// summation, weighted summation "and any other quantized operation").
+type ReduceKind uint8
+
+const (
+	// WeightedSum is the paper's default: sum of weight_k * row_k.
+	WeightedSum ReduceKind = iota
+	// Sum ignores the weights (plain element-wise summation).
+	Sum
+	// Max is element-wise max pooling.
+	Max
+)
+
+func (k ReduceKind) String() string {
+	switch k {
+	case WeightedSum:
+		return "weighted-sum"
+	case Sum:
+		return "sum"
+	case Max:
+		return "max"
+	default:
+		return "reduce(?)"
+	}
+}
+
+// Op is one embedding operation: a gather of Indices from one table followed
+// by a pooling reduction over them. len(Weights) == len(Indices); for Sum
+// and Max the weights are ignored.
+type Op struct {
+	Table   int
+	Kind    ReduceKind
+	Indices []int64
+	Weights []float32
+}
+
+// Sample is the embedding work of one inference sample: one Op per accessed
+// table.
+type Sample []Op
+
+// Batch is a batch of samples processed together (paper default 32).
+type Batch []Sample
+
+// Lookups returns the total number of gathered vectors in the batch.
+func (b Batch) Lookups() int {
+	n := 0
+	for _, s := range b {
+		for _, op := range s {
+			n += len(op.Indices)
+		}
+	}
+	return n
+}
+
+// Generator produces deterministic synthetic traces for a model spec. The
+// same (spec, seed) always yields the same stream of batches.
+type Generator struct {
+	spec  ModelSpec
+	rng   *rand.Rand
+	zipfs []*Zipf
+	scats []*Scatter
+	hists []*stats.Histogram // per-table access histograms, always maintained
+}
+
+// NewGenerator builds a generator for spec, seeded with seed.
+func NewGenerator(spec ModelSpec, seed int64) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		spec:  spec,
+		rng:   rand.New(rand.NewSource(seed)),
+		zipfs: make([]*Zipf, len(spec.Tables)),
+		scats: make([]*Scatter, len(spec.Tables)),
+		hists: make([]*stats.Histogram, len(spec.Tables)),
+	}
+	for i, t := range spec.Tables {
+		z, err := NewZipf(t.Rows, t.Skew)
+		if err != nil {
+			return nil, fmt.Errorf("table %q: %w", t.Name, err)
+		}
+		// The scatter permutation decides WHICH rows are popular — a
+		// property of the dataset, not of the sampling — so it is seeded
+		// from the table identity alone, never from the generator seed or
+		// the surrounding model (tables keep their hot rows when sharded
+		// across channels). A profiling pass and a measured run over the
+		// same tables then agree on the hot rows while drawing
+		// independent samples.
+		s, err := NewScatter(t.Rows, scatterSeed(t.Name))
+		if err != nil {
+			return nil, fmt.Errorf("table %q: %w", t.Name, err)
+		}
+		g.zipfs[i] = z
+		g.scats[i] = s
+		g.hists[i] = stats.NewHistogram()
+	}
+	return g, nil
+}
+
+// Spec returns the model spec this generator draws from.
+func (g *Generator) Spec() ModelSpec { return g.spec }
+
+// scatterSeed derives the dataset-identity seed of one table's popularity
+// permutation (FNV-1a over the table name).
+func scatterSeed(table string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(table); i++ {
+		h ^= uint64(table[i])
+		h *= 1099511628211
+	}
+	return int64(h & (1<<62 - 1))
+}
+
+// Index draws one embedding row index for table ti: a Zipf rank scattered
+// pseudorandomly through the index space.
+func (g *Generator) Index(ti int) int64 {
+	rank := g.zipfs[ti].Rank(g.rng)
+	idx := g.scats[ti].Map(rank)
+	g.hists[ti].Add(idx)
+	return idx
+}
+
+// Sample generates the embedding work for one inference sample.
+func (g *Generator) Sample() Sample {
+	var s Sample
+	for ti, t := range g.spec.Tables {
+		if t.Prob < 1 && g.rng.Float64() >= t.Prob {
+			continue
+		}
+		op := Op{
+			Table:   ti,
+			Indices: make([]int64, t.Pooling),
+			Weights: make([]float32, t.Pooling),
+		}
+		for k := 0; k < t.Pooling; k++ {
+			op.Indices[k] = g.Index(ti)
+			op.Weights[k] = 0.5 + g.rng.Float32() // weights in [0.5, 1.5)
+		}
+		s = append(s, op)
+	}
+	return s
+}
+
+// Batch generates a batch of n samples.
+func (g *Generator) Batch(n int) Batch {
+	b := make(Batch, n)
+	for i := range b {
+		b[i] = g.Sample()
+	}
+	return b
+}
+
+// Histograms returns the per-table access histograms accumulated over
+// everything generated so far. The returned slices alias internal state;
+// callers must not modify them.
+func (g *Generator) Histograms() []*stats.Histogram { return g.hists }
+
+// Profile generates (and discards) nSamples samples to warm the per-table
+// histograms, then returns the per-table cumulative-access curves. This is
+// the offline "training-phase" profiling pass of the paper's §4.3.
+func (g *Generator) Profile(nSamples int) ([]*stats.CDF, error) {
+	for i := 0; i < nSamples; i++ {
+		g.Sample()
+	}
+	cdfs := make([]*stats.CDF, len(g.spec.Tables))
+	for i, t := range g.spec.Tables {
+		c, err := stats.AccessCDF(g.hists[i], int(t.Rows))
+		if err != nil {
+			return nil, fmt.Errorf("table %q: %w", t.Name, err)
+		}
+		cdfs[i] = c
+	}
+	return cdfs, nil
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Batch serialization: a line-oriented text format so real traces (e.g.
+// preprocessed Criteo logs) can be fed to the simulator and synthetic ones
+// inspected with standard tools.
+//
+//	recross-trace v1
+//	S                      # start of a sample
+//	O <table>              # start of an op on <table>
+//	<index> <weight>       # one gathered row
+//
+// Blank lines and lines starting with '#' are ignored.
+
+const traceHeader = "recross-trace v1"
+
+// WriteBatch serializes b to w.
+func WriteBatch(w io.Writer, b Batch) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, traceHeader); err != nil {
+		return err
+	}
+	for _, s := range b {
+		fmt.Fprintln(bw, "S")
+		for _, op := range s {
+			fmt.Fprintf(bw, "O %d\n", op.Table)
+			for k, idx := range op.Indices {
+				fmt.Fprintf(bw, "%d %g\n", idx, op.Weights[k])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBatch parses a batch written by WriteBatch (or produced externally in
+// the same format).
+func ReadBatch(r io.Reader) (Batch, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	if strings.TrimSpace(sc.Text()) != traceHeader {
+		return nil, fmt.Errorf("trace: bad header %q, want %q", sc.Text(), traceHeader)
+	}
+	var b Batch
+	var curSample *Sample
+	var curOp *Op
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case line == "S":
+			b = append(b, Sample{})
+			curSample = &b[len(b)-1]
+			curOp = nil
+		case strings.HasPrefix(line, "O "):
+			if curSample == nil {
+				return nil, fmt.Errorf("trace: line %d: op before any sample", lineNo)
+			}
+			table, err := strconv.Atoi(strings.TrimSpace(line[2:]))
+			if err != nil || table < 0 {
+				return nil, fmt.Errorf("trace: line %d: bad table %q", lineNo, line[2:])
+			}
+			*curSample = append(*curSample, Op{Table: table})
+			curOp = &(*curSample)[len(*curSample)-1]
+		default:
+			if curOp == nil {
+				return nil, fmt.Errorf("trace: line %d: lookup before any op", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: want \"<index> <weight>\", got %q", lineNo, line)
+			}
+			idx, err := strconv.ParseInt(fields[0], 10, 64)
+			if err != nil || idx < 0 {
+				return nil, fmt.Errorf("trace: line %d: bad index %q", lineNo, fields[0])
+			}
+			w, err := strconv.ParseFloat(fields[1], 32)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad weight %q", lineNo, fields[1])
+			}
+			curOp.Indices = append(curOp.Indices, idx)
+			curOp.Weights = append(curOp.Weights, float32(w))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ValidateBatch checks b against spec: table indices in range, indices
+// within their table's rows, and matching index/weight lengths.
+func ValidateBatch(b Batch, spec ModelSpec) error {
+	for si, s := range b {
+		for oi, op := range s {
+			if op.Table < 0 || op.Table >= len(spec.Tables) {
+				return fmt.Errorf("trace: sample %d op %d: table %d out of range", si, oi, op.Table)
+			}
+			if len(op.Indices) != len(op.Weights) {
+				return fmt.Errorf("trace: sample %d op %d: %d indices, %d weights",
+					si, oi, len(op.Indices), len(op.Weights))
+			}
+			rows := spec.Tables[op.Table].Rows
+			for _, idx := range op.Indices {
+				if idx < 0 || idx >= rows {
+					return fmt.Errorf("trace: sample %d op %d: index %d out of [0,%d)",
+						si, oi, idx, rows)
+				}
+			}
+		}
+	}
+	return nil
+}

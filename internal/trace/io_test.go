@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	spec := Uniform(3, 1000, 16, 4)
+	g, err := NewGenerator(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Batch(4)
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBatch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(b) {
+		t.Fatalf("samples = %d, want %d", len(got), len(b))
+	}
+	for si := range b {
+		if len(got[si]) != len(b[si]) {
+			t.Fatalf("sample %d ops = %d, want %d", si, len(got[si]), len(b[si]))
+		}
+		for oi := range b[si] {
+			w, h := b[si][oi], got[si][oi]
+			if w.Table != h.Table || len(w.Indices) != len(h.Indices) {
+				t.Fatalf("op mismatch at %d/%d", si, oi)
+			}
+			for k := range w.Indices {
+				if w.Indices[k] != h.Indices[k] || w.Weights[k] != h.Weights[k] {
+					t.Fatalf("lookup mismatch at %d/%d/%d", si, oi, k)
+				}
+			}
+		}
+	}
+	if err := ValidateBatch(got, spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any generated batch survives a round trip bit-exactly.
+func TestBatchRoundTripProperty(t *testing.T) {
+	spec := Uniform(2, 500, 8, 3)
+	f := func(seed int64, n uint8) bool {
+		g, err := NewGenerator(spec, seed)
+		if err != nil {
+			return false
+		}
+		b := g.Batch(int(n%5) + 1)
+		var buf bytes.Buffer
+		if WriteBatch(&buf, b) != nil {
+			return false
+		}
+		got, err := ReadBatch(&buf)
+		if err != nil || len(got) != len(b) {
+			return false
+		}
+		for si := range b {
+			for oi := range b[si] {
+				for k := range b[si][oi].Indices {
+					if got[si][oi].Indices[k] != b[si][oi].Indices[k] ||
+						got[si][oi].Weights[k] != b[si][oi].Weights[k] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBatchErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad header":       "not-a-trace\nS\n",
+		"op before sample": "recross-trace v1\nO 0\n",
+		"lookup before op": "recross-trace v1\nS\n3 1.5\n",
+		"bad table":        "recross-trace v1\nS\nO x\n",
+		"bad index":        "recross-trace v1\nS\nO 0\nxyz 1.0\n",
+		"bad weight":       "recross-trace v1\nS\nO 0\n3 abc\n",
+		"short line":       "recross-trace v1\nS\nO 0\n3\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadBatch(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadBatchSkipsCommentsAndBlanks(t *testing.T) {
+	in := "recross-trace v1\n# a comment\n\nS\nO 1\n# inline\n42 0.5\n"
+	b, err := ReadBatch(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 1 || len(b[0]) != 1 || b[0][0].Indices[0] != 42 {
+		t.Fatalf("parsed %+v", b)
+	}
+}
+
+func TestValidateBatch(t *testing.T) {
+	spec := Uniform(1, 10, 8, 2)
+	good := Batch{{{Table: 0, Indices: []int64{3}, Weights: []float32{1}}}}
+	if err := ValidateBatch(good, spec); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Batch{
+		{{{Table: 5, Indices: []int64{1}, Weights: []float32{1}}}},
+		{{{Table: 0, Indices: []int64{99}, Weights: []float32{1}}}},
+		{{{Table: 0, Indices: []int64{1, 2}, Weights: []float32{1}}}},
+	}
+	for i, b := range bad {
+		if err := ValidateBatch(b, spec); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}

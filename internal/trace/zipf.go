@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipf samples ranks in [0, n) with P(rank k) roughly proportional to
+// 1/(k+1)^alpha. Unlike math/rand.Zipf it supports any alpha >= 0
+// (alpha == 0 is uniform, alpha <= ~1.3 covers realistic recommendation
+// skews), using the continuous inverse-transform approximation of the
+// generalized harmonic CDF, which is O(1) per sample and needs no
+// per-element tables even for multi-million-row universes.
+type Zipf struct {
+	n     int64
+	alpha float64
+	total float64 // H(n+1), mass of the continuous approximation
+}
+
+// NewZipf returns a sampler over [0, n). alpha < 0 or n <= 0 is an error.
+func NewZipf(n int64, alpha float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: zipf universe must be positive, got %d", n)
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("trace: negative zipf exponent %g", alpha)
+	}
+	z := &Zipf{n: n, alpha: alpha}
+	z.total = z.h(float64(n + 1))
+	return z, nil
+}
+
+// h is the continuous generalized harmonic: integral of x^-alpha from 1 to x.
+func (z *Zipf) h(x float64) float64 {
+	if z.alpha == 1 {
+		return math.Log(x)
+	}
+	return (math.Pow(x, 1-z.alpha) - 1) / (1 - z.alpha)
+}
+
+// hInv inverts h.
+func (z *Zipf) hInv(y float64) float64 {
+	if z.alpha == 1 {
+		return math.Exp(y)
+	}
+	return math.Pow(y*(1-z.alpha)+1, 1/(1-z.alpha))
+}
+
+// Rank draws a rank in [0, n); rank 0 is the hottest.
+func (z *Zipf) Rank(rng *rand.Rand) int64 {
+	if z.alpha == 0 {
+		return rng.Int63n(z.n)
+	}
+	u := rng.Float64()
+	k := int64(z.hInv(u*z.total)) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}
+
+// CDF returns the fraction of probability mass on ranks [0, k), useful for
+// analytic expectations in tests.
+func (z *Zipf) CDF(k int64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= z.n {
+		return 1
+	}
+	if z.alpha == 0 {
+		return float64(k) / float64(z.n)
+	}
+	return z.h(float64(k+1)) / z.total
+}
+
+// Scatter is a pseudorandom bijection on [0, n): an affine map modulo the
+// smallest prime >= n, with rejection resampling back into [0, n). It
+// scatters Zipf ranks across the index space so that hot rows are randomly
+// distributed through the table — the paper's "low spatial locality"
+// property (§3.1) — without storing an O(n) permutation for multi-million
+// row tables.
+type Scatter struct {
+	n, p, a, b int64
+}
+
+// NewScatter builds a bijection on [0, n) seeded deterministically.
+func NewScatter(n int64, seed int64) (*Scatter, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: scatter domain must be positive, got %d", n)
+	}
+	p := nextPrime(n)
+	rng := rand.New(rand.NewSource(seed))
+	a := rng.Int63n(p-1) + 1 // in [1, p)
+	b := rng.Int63n(p)       // in [0, p)
+	return &Scatter{n: n, p: p, a: a, b: b}, nil
+}
+
+// Map applies the bijection.
+func (s *Scatter) Map(i int64) int64 {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("trace: scatter input %d out of [0,%d)", i, s.n))
+	}
+	x := i
+	for {
+		x = (s.a*x + s.b) % s.p
+		if x < s.n {
+			return x
+		}
+	}
+}
+
+// nextPrime returns the smallest prime >= n (n >= 1). Trial division is fine
+// for the table sizes we use (< 10^8).
+func nextPrime(n int64) int64 {
+	if n <= 2 {
+		return 2
+	}
+	c := n
+	if c%2 == 0 {
+		c++
+	}
+	for ; ; c += 2 {
+		if isPrime(c) {
+			return c
+		}
+	}
+}
+
+func isPrime(n int64) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := int64(3); d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

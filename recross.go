@@ -1,0 +1,239 @@
+// Package recross is a simulation library for near-memory-processing (NMP)
+// acceleration of the embedding layers of deep-learning recommendation
+// models, reproducing "Accelerating Personalized Recommendation with
+// Cross-level Near-Memory Processing" (Liu et al., ISCA 2023).
+//
+// The library models a DDR5 memory channel at DRAM-command granularity and
+// provides six architectures over it:
+//
+//   - CPU        — the conventional 16-core + 32 MB LLC baseline
+//   - TensorDIMM — rank-level NMP with vertical vector partitioning
+//   - RecNMP     — rank-level NMP with per-PE hot-entry caches
+//   - TRiMG      — bank-group-level NMP
+//   - TRiMB      — bank-level NMP with hot-entry replication
+//   - ReCross    — the paper's cross-level NMP: rank, bank-group and
+//     subarray-parallel bank-level regions fed by an LP-based
+//     bandwidth-aware partitioner
+//
+// Quick start:
+//
+//	spec := recross.CriteoKaggle(64, 80)
+//	sys, err := recross.NewSystem(recross.ReCross, recross.Config{Spec: spec})
+//	gen, err := recross.NewGenerator(spec, 1)
+//	stats, err := sys.Run(gen.Batch(32))
+//	fmt.Println(stats.Cycles, stats.Energy.Total())
+//
+// The experiment harness reproducing every figure and table of the paper's
+// evaluation is exposed through the recross-bench command; see DESIGN.md
+// for the experiment index and EXPERIMENTS.md for paper-vs-measured
+// results.
+package recross
+
+import (
+	"fmt"
+
+	"recross/internal/arch"
+	"recross/internal/baseline"
+	"recross/internal/core"
+	"recross/internal/dram"
+	"recross/internal/embedding"
+	"recross/internal/energy"
+	"recross/internal/partition"
+	"recross/internal/trace"
+)
+
+// Re-exported workload types.
+type (
+	// ModelSpec describes one recommendation model's embedding layer.
+	ModelSpec = trace.ModelSpec
+	// TableSpec describes one embedding table.
+	TableSpec = trace.TableSpec
+	// Batch is a batch of inference samples' embedding work.
+	Batch = trace.Batch
+	// Op is one embedding operation (gather + weighted-sum reduction).
+	Op = trace.Op
+	// Generator produces deterministic synthetic traces.
+	Generator = trace.Generator
+	// RunStats reports one simulated batch execution.
+	RunStats = arch.RunStats
+	// System is one simulated architecture.
+	System = arch.System
+	// EnergyBreakdown decomposes a run's energy.
+	EnergyBreakdown = energy.Breakdown
+	// Layer is the functional embedding layer (ground truth).
+	Layer = embedding.Layer
+	// ReCrossSystem is the paper's architecture with its partitioning
+	// internals exposed (placement, decision, regions).
+	ReCrossSystem = core.ReCross
+	// ReCrossConfig is the full ReCross configuration (PE population and
+	// optimization toggles).
+	ReCrossConfig = core.Config
+	// Profile carries the offline access statistics the partitioners use.
+	Profile = partition.Profile
+)
+
+// CriteoKaggle returns the 26-table Criteo Kaggle workload spec.
+func CriteoKaggle(vecLen, pooling int) ModelSpec {
+	return trace.CriteoKaggle(vecLen, pooling)
+}
+
+// CriteoTerabyte returns the scaled-up Criteo Terabyte workload spec.
+func CriteoTerabyte(vecLen, pooling int) ModelSpec {
+	return trace.CriteoTerabyte(vecLen, pooling)
+}
+
+// NewGenerator builds a deterministic trace generator for spec.
+func NewGenerator(spec ModelSpec, seed int64) (*Generator, error) {
+	return trace.NewGenerator(spec, seed)
+}
+
+// NewLayer builds the functional embedding layer for spec (procedural,
+// zero-memory tables).
+func NewLayer(spec ModelSpec) (*Layer, error) {
+	return embedding.NewLayer(spec)
+}
+
+// Arch selects an architecture.
+type Arch string
+
+// The evaluated architectures.
+const (
+	CPU        Arch = "cpu"
+	TensorDIMM Arch = "tensordimm"
+	RecNMP     Arch = "recnmp"
+	TRiMG      Arch = "trim-g"
+	TRiMB      Arch = "trim-b"
+	ReCross    Arch = "recross"
+
+	// Extras beyond the paper's comparison set.
+
+	// RankNMP is cache-less rank-level NMP (the generic "rank level" of
+	// Figs. 4-5).
+	RankNMP Arch = "rank-nmp"
+	// FAFNIR adds an in-buffer rank reduction tree (Asgari et al.,
+	// HPCA'21; the paper's §6).
+	FAFNIR Arch = "fafnir"
+)
+
+// Arches lists every architecture in the paper's comparison order.
+func Arches() []Arch {
+	return []Arch{CPU, TensorDIMM, RecNMP, TRiMG, TRiMB, ReCross}
+}
+
+// Config configures NewSystem. Zero values take the paper's defaults
+// (2 ranks, batch 32 for the partitioner, 2000 profiling samples).
+type Config struct {
+	// Spec is the workload (required).
+	Spec ModelSpec
+	// Ranks per channel (default 2).
+	Ranks int
+	// Channels shards the model's tables round-robin across this many
+	// independent memory channels, each with its own controller and PEs
+	// (default 1). Profiling runs per channel when Channels > 1.
+	Channels int
+	// Batch is the batch size ReCross's partitioner optimizes for
+	// (default 32).
+	Batch int
+	// ProfileSamples is the offline profiling length used by ReCross and
+	// TRiM-B's hot-entry selection (default 2000).
+	ProfileSamples int
+	// ProfileSeed seeds the profiling pass (default 12345).
+	ProfileSeed int64
+	// Profile, when non-nil, is reused instead of profiling afresh.
+	Profile *Profile
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks == 0 {
+		c.Ranks = 2
+	}
+	if c.Batch == 0 {
+		c.Batch = 32
+	}
+	if c.ProfileSamples == 0 {
+		c.ProfileSamples = 2000
+	}
+	if c.ProfileSeed == 0 {
+		c.ProfileSeed = 12345
+	}
+	return c
+}
+
+// NewSystem builds the requested architecture over the workload.
+func NewSystem(a Arch, cfg Config) (System, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Channels > 1 {
+		spec := cfg.Spec
+		n := cfg.Channels
+		return arch.NewMultiChannel(spec, n, func(sub ModelSpec) (System, error) {
+			sc := cfg
+			sc.Spec = sub
+			sc.Channels = 1
+			sc.Profile = nil // the sub-model needs its own profile
+			return NewSystem(a, sc)
+		})
+	}
+	bcfg := baseline.Config{Spec: cfg.Spec, Ranks: cfg.Ranks}
+	switch a {
+	case CPU:
+		return baseline.NewCPU(bcfg)
+	case TensorDIMM:
+		return baseline.NewTensorDIMM(bcfg)
+	case RecNMP:
+		return baseline.NewRecNMP(bcfg)
+	case RankNMP:
+		return baseline.NewRankNMP(bcfg)
+	case FAFNIR:
+		return baseline.NewFAFNIR(bcfg)
+	case TRiMG:
+		return baseline.NewTRiMG(bcfg)
+	case TRiMB:
+		prof, err := profileOf(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return baseline.NewTRiMB(bcfg, prof.Hists)
+	case ReCross:
+		rcfg := core.DefaultConfig(cfg.Spec)
+		rcfg.Ranks = cfg.Ranks
+		rcfg.Batch = cfg.Batch
+		rcfg.ProfileSamples = cfg.ProfileSamples
+		rcfg.Seed = cfg.ProfileSeed
+		rcfg.Profile = cfg.Profile
+		return core.New(rcfg)
+	default:
+		return nil, fmt.Errorf("recross: unknown architecture %q", a)
+	}
+}
+
+// NewReCross builds a fully customized ReCross instance (PE population,
+// optimization toggles, region configuration).
+func NewReCross(cfg ReCrossConfig) (*ReCrossSystem, error) {
+	return core.New(cfg)
+}
+
+// DefaultReCrossConfig returns the paper's ReCross-d configuration.
+func DefaultReCrossConfig(spec ModelSpec) ReCrossConfig {
+	return core.DefaultConfig(spec)
+}
+
+// NewProfile runs an offline profiling pass over spec.
+func NewProfile(spec ModelSpec, seed int64, samples int) (*Profile, error) {
+	return partition.NewProfile(spec, seed, samples)
+}
+
+func profileOf(cfg Config) (*Profile, error) {
+	if cfg.Profile != nil {
+		return cfg.Profile, nil
+	}
+	return partition.NewProfile(cfg.Spec, cfg.ProfileSeed, cfg.ProfileSamples)
+}
+
+// ChannelBytes returns the capacity of a channel with the given rank count,
+// for capacity planning.
+func ChannelBytes(ranks int) int64 {
+	return dram.DDR5(ranks).ChannelBytes()
+}

@@ -1,0 +1,120 @@
+package recross
+
+import "testing"
+
+func miniSpec() ModelSpec {
+	spec := ModelSpec{Name: "facade-mini"}
+	for i := 0; i < 3; i++ {
+		spec.Tables = append(spec.Tables, TableSpec{
+			Name: spec.Name + string(rune('a'+i)), Rows: 50000, VecLen: 64,
+			Pooling: 4, Prob: 1, Skew: 1.1,
+		})
+	}
+	return spec
+}
+
+func TestNewSystemAllArches(t *testing.T) {
+	profile, err := NewProfile(miniSpec(), 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Spec: miniSpec(), Profile: profile, ProfileSamples: 100}
+	gen, err := NewGenerator(miniSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := gen.Batch(2)
+	for _, a := range Arches() {
+		sys, err := NewSystem(a, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if sys.Name() != string(a) {
+			t.Fatalf("name %q != arch %q", sys.Name(), a)
+		}
+		stats, err := sys.Run(b)
+		if err != nil {
+			t.Fatalf("%s run: %v", a, err)
+		}
+		if stats.Cycles <= 0 {
+			t.Fatalf("%s: no cycles", a)
+		}
+	}
+}
+
+func TestNewSystemErrors(t *testing.T) {
+	if _, err := NewSystem("bogus", Config{Spec: miniSpec()}); err == nil {
+		t.Fatal("unknown arch should error")
+	}
+	if _, err := NewSystem(CPU, Config{}); err == nil {
+		t.Fatal("empty spec should error")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	k := CriteoKaggle(64, 80)
+	if len(k.Tables) != 26 {
+		t.Fatalf("kaggle tables = %d", len(k.Tables))
+	}
+	tb := CriteoTerabyte(64, 80)
+	if tb.TotalBytes() <= k.TotalBytes() {
+		t.Fatal("terabyte not larger than kaggle")
+	}
+	if ChannelBytes(2) != 32<<30 {
+		t.Fatalf("2-rank channel = %d bytes, want 32 GiB", ChannelBytes(2))
+	}
+}
+
+func TestFacadeReCrossInternals(t *testing.T) {
+	rc, err := NewReCross(DefaultReCrossConfig(miniSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rc.Regions()) != 3 {
+		t.Fatal("want three regions")
+	}
+	layer, err := NewLayer(miniSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := NewGenerator(miniSpec(), 5)
+	out, err := rc.ReduceBatch(layer, gen.Batch(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(out[0]) != 3 {
+		t.Fatalf("reduce shape wrong: %d samples", len(out))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Spec: miniSpec()}.withDefaults()
+	if c.Ranks != 2 || c.Batch != 32 || c.ProfileSamples != 2000 || c.ProfileSeed != 12345 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}
+
+func TestNewSystemMultiChannel(t *testing.T) {
+	cfg := Config{Spec: miniSpec(), Channels: 3, ProfileSamples: 100}
+	sys, err := NewSystem(ReCross, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := NewGenerator(miniSpec(), 2)
+	b := gen.Batch(2)
+	multi, err := sys.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewSystem(ReCross, Config{Spec: miniSpec(), ProfileSamples: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := single.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Cycles >= one.Cycles {
+		t.Fatalf("3 channels (%d cycles) not faster than 1 (%d)", multi.Cycles, one.Cycles)
+	}
+}
