@@ -1,0 +1,151 @@
+// recross-serve runs the embedding-inference serving layer: a pool of
+// simulated NMP replicas behind a dynamic batcher with admission control,
+// fronted by HTTP.
+//
+// Serve mode (default):
+//
+//	recross-serve -arch recross -replicas 2 -addr :8080
+//	curl -s localhost:8080/v1/lookup -d '{"ops":[{"table":0,"indices":[1,2,3]}]}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drains gracefully: admission stops, every admitted
+// request is answered, then the process exits.
+//
+// Load-generator mode runs a closed-loop benchmark in-process (no HTTP)
+// and prints a throughput/latency report:
+//
+//	recross-serve -loadgen -clients 16 -duration 10s -replicas 4
+//
+// Knobs: -maxbatch/-maxdelay trade latency for throughput; -queue and
+// -policy (block|shed) set the admission behaviour; -arch picks any of
+// the simulated architectures (cpu, tensordimm, recnmp, trim-g, trim-b,
+// recross, ...).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"recross"
+	"recross/internal/serve"
+)
+
+func main() {
+	archFlag := flag.String("arch", "recross", "architecture to replicate")
+	veclen := flag.Int("veclen", 64, "embedding vector length (FP32 elements)")
+	pooling := flag.Int("pooling", 80, "gathers per embedding operation")
+	ranks := flag.Int("ranks", 2, "ranks per channel")
+	channels := flag.Int("channels", 1, "memory channels per replica")
+	terabyte := flag.Bool("terabyte", false, "use the Criteo-Terabyte-scale spec")
+	profSamples := flag.Int("profile", 2000, "offline profiling samples")
+
+	replicas := flag.Int("replicas", 2, "replica systems in the worker pool")
+	maxBatch := flag.Int("maxbatch", 32, "dynamic batcher: flush at this many samples")
+	maxDelay := flag.Duration("maxdelay", 2*time.Millisecond, "dynamic batcher: flush after this long")
+	queueDepth := flag.Int("queue", 256, "admission queue depth (requests)")
+	policy := flag.String("policy", "block", "overload policy: block or shed")
+
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	loadgen := flag.Bool("loadgen", false, "run the closed-loop load generator instead of serving HTTP")
+	clients := flag.Int("clients", 8, "loadgen: concurrent closed-loop clients")
+	duration := flag.Duration("duration", 10*time.Second, "loadgen: run length")
+	seed := flag.Int64("seed", 1, "loadgen: client trace seed base")
+	timeout := flag.Duration("timeout", 0, "loadgen: per-request deadline (0 = none)")
+	flag.Parse()
+
+	pol, err := serve.ParsePolicy(*policy)
+	if err != nil {
+		fail(err)
+	}
+	spec := recross.CriteoKaggle(*veclen, *pooling)
+	if *terabyte {
+		spec = recross.CriteoTerabyte(*veclen, *pooling)
+	}
+	cfg := recross.Config{
+		Spec: spec, Ranks: *ranks, Channels: *channels,
+		Batch: *maxBatch, ProfileSamples: *profSamples,
+	}
+
+	fmt.Fprintf(os.Stderr, "recross-serve: building %d %s replica(s) over %s (%d tables)...\n",
+		*replicas, *archFlag, spec.Name, len(spec.Tables))
+	t0 := time.Now()
+	srv, err := recross.NewServer(recross.Arch(*archFlag), cfg, *replicas, recross.ServeOptions{
+		MaxBatch:   *maxBatch,
+		MaxDelay:   *maxDelay,
+		QueueDepth: *queueDepth,
+		Policy:     pol,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "recross-serve: pool ready in %v (maxbatch %d, maxdelay %v, queue %d, policy %s)\n",
+		time.Since(t0).Round(time.Millisecond), *maxBatch, *maxDelay, *queueDepth, pol)
+
+	if *loadgen {
+		runLoadgen(srv, spec, *clients, *duration, *seed, *timeout)
+		return
+	}
+	serveHTTP(srv, *addr)
+}
+
+func runLoadgen(srv *recross.Server, spec recross.ModelSpec, clients int, duration time.Duration, seed int64, timeout time.Duration) {
+	fmt.Fprintf(os.Stderr, "recross-serve: loadgen %d clients for %v...\n", clients, duration)
+	rep, err := recross.Loadgen(srv, recross.LoadgenOptions{
+		Spec:     spec,
+		Clients:  clients,
+		Duration: duration,
+		Seed:     seed,
+		Timeout:  timeout,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if err := srv.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Print(rep.String())
+}
+
+func serveHTTP(srv *recross.Server, addr string) {
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "recross-serve: listening on %s\n", addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop taking TCP connections, answer in-flight HTTP
+	// requests, then drain the serving queue.
+	fmt.Fprintln(os.Stderr, "recross-serve: draining...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "recross-serve: shutdown:", err)
+	}
+	if err := srv.Close(); err != nil {
+		fail(err)
+	}
+	snap := srv.Metrics().Snapshot()
+	fmt.Fprintf(os.Stderr, "recross-serve: drained; served %d requests in %d batches (mean %.1f samples/batch)\n",
+		snap.Completed, snap.Batches, snap.MeanBatch())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "recross-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// The serving example spins up the embedding-inference serving layer
+// in-process — a 2-replica ReCross pool behind the dynamic batcher —
+// fires concurrent request streams at it, and prints the percentile
+// report plus the server's own metrics snapshot. It doubles as an
+// integration smoke test for the serve subsystem.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"recross"
+)
+
+func main() {
+	// A small spec keeps the example quick; swap in CriteoKaggle(64, 80)
+	// for the paper-scale workload.
+	spec := recross.CriteoKaggle(32, 16)
+	cfg := recross.Config{Spec: spec, ProfileSamples: 500}
+
+	fmt.Println("building 2 ReCross replicas (profiled once)...")
+	t0 := time.Now()
+	srv, err := recross.NewServer(recross.ReCross, cfg, 2, recross.ServeOptions{
+		MaxBatch: 16,
+		MaxDelay: 500 * time.Microsecond,
+		Policy:   recross.BlockOnOverload,
+	})
+	check(err)
+	fmt.Printf("pool ready in %v\n\n", time.Since(t0).Round(time.Millisecond))
+
+	// Hand-rolled concurrent clients (the built-in closed-loop generator
+	// is shown after): every result is checked against the functional
+	// embedding layer.
+	layer, err := recross.NewLayer(spec)
+	check(err)
+	const clients, perClient = 6, 10
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			gen, err := recross.NewGenerator(spec, int64(100+c))
+			check(err)
+			for i := 0; i < perClient; i++ {
+				sample := gen.Sample()
+				res, err := srv.Lookup(context.Background(), sample)
+				check(err)
+				want, err := layer.ReduceSample(sample)
+				check(err)
+				for k := range want {
+					if !recross.AlmostEqual(res.Vectors[k], want[k], 0) {
+						fmt.Println("MISMATCH: served vector differs from functional layer")
+						os.Exit(1)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	fmt.Printf("%d requests served, every vector bit-identical to the functional layer\n\n",
+		clients*perClient)
+
+	// The built-in closed-loop load generator.
+	rep, err := recross.Loadgen(srv, recross.LoadgenOptions{
+		Spec:     spec,
+		Clients:  8,
+		Duration: 2 * time.Second,
+	})
+	check(err)
+	fmt.Print(rep.String())
+
+	snap := srv.Metrics().Snapshot()
+	fmt.Printf("\nserver metrics: %d admitted, %d completed, %d batches\n",
+		snap.Admitted, snap.Completed, snap.Batches)
+	fmt.Printf("  queue wait  p50 %s  p99 %s\n", us(snap.QueueWait.P50), us(snap.QueueWait.P99))
+	fmt.Printf("  batch form  p50 %s  p99 %s\n", us(snap.BatchForm.P50), us(snap.BatchForm.P99))
+	fmt.Printf("  end-to-end  p50 %s  p99 %s\n", us(snap.E2E.P50), us(snap.E2E.P99))
+	fmt.Printf("  simulated   p50 %.0f  p99 %.0f DRAM cycles/batch\n",
+		snap.ServiceCycles.P50, snap.ServiceCycles.P99)
+
+	check(srv.Close())
+	fmt.Println("\ndrained cleanly")
+}
+
+// us renders nanoseconds as microseconds.
+func us(ns float64) string { return fmt.Sprintf("%.0fus", ns/1e3) }
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serving example:", err)
+		os.Exit(1)
+	}
+}

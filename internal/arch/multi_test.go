@@ -1,10 +1,14 @@
 package arch
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"recross/internal/dram"
+	"recross/internal/embedding"
 	"recross/internal/memctrl"
 	"recross/internal/sim"
 	"recross/internal/trace"
@@ -175,5 +179,125 @@ func TestMultiChannelScalesRealDrains(t *testing.T) {
 	speedup := float64(one.Cycles) / float64(four.Cycles)
 	if speedup < 2.5 {
 		t.Fatalf("4-channel speedup = %.2f, want >= 2.5 on a DQ-bound workload", speedup)
+	}
+}
+
+// funcShard is a channel "system" that functionally reduces its shard's
+// ops against the GLOBAL embedding layer (mapping its local table indices
+// back through the global spec by table name), recording one output
+// vector per (sample, global table). It turns MultiChannel.Run into a
+// functional computation so routing and index remapping can be checked
+// bit-for-bit.
+type funcSink struct {
+	mu      sync.Mutex
+	outputs map[[2]int][]float32 // (sample, global table) -> vector
+}
+
+type funcShard struct {
+	sub    trace.ModelSpec
+	global map[string]int // table name -> global index
+	layer  *embedding.Layer
+	sink   *funcSink // shared across shards (channels run concurrently)
+}
+
+func (f *funcShard) Name() string { return "func" }
+
+func (f *funcShard) Run(b trace.Batch) (*RunStats, error) {
+	var lookups int64
+	for si, s := range b {
+		for _, op := range s {
+			if op.Table < 0 || op.Table >= len(f.sub.Tables) {
+				return nil, fmt.Errorf("local table %d out of shard range", op.Table)
+			}
+			gt, ok := f.global[f.sub.Tables[op.Table].Name]
+			if !ok {
+				return nil, fmt.Errorf("table %q not in global spec", f.sub.Tables[op.Table].Name)
+			}
+			gop := op
+			gop.Table = gt
+			v, err := f.layer.Reduce(gop)
+			if err != nil {
+				return nil, err
+			}
+			f.sink.mu.Lock()
+			if _, dup := f.sink.outputs[[2]int{si, gt}]; dup {
+				f.sink.mu.Unlock()
+				return nil, fmt.Errorf("sample %d table %d reduced twice", si, gt)
+			}
+			f.sink.outputs[[2]int{si, gt}] = v
+			f.sink.mu.Unlock()
+			lookups += int64(len(op.Indices))
+		}
+	}
+	return &RunStats{Cycles: 1, Lookups: lookups, Imbalance: 1}, nil
+}
+
+// TestMultiChannelUnevenTables shards 7 tables over 3 channels
+// (7 % 3 != 0): every table must land on exactly one channel, and the
+// routed-and-remapped ops must reproduce the functional embedding layer's
+// outputs bit-for-bit.
+func TestMultiChannelUnevenTables(t *testing.T) {
+	spec := trace.Uniform(7, 500, 8, 3)
+	layer, err := embedding.NewLayer(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := make(map[string]int, len(spec.Tables))
+	for i, tb := range spec.Tables {
+		global[tb.Name] = i
+	}
+
+	sink := &funcSink{outputs: make(map[[2]int][]float32)}
+	seen := map[string]int{} // table name -> times assigned to a shard
+	m, err := NewMultiChannel(spec, 3, func(sub trace.ModelSpec) (System, error) {
+		for _, tb := range sub.Tables {
+			seen[tb.Name]++
+		}
+		return &funcShard{sub: sub, global: global, layer: layer, sink: sink}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every table on exactly one channel.
+	if len(seen) != len(spec.Tables) {
+		t.Fatalf("%d of %d tables assigned", len(seen), len(spec.Tables))
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("table %q assigned to %d channels, want exactly 1", name, n)
+		}
+	}
+
+	g, err := trace.NewGenerator(spec, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Batch(4)
+	if _, err := m.Run(b); err != nil {
+		t.Fatal(err)
+	}
+
+	// The sharded functional outputs must match the unsharded layer
+	// bit-for-bit (same ops, same tables, same order within each op).
+	var checked int
+	for si, s := range b {
+		for _, op := range s {
+			want, err := layer.Reduce(op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := sink.outputs[[2]int{si, op.Table}]
+			if !ok {
+				t.Fatalf("sample %d table %d never reached a channel", si, op.Table)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("sample %d table %d: sharded result differs from functional layer", si, op.Table)
+			}
+			checked++
+		}
+	}
+	if lookups, _ := CountBatch(b); checked == 0 || lookups == 0 {
+		t.Fatal("empty batch checked nothing")
 	}
 }

@@ -1,0 +1,104 @@
+package serve
+
+import "time"
+
+// dispatch is the dynamic batcher: it pulls admitted requests off the
+// queue and coalesces them into batches, flushing when MaxBatch samples
+// are collected or MaxDelay has elapsed since the batch opened. Requests
+// whose context expired while queued are dropped here, at dequeue time,
+// before they consume a batch slot. The loop exits when the admission
+// channel is closed and fully drained, flushing any partial batch so
+// graceful drain answers every admitted request.
+func (s *Server) dispatch() {
+	defer close(s.dispatcherDone)
+
+	var batch []*request
+	var opened time.Time // when the batch's first request was dequeued
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	timerLive := false
+	stopTimer := func() {
+		if timerLive && !timer.Stop() {
+			<-timer.C
+		}
+		timerLive = false
+	}
+	flush := func() {
+		stopTimer()
+		if len(batch) == 0 {
+			return
+		}
+		s.metrics.BatchForm.RecordSince(opened)
+		s.route(batch)
+		batch = nil
+	}
+
+	for {
+		if len(batch) == 0 {
+			// Nothing pending: block for the next request.
+			r, ok := <-s.in
+			if !ok {
+				return
+			}
+			if !s.admitAtDequeue(r) {
+				continue
+			}
+			batch = append(batch, r)
+			opened = time.Now()
+			timer.Reset(s.opts.MaxDelay)
+			timerLive = true
+			if len(batch) >= s.opts.MaxBatch {
+				flush()
+			}
+			continue
+		}
+		select {
+		case r, ok := <-s.in:
+			if !ok {
+				flush()
+				return
+			}
+			if !s.admitAtDequeue(r) {
+				continue
+			}
+			batch = append(batch, r)
+			if len(batch) >= s.opts.MaxBatch {
+				flush()
+			}
+		case <-timer.C:
+			timerLive = false
+			flush()
+		}
+	}
+}
+
+// admitAtDequeue records the queue wait and drops requests whose context
+// expired while queued. Returns false if the request was dropped.
+func (s *Server) admitAtDequeue(r *request) bool {
+	r.deq = time.Now()
+	s.metrics.QueueWait.Record(r.deq.Sub(r.enq).Nanoseconds())
+	if err := r.ctx.Err(); err != nil {
+		s.metrics.Canceled.Add(1)
+		r.complete(outcome{err: err})
+		return false
+	}
+	return true
+}
+
+// route hands a formed batch to the replica with the least outstanding
+// work (queued + running samples), the serving analogue of the paper's
+// load-balance objective across memory nodes.
+func (s *Server) route(batch []*request) {
+	best := 0
+	bestLoad := s.replicas[0].outstanding.Load()
+	for i := 1; i < len(s.replicas); i++ {
+		if l := s.replicas[i].outstanding.Load(); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	rep := s.replicas[best]
+	rep.outstanding.Add(int64(len(batch)))
+	rep.work <- batch
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"recross/internal/trace"
+)
+
+// maxLookupBody bounds a POST /v1/lookup body (1 MiB is thousands of
+// lookup indices — far beyond any real sample).
+const maxLookupBody = 1 << 20
+
+// OpRequest is the wire form of one embedding operation.
+type OpRequest struct {
+	// Table is the embedding table index.
+	Table int `json:"table"`
+	// Kind is "weighted-sum" (default), "sum" or "max".
+	Kind string `json:"kind,omitempty"`
+	// Indices are the rows to gather.
+	Indices []int64 `json:"indices"`
+	// Weights are the pooling weights (defaults to all-ones when
+	// omitted; present but ignored for "sum" and "max").
+	Weights []float32 `json:"weights,omitempty"`
+}
+
+// LookupRequest is the POST /v1/lookup body: one inference sample.
+type LookupRequest struct {
+	Ops []OpRequest `json:"ops"`
+}
+
+// LookupResponse is the POST /v1/lookup answer.
+type LookupResponse struct {
+	// Vectors is one pooled embedding vector per op.
+	Vectors [][]float32 `json:"vectors"`
+	// BatchSize is the coalesced batch the sample rode in.
+	BatchSize int `json:"batch_size"`
+	// ServiceCycles is the simulated DRAM-cycle latency of that batch.
+	ServiceCycles int64 `json:"service_cycles"`
+	// Replica is the pool worker that served it.
+	Replica int `json:"replica"`
+	// QueueMicros and TotalMicros are wall-clock microseconds.
+	QueueMicros float64 `json:"queue_us"`
+	TotalMicros float64 `json:"total_us"`
+}
+
+// errorResponse is the JSON error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// parseKind maps the wire kind to a trace.ReduceKind.
+func parseKind(s string) (trace.ReduceKind, error) {
+	switch s {
+	case "", "weighted-sum":
+		return trace.WeightedSum, nil
+	case "sum":
+		return trace.Sum, nil
+	case "max":
+		return trace.Max, nil
+	default:
+		return 0, fmt.Errorf("unknown reduce kind %q", s)
+	}
+}
+
+// SampleOf converts a wire request into a trace.Sample, validating shape
+// against the server's embedding layer.
+func (s *Server) SampleOf(lr LookupRequest) (trace.Sample, error) {
+	if len(lr.Ops) == 0 {
+		return nil, errors.New("no ops in request")
+	}
+	sample := make(trace.Sample, 0, len(lr.Ops))
+	for i, o := range lr.Ops {
+		if o.Table < 0 || o.Table >= s.opts.Layer.Tables() {
+			return nil, fmt.Errorf("op %d: table %d out of [0,%d)", i, o.Table, s.opts.Layer.Tables())
+		}
+		if len(o.Indices) == 0 {
+			return nil, fmt.Errorf("op %d: no indices", i)
+		}
+		rows := s.opts.Layer.Table(o.Table).Rows()
+		for _, idx := range o.Indices {
+			if idx < 0 || idx >= rows {
+				return nil, fmt.Errorf("op %d: index %d out of [0,%d)", i, idx, rows)
+			}
+		}
+		kind, err := parseKind(o.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("op %d: %w", i, err)
+		}
+		// trace.Op requires len(Weights) == len(Indices) for every kind
+		// (Sum/Max ignore the values but Systems index them), so absent
+		// weights are filled with 1s regardless of kind.
+		w := o.Weights
+		if w == nil {
+			w = make([]float32, len(o.Indices))
+			for k := range w {
+				w[k] = 1
+			}
+		} else if len(w) != len(o.Indices) {
+			return nil, fmt.Errorf("op %d: %d weights for %d indices", i, len(w), len(o.Indices))
+		}
+		sample = append(sample, trace.Op{Table: o.Table, Kind: kind, Indices: o.Indices, Weights: w})
+	}
+	return sample, nil
+}
+
+// Handler returns the HTTP front-end:
+//
+//	POST /v1/lookup  — serve one sample (JSON in/out)
+//	GET  /metrics    — Prometheus text exposition
+//	GET  /healthz    — 200 "ok", 503 "draining" during graceful drain
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lookup", s.handleLookup)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	var lr LookupRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxLookupBody))
+	if err := dec.Decode(&lr); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sample, err := s.SampleOf(lr)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.Lookup(r.Context(), sample)
+	if err != nil {
+		writeErr(w, statusOf(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(LookupResponse{
+		Vectors:       res.Vectors,
+		BatchSize:     res.BatchSize,
+		ServiceCycles: int64(res.ServiceCycles),
+		Replica:       res.Replica,
+		QueueMicros:   float64(res.QueueWait.Nanoseconds()) / 1e3,
+		TotalMicros:   float64(res.Total.Nanoseconds()) / 1e3,
+	})
+}
+
+// statusOf maps serving errors to HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, s.metrics.Snapshot().Expo())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}

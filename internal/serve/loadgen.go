@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"recross/internal/trace"
+)
+
+// LoadgenOptions configures Loadgen, the built-in closed-loop load
+// generator: Clients goroutines each issue Lookup calls back-to-back
+// (closed loop — a client's next request waits for its previous answer)
+// for Duration.
+type LoadgenOptions struct {
+	// Spec is the workload the clients draw samples from (required; must
+	// match the spec the server's systems were built for).
+	Spec trace.ModelSpec
+	// Clients is the number of concurrent closed-loop clients
+	// (default 8).
+	Clients int
+	// Duration is how long to generate load (default 5s).
+	Duration time.Duration
+	// Seed seeds client i's generator with Seed+i (default 1).
+	Seed int64
+	// Timeout, when positive, bounds each request with a deadline.
+	Timeout time.Duration
+}
+
+func (o LoadgenOptions) withDefaults() LoadgenOptions {
+	if o.Clients == 0 {
+		o.Clients = 8
+	}
+	if o.Duration == 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Report summarizes one load-generation run.
+type Report struct {
+	Clients   int
+	Wall      time.Duration
+	Requests  int64 // completed successfully
+	Shed      int64
+	Canceled  int64
+	Errors    int64   // other failures
+	Thru      float64 // completed requests per second
+	P50       time.Duration
+	P95       time.Duration
+	P99       time.Duration
+	Max       time.Duration
+	MeanBatch float64
+	// ServiceP50/P99 are simulated DRAM-cycle batch latencies.
+	ServiceP50, ServiceP99 float64
+}
+
+// String renders the human-readable report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d clients, %.2fs wall\n", r.Clients, r.Wall.Seconds())
+	fmt.Fprintf(&b, "  completed  %d (%.0f req/s)\n", r.Requests, r.Thru)
+	if r.Shed > 0 || r.Canceled > 0 || r.Errors > 0 {
+		fmt.Fprintf(&b, "  shed %d, canceled %d, errors %d\n", r.Shed, r.Canceled, r.Errors)
+	}
+	fmt.Fprintf(&b, "  latency    p50 %v  p95 %v  p99 %v  max %v\n", r.P50, r.P95, r.P99, r.Max)
+	fmt.Fprintf(&b, "  batching   mean %.1f samples/batch\n", r.MeanBatch)
+	fmt.Fprintf(&b, "  simulated  p50 %.0f  p99 %.0f DRAM cycles/batch\n", r.ServiceP50, r.ServiceP99)
+	return b.String()
+}
+
+// Loadgen drives the server with closed-loop clients and reports
+// throughput and latency percentiles. The percentiles are exact (every
+// request's latency is kept), unlike the server's streaming histograms.
+func Loadgen(s *Server, opts LoadgenOptions) (*Report, error) {
+	opts = opts.withDefaults()
+	if err := opts.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Clients < 1 {
+		return nil, fmt.Errorf("serve: %d clients", opts.Clients)
+	}
+
+	type clientStats struct {
+		lat                    []float64 // ns
+		shed, canceled, errors int64
+	}
+	stats := make([]clientStats, opts.Clients)
+	deadline := time.Now().Add(opts.Duration)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, opts.Clients)
+	for c := 0; c < opts.Clients; c++ {
+		gen, err := trace.NewGenerator(opts.Spec, opts.Seed+int64(c))
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(c int, gen *trace.Generator) {
+			defer wg.Done()
+			st := &stats[c]
+			for time.Now().Before(deadline) {
+				sample := gen.Sample()
+				if len(sample) == 0 {
+					continue // all-probabilistic spec rolled no tables
+				}
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if opts.Timeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+				}
+				t0 := time.Now()
+				_, err := s.Lookup(ctx, sample)
+				cancel()
+				switch {
+				case err == nil:
+					st.lat = append(st.lat, float64(time.Since(t0).Nanoseconds()))
+				case errors.Is(err, ErrOverloaded):
+					st.shed++
+				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+					st.canceled++
+				case errors.Is(err, ErrClosed):
+					return
+				default:
+					st.errors++
+					select {
+					case errc <- err:
+					default:
+					}
+				}
+			}
+		}(c, gen)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &Report{Clients: opts.Clients, Wall: wall}
+	var all []float64
+	for i := range stats {
+		rep.Requests += int64(len(stats[i].lat))
+		rep.Shed += stats[i].shed
+		rep.Canceled += stats[i].canceled
+		rep.Errors += stats[i].errors
+		all = append(all, stats[i].lat...)
+	}
+	if wall > 0 {
+		rep.Thru = float64(rep.Requests) / wall.Seconds()
+	}
+	rep.P50, rep.P95, rep.P99 = percentileDurations(all)
+	for _, ns := range all {
+		if d := time.Duration(ns); d > rep.Max {
+			rep.Max = d
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	rep.MeanBatch = snap.MeanBatch()
+	rep.ServiceP50, rep.ServiceP99 = snap.ServiceCycles.P50, snap.ServiceCycles.P99
+	if rep.Requests == 0 {
+		select {
+		case err := <-errc:
+			return rep, fmt.Errorf("serve: loadgen completed no requests: %w", err)
+		default:
+			return rep, errors.New("serve: loadgen completed no requests")
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"recross/internal/arch"
+	"recross/internal/trace"
+)
+
+// replicaWorkDepth is how many formed batches may queue at one replica
+// beyond the one it is running; small so the least-outstanding dispatcher
+// keeps the routing decision late.
+const replicaWorkDepth = 2
+
+// replica is one pool shard: a timing model owned exclusively by one
+// worker goroutine (arch.System is single-goroutine by contract).
+type replica struct {
+	id          int
+	sys         arch.System
+	work        chan []*request
+	outstanding atomic.Int64 // queued + running samples
+	batches     atomic.Int64
+	samples     atomic.Int64
+}
+
+func newReplica(id int, sys arch.System) *replica {
+	return &replica{id: id, sys: sys, work: make(chan []*request, replicaWorkDepth)}
+}
+
+// run executes formed batches until the work channel closes.
+func (rep *replica) run(s *Server) {
+	for batch := range rep.work {
+		rep.serve(s, batch)
+	}
+}
+
+// serve runs one coalesced batch through the replica's timing model and
+// demultiplexes the functional results back to each request's future.
+func (rep *replica) serve(s *Server, batch []*request) {
+	defer rep.outstanding.Add(-int64(len(batch)))
+
+	b := make(trace.Batch, len(batch))
+	for i, r := range batch {
+		b[i] = r.sample
+	}
+	st, err := rep.sys.Run(b)
+	if err != nil {
+		for _, r := range batch {
+			s.metrics.Failed.Add(1)
+			r.complete(outcome{err: err})
+		}
+		return
+	}
+	rep.batches.Add(1)
+	rep.samples.Add(int64(len(batch)))
+	s.metrics.Batches.Add(1)
+	s.metrics.BatchSamples.Add(int64(len(batch)))
+	s.metrics.ServiceCycles.Record(int64(st.Cycles))
+
+	for _, r := range batch {
+		vecs, err := s.opts.Layer.ReduceSample(r.sample)
+		if err != nil {
+			s.metrics.Failed.Add(1)
+			r.complete(outcome{err: err})
+			continue
+		}
+		now := time.Now()
+		res := &Result{
+			Vectors:       vecs,
+			BatchSize:     len(batch),
+			ServiceCycles: st.Cycles,
+			Replica:       rep.id,
+			QueueWait:     r.deq.Sub(r.enq),
+			Total:         now.Sub(r.enq),
+		}
+		s.metrics.E2E.Record(res.Total.Nanoseconds())
+		s.metrics.Completed.Add(1)
+		r.complete(outcome{res: res})
+	}
+}
+
+// ReplicaLoad reports per-replica served batches and samples, for
+// inspecting the least-outstanding balance.
+func (s *Server) ReplicaLoad() (batches, samples []int64) {
+	batches = make([]int64, len(s.replicas))
+	samples = make([]int64, len(s.replicas))
+	for i, rep := range s.replicas {
+		batches[i] = rep.batches.Load()
+		samples[i] = rep.samples.Load()
+	}
+	return batches, samples
+}

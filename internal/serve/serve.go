@@ -1,0 +1,302 @@
+// Package serve turns the batch-oriented simulator into a long-running
+// embedding-inference service, the deployment model RecNMP and RecSSD
+// evaluate recommendation accelerators under: concurrent single-sample
+// query streams, SLA tail latency, throughput under load.
+//
+// The layer has four parts:
+//
+//   - a dynamic batcher: incoming single-sample requests queue per model
+//     and coalesce into batches, flushing when MaxBatch samples are
+//     waiting or MaxDelay has elapsed since the batch opened — the
+//     standard latency/throughput knob of inference serving;
+//   - a sharded worker pool: N replicas of an arch.System (each its own
+//     simulated memory channel/device), fed by least-outstanding-work
+//     dispatch, with results demultiplexed back to per-request futures;
+//   - admission control: a bounded queue with a configurable overload
+//     policy (Block until space, or Shed with ErrOverloaded), and
+//     per-request context deadlines honored at dequeue time;
+//   - a metrics registry: lock-cheap counters and streaming histograms
+//     (queue wait, batch formation, simulated service cycles, end-to-end
+//     wall time) exposing p50/p95/p99 snapshots.
+//
+// An arch.System is single-goroutine (see the recross.System docs); the
+// pool gives each replica exclusively to one worker goroutine, which is
+// what makes the whole server safe for arbitrary concurrent Lookup calls.
+// The functional embedding.Layer is shared: procedural tables are
+// immutable and safe for concurrent reads.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"recross/internal/arch"
+	"recross/internal/embedding"
+	"recross/internal/sim"
+	"recross/internal/trace"
+)
+
+// Overload errors returned by Lookup.
+var (
+	// ErrOverloaded reports that the admission queue was full under the
+	// Shed policy.
+	ErrOverloaded = errors.New("serve: overloaded, request shed")
+	// ErrClosed reports that the server is draining or closed.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// OverloadPolicy selects what admission does when the queue is full.
+type OverloadPolicy int
+
+const (
+	// Block waits for queue space (or the request context's cancellation).
+	Block OverloadPolicy = iota
+	// Shed fails fast with ErrOverloaded.
+	Shed
+)
+
+func (p OverloadPolicy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Shed:
+		return "shed"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses "block" or "shed".
+func ParsePolicy(s string) (OverloadPolicy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "shed":
+		return Shed, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown overload policy %q", s)
+	}
+}
+
+// Options configures New.
+type Options struct {
+	// Systems are the replica timing models, one per pool worker
+	// (required, at least one). Each must be used by no one else: the
+	// worker owns it exclusively.
+	Systems []arch.System
+	// Layer is the shared functional embedding layer producing the actual
+	// result vectors (required). It must be safe for concurrent reads
+	// (procedural layers are).
+	Layer *embedding.Layer
+	// MaxBatch is the coalescing limit in samples (default 32).
+	MaxBatch int
+	// MaxDelay bounds how long the first request of a batch may wait for
+	// co-riders before the batch flushes regardless (default 1ms).
+	MaxDelay time.Duration
+	// QueueDepth bounds the admission queue in requests
+	// (default 4*MaxBatch).
+	QueueDepth int
+	// Policy selects the overload behaviour (default Block).
+	Policy OverloadPolicy
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 32
+	}
+	if o.MaxDelay == 0 {
+		o.MaxDelay = time.Millisecond
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 4 * o.MaxBatch
+	}
+	return o
+}
+
+// Result is one answered request.
+type Result struct {
+	// Vectors holds the pooled embedding vector of each op of the sample,
+	// bit-identical to embedding.Layer.Reduce on the same op.
+	Vectors [][]float32
+	// BatchSize is how many samples were coalesced into the simulated
+	// batch that served this request.
+	BatchSize int
+	// ServiceCycles is the simulated DRAM-cycle latency of that batch.
+	ServiceCycles sim.Cycle
+	// Replica is the pool worker that served the batch.
+	Replica int
+	// QueueWait is the wall time spent waiting in the admission queue.
+	QueueWait time.Duration
+	// Total is the end-to-end wall time from admission to completion.
+	Total time.Duration
+}
+
+// outcome resolves one request's future.
+type outcome struct {
+	res *Result
+	err error
+}
+
+// request is one queued lookup.
+type request struct {
+	ctx    context.Context
+	sample trace.Sample
+	enq    time.Time    // admission time
+	deq    time.Time    // dequeue time, set by the batcher
+	done   chan outcome // buffered(1): workers never block completing it
+}
+
+func (r *request) complete(o outcome) { r.done <- o }
+
+// Server is the embedding-inference front-end. Create with New; all
+// methods are safe for concurrent use.
+type Server struct {
+	opts     Options
+	metrics  *Metrics
+	in       chan *request
+	replicas []*replica
+
+	mu     sync.RWMutex // guards closed against in-flight enqueues
+	closed bool
+
+	dispatcherDone chan struct{}
+	workers        sync.WaitGroup
+}
+
+// New builds and starts a server: one dispatcher goroutine plus one
+// worker goroutine per replica system.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if len(opts.Systems) == 0 {
+		return nil, errors.New("serve: at least one replica system required")
+	}
+	if opts.Layer == nil {
+		return nil, errors.New("serve: functional layer required")
+	}
+	if opts.MaxBatch < 1 {
+		return nil, fmt.Errorf("serve: MaxBatch %d < 1", opts.MaxBatch)
+	}
+	if opts.QueueDepth < 1 {
+		return nil, fmt.Errorf("serve: QueueDepth %d < 1", opts.QueueDepth)
+	}
+	if opts.Policy != Block && opts.Policy != Shed {
+		return nil, fmt.Errorf("serve: unknown overload policy %d", opts.Policy)
+	}
+	s := &Server{
+		opts:           opts,
+		metrics:        NewMetrics(),
+		in:             make(chan *request, opts.QueueDepth),
+		dispatcherDone: make(chan struct{}),
+	}
+	for i, sys := range opts.Systems {
+		rep := newReplica(i, sys)
+		s.replicas = append(s.replicas, rep)
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			rep.run(s)
+		}()
+	}
+	go s.dispatch()
+	return s, nil
+}
+
+// Replicas returns the pool width.
+func (s *Server) Replicas() int { return len(s.replicas) }
+
+// Metrics returns the live registry (snapshot it for reporting).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Draining reports whether Close has begun.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// Lookup serves one sample's embedding work: the sample is queued,
+// coalesced into a batch, run through a replica's timing model, and its
+// functional result vectors returned. ctx cancellation is honored while
+// blocked at admission and while queued (at dequeue time); once the
+// sample is in a running batch the result is computed but discarded if
+// the caller has gone.
+func (s *Server) Lookup(ctx context.Context, sample trace.Sample) (*Result, error) {
+	if len(sample) == 0 {
+		return nil, errors.New("serve: empty sample")
+	}
+	// Enforce the trace.Op shape contract before the sample can reach a
+	// worker: Systems assume len(Weights) == len(Indices) (weights are
+	// ignored for Sum/Max but must be present), and a violation would
+	// panic a replica goroutine and take the whole server down.
+	for i, op := range sample {
+		if len(op.Indices) == 0 {
+			return nil, fmt.Errorf("serve: op %d has no indices", i)
+		}
+		if len(op.Weights) != len(op.Indices) {
+			return nil, fmt.Errorf("serve: op %d has %d weights for %d indices",
+				i, len(op.Weights), len(op.Indices))
+		}
+	}
+	r := &request{ctx: ctx, sample: sample, enq: time.Now(), done: make(chan outcome, 1)}
+
+	// The read lock spans the enqueue so Close (write lock) cannot close
+	// s.in while an admission send is in flight.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	switch s.opts.Policy {
+	case Shed:
+		select {
+		case s.in <- r:
+		default:
+			s.mu.RUnlock()
+			s.metrics.Shed.Add(1)
+			return nil, ErrOverloaded
+		}
+	default: // Block
+		select {
+		case s.in <- r:
+		case <-ctx.Done():
+			s.mu.RUnlock()
+			s.metrics.Canceled.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+	s.mu.RUnlock()
+	s.metrics.Admitted.Add(1)
+
+	select {
+	case o := <-r.done:
+		return o.res, o.err
+	case <-ctx.Done():
+		// Still queued (will be dropped at dequeue) or already running
+		// (result discarded; the buffered done channel frees the worker).
+		return nil, ctx.Err()
+	}
+}
+
+// Close gracefully drains the server: admission stops with ErrClosed,
+// every already-admitted request is batched and answered, and all
+// goroutines exit before Close returns.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	close(s.in)        // dispatcher drains the queue, flushes, exits
+	<-s.dispatcherDone // all batches handed to workers
+	for _, rep := range s.replicas {
+		close(rep.work)
+	}
+	s.workers.Wait()
+	return nil
+}

@@ -39,6 +39,7 @@ import (
 	"recross/internal/embedding"
 	"recross/internal/energy"
 	"recross/internal/partition"
+	"recross/internal/serve"
 	"recross/internal/trace"
 )
 
@@ -52,11 +53,23 @@ type (
 	Batch = trace.Batch
 	// Op is one embedding operation (gather + weighted-sum reduction).
 	Op = trace.Op
+	// Sample is one inference sample's embedding work (one Op per
+	// accessed table) — the unit the serving layer's Lookup accepts.
+	Sample = trace.Sample
 	// Generator produces deterministic synthetic traces.
 	Generator = trace.Generator
 	// RunStats reports one simulated batch execution.
 	RunStats = arch.RunStats
 	// System is one simulated architecture.
+	//
+	// Concurrency contract: a System is single-goroutine. Run mutates
+	// internal simulator state (banks, controller queues, caches), so a
+	// single instance must never see concurrent Run calls; serialization
+	// is the caller's job. Independent System instances are fully
+	// isolated — even when built over the same ModelSpec and sharing one
+	// *Profile (which construction only reads) — so scaling out means
+	// one instance per goroutine, exactly what the serving layer's
+	// replica pool does (see Server and Config.ReplicaSystems).
 	System = arch.System
 	// EnergyBreakdown decomposes a run's energy.
 	EnergyBreakdown = energy.Breakdown
@@ -70,6 +83,44 @@ type (
 	ReCrossConfig = core.Config
 	// Profile carries the offline access statistics the partitioners use.
 	Profile = partition.Profile
+
+	// Server is the embedding-inference serving front-end: dynamic
+	// batching over a sharded replica pool with admission control and a
+	// metrics registry. Build one with NewServer (or serve.New directly
+	// via ServeOptions).
+	Server = serve.Server
+	// ServeOptions configures the serving layer (batching, queueing,
+	// overload policy, replica systems).
+	ServeOptions = serve.Options
+	// ServeResult is one answered lookup.
+	ServeResult = serve.Result
+	// ServeMetrics is the serving layer's live metrics registry.
+	ServeMetrics = serve.Metrics
+	// ServeSnapshot is a point-in-time metrics capture with p50/p95/p99.
+	ServeSnapshot = serve.Snapshot
+	// OverloadPolicy selects Block or Shed admission behaviour.
+	OverloadPolicy = serve.OverloadPolicy
+	// LoadgenOptions configures the built-in closed-loop load generator.
+	LoadgenOptions = serve.LoadgenOptions
+	// LoadgenReport is the load generator's throughput/latency summary.
+	LoadgenReport = serve.Report
+)
+
+// Serving layer overload policies and errors, re-exported.
+var (
+	// ErrOverloaded is returned by Server.Lookup when the admission
+	// queue is full under the Shed policy.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrServerClosed is returned once a Server is draining or closed.
+	ErrServerClosed = serve.ErrClosed
+)
+
+// Admission overload policies.
+const (
+	// BlockOnOverload waits for queue space.
+	BlockOnOverload = serve.Block
+	// ShedOnOverload fails fast with ErrOverloaded.
+	ShedOnOverload = serve.Shed
 )
 
 // CriteoKaggle returns the 26-table Criteo Kaggle workload spec.
@@ -91,6 +142,12 @@ func NewGenerator(spec ModelSpec, seed int64) (*Generator, error) {
 // zero-memory tables).
 func NewLayer(spec ModelSpec) (*Layer, error) {
 	return embedding.NewLayer(spec)
+}
+
+// AlmostEqual reports whether two vectors agree within tol elementwise
+// (tol 0 demands bit-identical results).
+func AlmostEqual(a, b []float32, tol float64) bool {
+	return embedding.AlmostEqual(a, b, tol)
 }
 
 // Arch selects an architecture.
@@ -137,8 +194,14 @@ type Config struct {
 	// ProfileSamples is the offline profiling length used by ReCross and
 	// TRiM-B's hot-entry selection (default 2000).
 	ProfileSamples int
-	// ProfileSeed seeds the profiling pass (default 12345).
+	// ProfileSeed seeds the profiling pass. A zero ProfileSeed means
+	// "use the default 12345" unless ProfileSeedSet is true; to profile
+	// with the literal seed 0, set ProfileSeedSet.
 	ProfileSeed int64
+	// ProfileSeedSet marks ProfileSeed as intentional, making seed 0
+	// usable. Without it a zero ProfileSeed is indistinguishable from an
+	// unset field and takes the default.
+	ProfileSeedSet bool
 	// Profile, when non-nil, is reused instead of profiling afresh.
 	Profile *Profile
 }
@@ -153,7 +216,7 @@ func (c Config) withDefaults() Config {
 	if c.ProfileSamples == 0 {
 		c.ProfileSamples = 2000
 	}
-	if c.ProfileSeed == 0 {
+	if c.ProfileSeed == 0 && !c.ProfileSeedSet {
 		c.ProfileSeed = 12345
 	}
 	return c
@@ -207,6 +270,65 @@ func NewSystem(a Arch, cfg Config) (System, error) {
 	default:
 		return nil, fmt.Errorf("recross: unknown architecture %q", a)
 	}
+}
+
+// ReplicaSystems builds n isolated System replicas of architecture a
+// over the same workload — the Config-level hook the serving layer's
+// worker pool is built from. The offline profile is computed once and
+// shared read-only across replicas, so startup does not re-profile n
+// times; each returned System is otherwise fully independent and safe to
+// drive from its own goroutine (see the System concurrency contract).
+func (c Config) ReplicaSystems(a Arch, n int) ([]System, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("recross: replica count %d < 1", n)
+	}
+	c = c.withDefaults()
+	// Profile once up front for the architectures that need one. Skipped
+	// for multi-channel configs, which re-profile per channel shard.
+	if c.Profile == nil && c.Channels <= 1 && (a == TRiMB || a == ReCross) {
+		if err := c.Spec.Validate(); err != nil {
+			return nil, err
+		}
+		prof, err := NewProfile(c.Spec, c.ProfileSeed, c.ProfileSamples)
+		if err != nil {
+			return nil, err
+		}
+		c.Profile = prof
+	}
+	systems := make([]System, n)
+	for i := range systems {
+		sys, err := NewSystem(a, c)
+		if err != nil {
+			return nil, fmt.Errorf("recross: replica %d: %w", i, err)
+		}
+		systems[i] = sys
+	}
+	return systems, nil
+}
+
+// NewServer builds the embedding-inference serving front-end: n replica
+// systems of architecture a over cfg (profiled once, via
+// Config.ReplicaSystems), the functional embedding layer for result
+// vectors, and the dynamic batcher / admission control configured by
+// opts (opts.Systems and opts.Layer are filled in here).
+func NewServer(a Arch, cfg Config, n int, opts ServeOptions) (*Server, error) {
+	systems, err := cfg.ReplicaSystems(a, n)
+	if err != nil {
+		return nil, err
+	}
+	layer, err := NewLayer(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	opts.Systems = systems
+	opts.Layer = layer
+	return serve.New(opts)
+}
+
+// Loadgen drives a Server with closed-loop clients and reports
+// throughput and latency percentiles.
+func Loadgen(s *Server, opts LoadgenOptions) (*LoadgenReport, error) {
+	return serve.Loadgen(s, opts)
 }
 
 // NewReCross builds a fully customized ReCross instance (PE population,

@@ -1,6 +1,11 @@
 package recross
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
 
 func miniSpec() ModelSpec {
 	spec := ModelSpec{Name: "facade-mini"}
@@ -116,5 +121,134 @@ func TestNewSystemMultiChannel(t *testing.T) {
 	}
 	if multi.Cycles >= one.Cycles {
 		t.Fatalf("3 channels (%d cycles) not faster than 1 (%d)", multi.Cycles, one.Cycles)
+	}
+}
+
+func TestConfigProfileSeed(t *testing.T) {
+	// Unset seed takes the documented default.
+	c := Config{Spec: miniSpec()}.withDefaults()
+	if c.ProfileSeed != 12345 {
+		t.Fatalf("unset seed = %d, want default 12345", c.ProfileSeed)
+	}
+	// An explicit non-zero seed is preserved.
+	c = Config{Spec: miniSpec(), ProfileSeed: 7}.withDefaults()
+	if c.ProfileSeed != 7 {
+		t.Fatalf("seed 7 coerced to %d", c.ProfileSeed)
+	}
+	// Seed 0 used to be unreachable (silently became 12345);
+	// ProfileSeedSet makes it expressible.
+	c = Config{Spec: miniSpec(), ProfileSeed: 0, ProfileSeedSet: true}.withDefaults()
+	if c.ProfileSeed != 0 {
+		t.Fatalf("explicit seed 0 coerced to %d", c.ProfileSeed)
+	}
+	// And it must produce a system that actually profiled with seed 0:
+	// identical to passing a seed-0 profile explicitly.
+	prof0, err := NewProfile(miniSpec(), 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewSystem(ReCross, Config{Spec: miniSpec(), Profile: prof0, ProfileSamples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewSystem(ReCross, Config{Spec: miniSpec(), ProfileSeedSet: true, ProfileSamples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := NewGenerator(miniSpec(), 3)
+	b := gen.Batch(2)
+	w, err := want.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := got.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Cycles != g.Cycles {
+		t.Fatalf("seed-0 system diverges: %d vs %d cycles", g.Cycles, w.Cycles)
+	}
+}
+
+// TestParallelReplicaIsolation is the concurrency audit of the serving
+// layer's hot path: two independent System instances over the SAME
+// ModelSpec and the SAME shared *Profile must be drivable from parallel
+// goroutines with identical results — i.e. construction only reads the
+// profile and Run touches no shared state. Run under -race (the CI
+// matrix does), this proves replica isolation; a single System instance
+// remains single-goroutine by contract.
+func TestParallelReplicaIsolation(t *testing.T) {
+	spec := miniSpec()
+	prof, err := NewProfile(spec, 1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Spec: spec, Profile: prof, ProfileSamples: 200}
+	for _, a := range []Arch{ReCross, TRiMB} {
+		replicas, err := cfg.ReplicaSystems(a, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		gen, _ := NewGenerator(spec, 11)
+		batches := []Batch{gen.Batch(4), gen.Batch(4)}
+
+		type res struct {
+			st  *RunStats
+			err error
+		}
+		out := make([][]res, 2)
+		done := make(chan struct{})
+		for r := 0; r < 2; r++ {
+			out[r] = make([]res, len(batches))
+			go func(r int) {
+				defer func() { done <- struct{}{} }()
+				for i, b := range batches {
+					st, err := replicas[r].Run(b)
+					out[r][i] = res{st, err}
+				}
+			}(r)
+		}
+		<-done
+		<-done
+		for i := range batches {
+			for r := 0; r < 2; r++ {
+				if out[r][i].err != nil {
+					t.Fatalf("%s replica %d batch %d: %v", a, r, i, out[r][i].err)
+				}
+			}
+			if a, b := out[0][i].st.Cycles, out[1][i].st.Cycles; a != b {
+				t.Errorf("replicas diverged on batch %d: %d vs %d cycles (shared state?)", i, a, b)
+			}
+		}
+	}
+}
+
+func TestFacadeServer(t *testing.T) {
+	cfg := Config{Spec: miniSpec(), ProfileSamples: 100}
+	s, err := NewServer(ReCross, cfg, 2, ServeOptions{
+		MaxBatch: 4,
+		MaxDelay: time.Millisecond,
+		Policy:   ShedOnOverload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Loadgen(s, LoadgenOptions{
+		Spec:     miniSpec(),
+		Clients:  4,
+		Duration: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("loadgen completed no requests")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := NewGenerator(miniSpec(), 1)
+	if _, err := s.Lookup(context.Background(), gen.Sample()); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("lookup after close = %v, want ErrServerClosed", err)
 	}
 }
