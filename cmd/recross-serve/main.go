@@ -19,7 +19,21 @@
 // Knobs: -maxbatch/-maxdelay trade latency for throughput; -queue and
 // -policy (block|shed) set the admission behaviour; -arch picks any of
 // the simulated architectures (cpu, tensordimm, recnmp, trim-g, trim-b,
-// recross, ...).
+// recross, ...). -request-timeout is the server-side default deadline
+// applied to requests that arrive without one, so Block-policy admission
+// can never hold a connection forever (0 disables it).
+//
+// Chaos mode wraps every replica with the fault-injection harness for
+// soak runs against the self-healing pool — the server must keep
+// answering (normally or degraded, never with a replica error) while
+// replicas panic, wedge, stall and corrupt results:
+//
+//	recross-serve -loadgen -replicas 4 -duration 30s \
+//	  -chaos-panic 0.01 -chaos-wedge 0.005 -chaos-latency 0.05 \
+//	  -chaos-corrupt 0.01 -chaos-seed 7
+//
+// Watch /metrics (serve mode) for recross_replica_state,
+// recross_replica_restarts_total and recross_requests_degraded_total.
 package main
 
 import (
@@ -51,6 +65,18 @@ func main() {
 	maxDelay := flag.Duration("maxdelay", 2*time.Millisecond, "dynamic batcher: flush after this long")
 	queueDepth := flag.Int("queue", 256, "admission queue depth (requests)")
 	policy := flag.String("policy", "block", "overload policy: block or shed")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second,
+		"server-side default deadline for requests arriving without one, so block-policy admission cannot hold a connection forever (0 = none)")
+	quorum := flag.Int("quorum", 1, "minimum available replicas before degraded mode (functional-layer answers)")
+	maxRetries := flag.Int("max-retries", 2, "per-request retry budget after a replica failure")
+	wedgeTimeout := flag.Duration("wedge-timeout", 5*time.Second, "declare a replica wedged after one batch runs this long (keep well above the worst-case batch wall time, or slow legitimate batches are treated as wedges and the pool thrashes)")
+
+	chaosPanic := flag.Float64("chaos-panic", 0, "chaos: per-batch replica panic probability")
+	chaosWedge := flag.Float64("chaos-wedge", 0, "chaos: per-batch wedged (never-returning) batch probability")
+	chaosCorrupt := flag.Float64("chaos-corrupt", 0, "chaos: per-batch corrupted-result probability")
+	chaosLatency := flag.Float64("chaos-latency", 0, "chaos: per-batch injected-stall probability")
+	chaosStall := flag.Duration("chaos-stall", 500*time.Microsecond, "chaos: injected stall duration")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: injection RNG seed (replica i draws from seed+i)")
 
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	loadgen := flag.Bool("loadgen", false, "run the closed-loop load generator instead of serving HTTP")
@@ -76,17 +102,48 @@ func main() {
 	fmt.Fprintf(os.Stderr, "recross-serve: building %d %s replica(s) over %s (%d tables)...\n",
 		*replicas, *archFlag, spec.Name, len(spec.Tables))
 	t0 := time.Now()
-	srv, err := recross.NewServer(recross.Arch(*archFlag), cfg, *replicas, recross.ServeOptions{
-		MaxBatch:   *maxBatch,
-		MaxDelay:   *maxDelay,
-		QueueDepth: *queueDepth,
-		Policy:     pol,
-	})
-	if err != nil {
-		fail(err)
+	sopts := recross.ServeOptions{
+		MaxBatch:       *maxBatch,
+		MaxDelay:       *maxDelay,
+		QueueDepth:     *queueDepth,
+		Policy:         pol,
+		DefaultTimeout: *reqTimeout,
+		Quorum:         *quorum,
+		MaxRetries:     *maxRetries,
+		WedgeTimeout:   *wedgeTimeout,
 	}
-	fmt.Fprintf(os.Stderr, "recross-serve: pool ready in %v (maxbatch %d, maxdelay %v, queue %d, policy %s)\n",
-		time.Since(t0).Round(time.Millisecond), *maxBatch, *maxDelay, *queueDepth, pol)
+	fc := recross.FaultConfig{
+		Rates: recross.FaultRates{
+			Panic:   *chaosPanic,
+			Wedge:   *chaosWedge,
+			Corrupt: *chaosCorrupt,
+			Latency: *chaosLatency,
+		},
+		Stall: *chaosStall,
+		Seed:  *chaosSeed,
+	}
+	chaosOn := *chaosPanic > 0 || *chaosWedge > 0 || *chaosCorrupt > 0 || *chaosLatency > 0
+
+	var srv *recross.Server
+	var inj *recross.FaultInjector
+	var err2 error
+	if chaosOn {
+		srv, inj, err2 = recross.NewChaosServer(recross.Arch(*archFlag), cfg, *replicas, sopts, fc)
+	} else {
+		srv, err2 = recross.NewServer(recross.Arch(*archFlag), cfg, *replicas, sopts)
+	}
+	if err2 != nil {
+		fail(err2)
+	}
+	if inj != nil {
+		// Wedged batches block their abandoned goroutines until released;
+		// do so at exit so a soak run terminates cleanly.
+		defer inj.ReleaseWedges()
+		fmt.Fprintf(os.Stderr, "recross-serve: CHAOS ON (panic %.3g, wedge %.3g, corrupt %.3g, latency %.3g, stall %v, seed %d)\n",
+			*chaosPanic, *chaosWedge, *chaosCorrupt, *chaosLatency, *chaosStall, *chaosSeed)
+	}
+	fmt.Fprintf(os.Stderr, "recross-serve: pool ready in %v (maxbatch %d, maxdelay %v, queue %d, policy %s, request-timeout %v, quorum %d)\n",
+		time.Since(t0).Round(time.Millisecond), *maxBatch, *maxDelay, *queueDepth, pol, *reqTimeout, *quorum)
 
 	if *loadgen {
 		runLoadgen(srv, spec, *clients, *duration, *seed, *timeout)
@@ -111,6 +168,13 @@ func runLoadgen(srv *recross.Server, spec recross.ModelSpec, clients int, durati
 		fail(err)
 	}
 	fmt.Print(rep.String())
+	snap := srv.Metrics().Snapshot()
+	faults := snap.FaultPanics + snap.FaultWedges + snap.FaultCorrupt + snap.FaultErrors
+	if faults > 0 || snap.Retries > 0 || snap.Restarts > 0 || snap.Degraded > 0 {
+		fmt.Printf("  healing    %d faults (panic %d, wedge %d, corrupt %d, error %d), %d retries, %d restarts, %d degraded answers\n",
+			faults, snap.FaultPanics, snap.FaultWedges, snap.FaultCorrupt, snap.FaultErrors,
+			snap.Retries, snap.Restarts, snap.Degraded)
+	}
 }
 
 func serveHTTP(srv *recross.Server, addr string) {

@@ -1,0 +1,274 @@
+// Package chaos is the fault-injection harness for the serving layer: a
+// FaultySystem wraps any arch.System and injects failures the way real
+// replica fleets produce them — added latency (a slow device), goroutine
+// panics (a crashed replica), wedged batches that never return (a hung
+// device or deadlocked driver), and corrupted result payloads (bit flips,
+// protocol bugs). Injection is deterministic: every wrapped system draws
+// from its own seeded RNG, and a Schedule can script exact failures
+// ("replica 2 panics on batch 5") so chaos tests are reproducible and
+// never flaky.
+//
+// The serving layer under test must survive all of it; see
+// internal/serve's supervisor and TestChaos* for the contract.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recross/internal/arch"
+	"recross/internal/trace"
+)
+
+// Kind enumerates the injectable fault kinds.
+type Kind int
+
+const (
+	// Latency stalls the batch for Config.Stall before running it
+	// normally — a slow replica, not a broken one.
+	Latency Kind = iota
+	// Panic panics the calling goroutine mid-batch, the way a bug in a
+	// timing model would.
+	Panic
+	// Wedge blocks the batch forever (until Injector.ReleaseWedges): a
+	// hung device. The caller's only recourse is a timeout.
+	Wedge
+	// Corrupt runs the batch but returns corrupted RunStats (negative
+	// cycle count) — a damaged result payload the pool must detect and
+	// discard rather than serve.
+	Corrupt
+
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Latency:
+		return "latency"
+	case Panic:
+		return "panic"
+	case Wedge:
+		return "wedge"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Rates are per-batch injection probabilities in [0,1], checked in the
+// order Panic, Wedge, Corrupt, Latency (at most one fault per batch).
+type Rates struct {
+	Latency, Panic, Wedge, Corrupt float64
+}
+
+// zero reports whether no probabilistic injection is configured.
+func (r Rates) zero() bool {
+	return r.Latency == 0 && r.Panic == 0 && r.Wedge == 0 && r.Corrupt == 0
+}
+
+// Rule scripts one exact fault: replica Replica (as passed to Wrap)
+// injects Kind on its Batch'th Run call (1-based). Scheduled rules fire
+// regardless of Rates and of the injector's enabled switch being flipped
+// later — they are the deterministic backbone of a chaos test.
+type Rule struct {
+	Replica int
+	Batch   int64
+	Kind    Kind
+}
+
+// Config configures a fault injection campaign.
+type Config struct {
+	// Rates are the per-batch fault probabilities.
+	Rates Rates
+	// Stall is the injected latency duration (default 500µs).
+	Stall time.Duration
+	// Schedule scripts exact per-replica faults on top of Rates.
+	Schedule []Rule
+	// Seed seeds replica i's RNG with Seed+i (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Stall == 0 {
+		c.Stall = 500 * time.Microsecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Injector is the shared control plane of a fault campaign: an on/off
+// switch for the probabilistic faults, per-kind injection counters, and
+// the release valve for wedged batches. One Injector is shared by every
+// FaultySystem of a fleet so a test (or soak run) can stop injection and
+// watch the server heal.
+type Injector struct {
+	enabled atomic.Bool
+	counts  [numKinds]atomic.Int64
+
+	releaseOnce sync.Once
+	release     chan struct{}
+}
+
+// NewInjector returns an enabled injector.
+func NewInjector() *Injector {
+	inj := &Injector{release: make(chan struct{})}
+	inj.enabled.Store(true)
+	return inj
+}
+
+// SetEnabled flips probabilistic injection on or off. Scheduled rules
+// are unaffected: they fire exactly when scripted.
+func (inj *Injector) SetEnabled(on bool) { inj.enabled.Store(on) }
+
+// Enabled reports the switch.
+func (inj *Injector) Enabled() bool { return inj.enabled.Load() }
+
+// ReleaseWedges unblocks every wedged batch, past and future (wedges
+// injected after the release return immediately). Call it at test
+// teardown so abandoned goroutines exit instead of leaking.
+func (inj *Injector) ReleaseWedges() {
+	inj.releaseOnce.Do(func() { close(inj.release) })
+}
+
+// Count reports how many faults of kind k have been injected.
+func (inj *Injector) Count(k Kind) int64 {
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return inj.counts[k].Load()
+}
+
+// Total reports all injected faults.
+func (inj *Injector) Total() int64 {
+	var t int64
+	for i := range inj.counts {
+		t += inj.counts[i].Load()
+	}
+	return t
+}
+
+// ErrWedgeReleased is returned by a wedged Run after ReleaseWedges.
+var ErrWedgeReleased = fmt.Errorf("chaos: wedged batch released")
+
+// FaultySystem wraps an arch.System with fault injection. Like any
+// System it is single-goroutine; a fleet of wrapped replicas shares one
+// Injector but each has its own RNG and schedule slice, so a run is
+// deterministic per (seed, replica, batch sequence).
+type FaultySystem struct {
+	inner   arch.System
+	cfg     Config
+	replica int
+	inj     *Injector
+	rng     *rand.Rand
+	runs    int64
+	rules   map[int64]Kind // batch number -> scripted fault
+}
+
+// Wrap builds a FaultySystem for replica id. Schedule rules whose
+// Replica differs from id are ignored, so one Config describes a whole
+// fleet. inj may be shared across replicas; if nil a fresh one is made.
+func Wrap(inner arch.System, cfg Config, id int, inj *Injector) *FaultySystem {
+	cfg = cfg.withDefaults()
+	if inj == nil {
+		inj = NewInjector()
+	}
+	rules := make(map[int64]Kind)
+	for _, r := range cfg.Schedule {
+		if r.Replica == id {
+			rules[r.Batch] = r.Kind
+		}
+	}
+	return &FaultySystem{
+		inner:   inner,
+		cfg:     cfg,
+		replica: id,
+		inj:     inj,
+		rng:     rand.New(rand.NewSource(cfg.Seed + int64(id))),
+		rules:   rules,
+	}
+}
+
+// WrapFleet wraps every system of a pool with one shared Injector,
+// seeding replica i with cfg.Seed+i. Returns the wrapped systems (as
+// arch.System, ready for serve.Options.Systems) and the injector.
+func WrapFleet(systems []arch.System, cfg Config) ([]arch.System, *Injector) {
+	inj := NewInjector()
+	out := make([]arch.System, len(systems))
+	for i, sys := range systems {
+		out[i] = Wrap(sys, cfg, i, inj)
+	}
+	return out, inj
+}
+
+// Name identifies the wrapper and its inner architecture.
+func (s *FaultySystem) Name() string { return "chaos(" + s.inner.Name() + ")" }
+
+// Inner returns the wrapped system.
+func (s *FaultySystem) Inner() arch.System { return s.inner }
+
+// Runs reports how many Run calls this wrapper has seen.
+func (s *FaultySystem) Runs() int64 { return s.runs }
+
+// pick decides whether this Run call injects a fault, and which.
+// Scheduled rules take precedence and fire even when the injector is
+// disabled; probabilistic faults draw from the per-replica RNG only
+// while enabled. The RNG is advanced exactly once per call regardless of
+// the enabled switch, so a run's fault sequence depends only on the
+// batch sequence, not on when the switch flips.
+func (s *FaultySystem) pick() (Kind, bool) {
+	var u float64
+	if !s.cfg.Rates.zero() {
+		u = s.rng.Float64()
+	}
+	if k, ok := s.rules[s.runs]; ok {
+		return k, true
+	}
+	if !s.inj.Enabled() || s.cfg.Rates.zero() {
+		return 0, false
+	}
+	r := s.cfg.Rates
+	switch {
+	case u < r.Panic:
+		return Panic, true
+	case u < r.Panic+r.Wedge:
+		return Wedge, true
+	case u < r.Panic+r.Wedge+r.Corrupt:
+		return Corrupt, true
+	case u < r.Panic+r.Wedge+r.Corrupt+r.Latency:
+		return Latency, true
+	default:
+		return 0, false
+	}
+}
+
+// Run executes the batch, possibly injecting one fault first.
+func (s *FaultySystem) Run(b trace.Batch) (*arch.RunStats, error) {
+	s.runs++
+	k, inject := s.pick()
+	if !inject {
+		return s.inner.Run(b)
+	}
+	s.inj.counts[k].Add(1)
+	switch k {
+	case Panic:
+		panic(fmt.Sprintf("chaos: injected panic (replica %d, batch %d)", s.replica, s.runs))
+	case Wedge:
+		<-s.inj.release
+		return nil, ErrWedgeReleased
+	case Corrupt:
+		st, err := s.inner.Run(b)
+		if err == nil && st != nil {
+			st.Cycles = -st.Cycles - 1 // impossible latency: detectably corrupt
+		}
+		return st, err
+	case Latency:
+		time.Sleep(s.cfg.Stall)
+	}
+	return s.inner.Run(b)
+}

@@ -6,9 +6,10 @@ import "time"
 // queue and coalesces them into batches, flushing when MaxBatch samples
 // are collected or MaxDelay has elapsed since the batch opened. Requests
 // whose context expired while queued are dropped here, at dequeue time,
-// before they consume a batch slot. The loop exits when the admission
-// channel is closed and fully drained, flushing any partial batch so
-// graceful drain answers every admitted request.
+// before they can open a batch or arm the MaxDelay timer — a dead
+// request never triggers an (otherwise empty) flush. The loop exits when
+// the admission channel is closed and fully drained, flushing any
+// partial batch so graceful drain answers every admitted request.
 func (s *Server) dispatch() {
 	defer close(s.dispatcherDone)
 
@@ -37,7 +38,10 @@ func (s *Server) dispatch() {
 
 	for {
 		if len(batch) == 0 {
-			// Nothing pending: block for the next request.
+			// Nothing pending: block for the next request. A request
+			// that is already dead at dequeue is dropped before it opens
+			// a batch, and an instantly-full batch (MaxBatch 1) flushes
+			// without the timer ever being armed.
 			r, ok := <-s.in
 			if !ok {
 				return
@@ -47,11 +51,12 @@ func (s *Server) dispatch() {
 			}
 			batch = append(batch, r)
 			opened = time.Now()
-			timer.Reset(s.opts.MaxDelay)
-			timerLive = true
 			if len(batch) >= s.opts.MaxBatch {
 				flush()
+				continue
 			}
+			timer.Reset(s.opts.MaxDelay)
+			timerLive = true
 			continue
 		}
 		select {
@@ -80,8 +85,9 @@ func (s *Server) admitAtDequeue(r *request) bool {
 	r.deq = time.Now()
 	s.metrics.QueueWait.Record(r.deq.Sub(r.enq).Nanoseconds())
 	if err := r.ctx.Err(); err != nil {
-		s.metrics.Canceled.Add(1)
-		r.complete(outcome{err: err})
+		if r.complete(outcome{err: err}) {
+			s.metrics.Canceled.Add(1)
+		}
 		return false
 	}
 	return true
@@ -89,16 +95,46 @@ func (s *Server) admitAtDequeue(r *request) bool {
 
 // route hands a formed batch to the replica with the least outstanding
 // work (queued + running samples), the serving analogue of the paper's
-// load-balance objective across memory nodes.
+// load-balance objective across memory nodes — restricted to available
+// (healthy/suspect) replicas, the dispatcher's circuit breaker. When
+// available replicas are below Quorum the server is in degraded mode and
+// the whole batch is answered from the functional layer instead.
 func (s *Server) route(batch []*request) {
-	best := 0
-	bestLoad := s.replicas[0].outstanding.Load()
-	for i := 1; i < len(s.replicas); i++ {
-		if l := s.replicas[i].outstanding.Load(); l < bestLoad {
-			best, bestLoad = i, l
+	rep := s.pickReplica()
+	if rep == nil {
+		for _, r := range batch {
+			s.serveDegraded(r)
+		}
+		return
+	}
+	rep.outstanding.Add(int64(len(batch)))
+	if !s.sendWork(rep, batch, true) {
+		// Work channels already closed (drain raced a late flush):
+		// answer degraded rather than strand the batch.
+		rep.outstanding.Add(-int64(len(batch)))
+		for _, r := range batch {
+			s.serveDegraded(r)
 		}
 	}
-	rep := s.replicas[best]
-	rep.outstanding.Add(int64(len(batch)))
-	rep.work <- batch
+}
+
+// pickReplica returns the least-loaded available replica, or nil when
+// the available count is below the quorum (degraded mode).
+func (s *Server) pickReplica() *replica {
+	var best *replica
+	var bestLoad int64
+	avail := 0
+	for _, rep := range s.replicas {
+		if !rep.available() {
+			continue
+		}
+		avail++
+		if l := rep.outstanding.Load(); best == nil || l < bestLoad {
+			best, bestLoad = rep, l
+		}
+	}
+	if avail < s.opts.Quorum {
+		return nil
+	}
+	return best
 }

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"recross/internal/arch"
+	"recross/internal/trace"
+)
+
+// TestCanceledRequestNeverOpensBatch: a request that is already dead at
+// dequeue must be dropped before it opens a batch or arms the MaxDelay
+// timer — no empty flush, no batch, just the Canceled count.
+func TestCanceledRequestNeverOpensBatch(t *testing.T) {
+	fake := &fakeSys{}
+	const delay = 20 * time.Millisecond
+	s := newTestServer(t, Options{
+		Systems:  []arch.System{fake},
+		MaxBatch: 8,
+		MaxDelay: delay,
+		Policy:   Shed, // empty queue: enqueue succeeds even with a dead ctx
+	})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Lookup(ctx, testSamples(t, 1)[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitUntil(t, func() bool { return s.Metrics().Canceled.Load() == 1 })
+
+	// Outwait the flush deadline: had the dead request opened a batch, the
+	// timer would fire an (empty) flush in delay.
+	time.Sleep(3 * delay)
+	snap := s.Metrics().Snapshot()
+	if snap.Batches != 0 || snap.BatchForm.Count != 0 {
+		t.Errorf("dead request produced batches=%d formations=%d, want 0/0",
+			snap.Batches, snap.BatchForm.Count)
+	}
+	if sizes := fake.batchSizes(); len(sizes) != 0 {
+		t.Errorf("replica ran batches %v for a canceled request", sizes)
+	}
+
+	// The batcher must still be live for real work.
+	if _, err := s.Lookup(context.Background(), testSamples(t, 1)[0]); err != nil {
+		t.Fatalf("lookup after dropped request: %v", err)
+	}
+}
+
+// TestDeadlineFlushRacesAdmissions hammers a tiny MaxDelay with
+// concurrent admissions so deadline flushes race size flushes and the
+// timer is constantly re-armed, stopped and drained. Run with -race; the
+// assertions are just that nothing is lost.
+func TestDeadlineFlushRacesAdmissions(t *testing.T) {
+	s := newTestServer(t, Options{
+		Systems:  []arch.System{&fakeSys{}},
+		MaxBatch: 64,
+		MaxDelay: 100 * time.Microsecond,
+	})
+	defer s.Close()
+
+	const clients, perClient = 8, 40
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			g, err := trace.NewGenerator(testSpec(), int64(100+c))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < perClient; i++ {
+				if _, err := s.Lookup(context.Background(), g.Sample()); err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				completed.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if got := completed.Load(); got != clients*perClient {
+		t.Fatalf("completed %d of %d", got, clients*perClient)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Batches == 0 || snap.BatchForm.Count != snap.Batches {
+		t.Errorf("batches=%d formations=%d: flush accounting drifted",
+			snap.Batches, snap.BatchForm.Count)
+	}
+}
+
+// TestFlushRacesClose races graceful drain against in-flight admissions
+// and half-formed batches: every Lookup must resolve — a normal result,
+// a degraded result, or ErrClosed — and Close must not strand anything.
+// Run with -race.
+func TestFlushRacesClose(t *testing.T) {
+	for iter := 0; iter < 10; iter++ {
+		s := newTestServer(t, Options{
+			Systems:  []arch.System{&fakeSys{}, &fakeSys{}},
+			MaxBatch: 4,
+			MaxDelay: 50 * time.Microsecond,
+		})
+		samples := testSamples(t, 16)
+		var answered, closed atomic.Int64
+		var wg sync.WaitGroup
+		for i := range samples {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := s.Lookup(context.Background(), samples[i])
+				switch {
+				case err == nil && res != nil:
+					answered.Add(1)
+				case errors.Is(err, ErrClosed):
+					closed.Add(1)
+				default:
+					t.Errorf("iter %d: lookup err = %v", iter, err)
+				}
+			}(i)
+		}
+		s.Close()
+		wg.Wait()
+		if got := answered.Load() + closed.Load(); got != int64(len(samples)) {
+			t.Fatalf("iter %d: %d answered + %d rejected != %d issued",
+				iter, answered.Load(), closed.Load(), len(samples))
+		}
+		// Drain contract: everyone the server admitted, it answered.
+		snap := s.Metrics().Snapshot()
+		if snap.Completed+snap.Failed != snap.Admitted {
+			t.Fatalf("iter %d: admitted %d but completed %d + failed %d",
+				iter, snap.Admitted, snap.Completed, snap.Failed)
+		}
+	}
+}
+
+// TestTimerReuseAfterStop interleaves size-triggered flushes (which stop
+// a live timer) with deadline-triggered flushes (which re-arm it): the
+// timer must stay reusable across Stop/Reset cycles.
+func TestTimerReuseAfterStop(t *testing.T) {
+	fake := &fakeSys{}
+	const delay = 100 * time.Millisecond
+	s := newTestServer(t, Options{
+		Systems:  []arch.System{fake},
+		MaxBatch: 2,
+		MaxDelay: delay,
+	})
+	defer s.Close()
+
+	pair := func() {
+		samples := testSamples(t, 2)
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, err := s.Lookup(context.Background(), samples[i]); err != nil {
+					t.Error(err)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	pair() // size flush: arms the timer on the first request, stops it on the second
+	start := time.Now()
+	res, err := s.Lookup(context.Background(), testSamples(t, 1)[0]) // deadline flush: timer reused
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BatchSize != 1 || time.Since(start) < delay {
+		t.Errorf("lone request: batch size %d after %v, want a deadline flush after %v",
+			res.BatchSize, time.Since(start), delay)
+	}
+	pair() // and the timer must re-arm cleanly again
+
+	if snap := s.Metrics().Snapshot(); snap.Batches != 3 {
+		t.Errorf("batches = %d, want 3 (size, deadline, size)", snap.Batches)
+	}
+}

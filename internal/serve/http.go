@@ -40,8 +40,15 @@ type LookupResponse struct {
 	BatchSize int `json:"batch_size"`
 	// ServiceCycles is the simulated DRAM-cycle latency of that batch.
 	ServiceCycles int64 `json:"service_cycles"`
-	// Replica is the pool worker that served it.
+	// Replica is the pool worker that served it (-1 when degraded).
 	Replica int `json:"replica"`
+	// Retries is how many replica-failure resubmissions the request
+	// survived (omitted when zero).
+	Retries int `json:"retries,omitempty"`
+	// Degraded marks an answer from the functional layer (correct
+	// vectors, no timing model) because no healthy replica could serve
+	// it (omitted when false).
+	Degraded bool `json:"degraded,omitempty"`
 	// QueueMicros and TotalMicros are wall-clock microseconds.
 	QueueMicros float64 `json:"queue_us"`
 	TotalMicros float64 `json:"total_us"`
@@ -110,8 +117,11 @@ func (s *Server) SampleOf(lr LookupRequest) (trace.Sample, error) {
 // Handler returns the HTTP front-end:
 //
 //	POST /v1/lookup  — serve one sample (JSON in/out)
-//	GET  /metrics    — Prometheus text exposition
-//	GET  /healthz    — 200 "ok", 503 "draining" during graceful drain
+//	GET  /metrics    — Prometheus text exposition, including per-replica
+//	                   states, fault/retry/restart counters and the
+//	                   degraded-mode gauge
+//	GET  /healthz    — JSON health report (per-replica states); 200 while
+//	                   serving ("ok" or "degraded"), 503 once draining
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/lookup", s.handleLookup)
@@ -143,6 +153,8 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		BatchSize:     res.BatchSize,
 		ServiceCycles: int64(res.ServiceCycles),
 		Replica:       res.Replica,
+		Retries:       res.Retries,
+		Degraded:      res.Degraded,
 		QueueMicros:   float64(res.QueueWait.Nanoseconds()) / 1e3,
 		TotalMicros:   float64(res.Total.Nanoseconds()) / 1e3,
 	})
@@ -167,14 +179,19 @@ func statusOf(err error) int {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprint(w, s.metrics.Snapshot().Expo())
+	fmt.Fprint(w, s.Health().Expo())
 }
 
+// handleHealthz reports the self-healing pool's state as JSON. Status
+// codes: 200 while serving — including degraded mode, where answers are
+// still functionally correct — and 503 once draining.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.Draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+	h := s.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Status == "draining" {
+		w.WriteHeader(http.StatusServiceUnavailable)
 	}
-	fmt.Fprintln(w, "ok")
+	_ = json.NewEncoder(w).Encode(h)
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {

@@ -43,14 +43,20 @@ func (o LoadgenOptions) withDefaults() LoadgenOptions {
 	return o
 }
 
-// Report summarizes one load-generation run.
+// Report summarizes one load-generation run. Unsuccessful requests are
+// reported as separate counts — shed (admission rejected), canceled
+// (deadline/cancellation), failed (replica or simulation failure) —
+// rather than one error bucket, and Degraded counts answers that
+// completed from the functional fallback.
 type Report struct {
 	Clients   int
 	Wall      time.Duration
-	Requests  int64 // completed successfully
+	Requests  int64 // completed successfully (including degraded)
+	Degraded  int64 // completed via the functional fallback
 	Shed      int64
 	Canceled  int64
-	Errors    int64   // other failures
+	Failed    int64   // replica/simulation failures (ErrReplicaFailure etc.)
+	Errors    int64   // any other failures
 	Thru      float64 // completed requests per second
 	P50       time.Duration
 	P95       time.Duration
@@ -66,8 +72,12 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "loadgen: %d clients, %.2fs wall\n", r.Clients, r.Wall.Seconds())
 	fmt.Fprintf(&b, "  completed  %d (%.0f req/s)\n", r.Requests, r.Thru)
-	if r.Shed > 0 || r.Canceled > 0 || r.Errors > 0 {
-		fmt.Fprintf(&b, "  shed %d, canceled %d, errors %d\n", r.Shed, r.Canceled, r.Errors)
+	if r.Degraded > 0 {
+		fmt.Fprintf(&b, "  degraded   %d (functional fallback)\n", r.Degraded)
+	}
+	if r.Shed > 0 || r.Canceled > 0 || r.Failed > 0 || r.Errors > 0 {
+		fmt.Fprintf(&b, "  shed %d, canceled %d, failed %d, errors %d\n",
+			r.Shed, r.Canceled, r.Failed, r.Errors)
 	}
 	fmt.Fprintf(&b, "  latency    p50 %v  p95 %v  p99 %v  max %v\n", r.P50, r.P95, r.P99, r.Max)
 	fmt.Fprintf(&b, "  batching   mean %.1f samples/batch\n", r.MeanBatch)
@@ -88,8 +98,8 @@ func Loadgen(s *Server, opts LoadgenOptions) (*Report, error) {
 	}
 
 	type clientStats struct {
-		lat                    []float64 // ns
-		shed, canceled, errors int64
+		lat                                      []float64 // ns
+		degraded, shed, canceled, failed, errors int64
 	}
 	stats := make([]clientStats, opts.Clients)
 	deadline := time.Now().Add(opts.Duration)
@@ -117,17 +127,22 @@ func Loadgen(s *Server, opts LoadgenOptions) (*Report, error) {
 					ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 				}
 				t0 := time.Now()
-				_, err := s.Lookup(ctx, sample)
+				res, err := s.Lookup(ctx, sample)
 				cancel()
 				switch {
 				case err == nil:
 					st.lat = append(st.lat, float64(time.Since(t0).Nanoseconds()))
+					if res.Degraded {
+						st.degraded++
+					}
 				case errors.Is(err, ErrOverloaded):
 					st.shed++
 				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 					st.canceled++
 				case errors.Is(err, ErrClosed):
 					return
+				case errors.Is(err, ErrReplicaFailure):
+					st.failed++
 				default:
 					st.errors++
 					select {
@@ -145,8 +160,10 @@ func Loadgen(s *Server, opts LoadgenOptions) (*Report, error) {
 	var all []float64
 	for i := range stats {
 		rep.Requests += int64(len(stats[i].lat))
+		rep.Degraded += stats[i].degraded
 		rep.Shed += stats[i].shed
 		rep.Canceled += stats[i].canceled
+		rep.Failed += stats[i].failed
 		rep.Errors += stats[i].errors
 		all = append(all, stats[i].lat...)
 	}

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -134,6 +136,21 @@ type Metrics struct {
 	// (BatchSamples/Batches is the mean coalescing factor).
 	BatchSamples atomic.Int64
 
+	// Degraded counts requests answered from the functional layer with
+	// Result.Degraded set (also included in Completed).
+	Degraded atomic.Int64
+	// Retries counts failed-batch resubmissions to another replica.
+	Retries atomic.Int64
+	// Restarts counts successful supervisor replica rebuilds.
+	Restarts atomic.Int64
+	// FaultPanics/FaultWedges/FaultCorrupt/FaultErrors count replica
+	// faults by kind (recovered panics, abandoned wedged batches,
+	// corrupt run stats, ordinary Run errors).
+	FaultPanics  atomic.Int64
+	FaultWedges  atomic.Int64
+	FaultCorrupt atomic.Int64
+	FaultErrors  atomic.Int64
+
 	// QueueWait is the admission-to-dequeue wait, nanoseconds.
 	QueueWait *Hist
 	// BatchForm is the batch formation delay (first dequeue to flush),
@@ -155,10 +172,27 @@ func NewMetrics() *Metrics {
 	}
 }
 
+// faultCounter maps a failure kind to its counter.
+func (m *Metrics) faultCounter(f Failure) *atomic.Int64 {
+	switch f {
+	case FailurePanic:
+		return &m.FaultPanics
+	case FailureWedge:
+		return &m.FaultWedges
+	case FailureCorrupt:
+		return &m.FaultCorrupt
+	default:
+		return &m.FaultErrors
+	}
+}
+
 // Snapshot is a point-in-time copy of every metric.
 type Snapshot struct {
 	Admitted, Completed, Failed, Shed, Canceled int64
 	Batches, BatchSamples                       int64
+
+	Degraded, Retries, Restarts                         int64
+	FaultPanics, FaultWedges, FaultCorrupt, FaultErrors int64
 
 	QueueWait, BatchForm, ServiceCycles, E2E HistSnapshot
 }
@@ -173,6 +207,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		Canceled:      m.Canceled.Load(),
 		Batches:       m.Batches.Load(),
 		BatchSamples:  m.BatchSamples.Load(),
+		Degraded:      m.Degraded.Load(),
+		Retries:       m.Retries.Load(),
+		Restarts:      m.Restarts.Load(),
+		FaultPanics:   m.FaultPanics.Load(),
+		FaultWedges:   m.FaultWedges.Load(),
+		FaultCorrupt:  m.FaultCorrupt.Load(),
+		FaultErrors:   m.FaultErrors.Load(),
 		QueueWait:     m.QueueWait.Snapshot(),
 		BatchForm:     m.BatchForm.Snapshot(),
 		ServiceCycles: m.ServiceCycles.Snapshot(),
@@ -205,6 +246,13 @@ func (s Snapshot) Expo() string {
 	counter("recross_requests_failed_total", s.Failed)
 	counter("recross_requests_shed_total", s.Shed)
 	counter("recross_requests_canceled_total", s.Canceled)
+	counter("recross_requests_degraded_total", s.Degraded)
+	counter("recross_retries_total", s.Retries)
+	counter("recross_replica_restarts_total", s.Restarts)
+	counter("recross_replica_faults_panic_total", s.FaultPanics)
+	counter("recross_replica_faults_wedge_total", s.FaultWedges)
+	counter("recross_replica_faults_corrupt_total", s.FaultCorrupt)
+	counter("recross_replica_faults_error_total", s.FaultErrors)
 	counter("recross_batches_total", s.Batches)
 	gauge("recross_batch_mean_samples", s.MeanBatch())
 	hist := func(prefix string, h HistSnapshot, scale float64) {
@@ -219,6 +267,42 @@ func (s Snapshot) Expo() string {
 	hist("recross_e2e_seconds", s.E2E, toSeconds)
 	hist("recross_service_cycles", s.ServiceCycles, 1)
 	return string(b)
+}
+
+// Expo renders the health report in Prometheus text exposition format:
+// per-replica state (0 healthy, 1 suspect, 2 restarting, 3 dead),
+// failure and restart counters, and the degraded-mode gauge. Appended to
+// Snapshot.Expo by the /metrics handler.
+func (h HealthReport) Expo() string {
+	var b strings.Builder
+	b.WriteString("# TYPE recross_replica_state gauge\n")
+	for _, r := range h.Replicas {
+		code := 0
+		switch r.State {
+		case "suspect":
+			code = 1
+		case "restarting":
+			code = 2
+		case "dead":
+			code = 3
+		}
+		fmt.Fprintf(&b, "recross_replica_state{replica=%q} %d\n", strconv.Itoa(r.ID), code)
+	}
+	b.WriteString("# TYPE recross_replica_failures gauge\n")
+	for _, r := range h.Replicas {
+		fmt.Fprintf(&b, "recross_replica_failures{replica=%q} %d\n", strconv.Itoa(r.ID), r.Failures)
+	}
+	b.WriteString("# TYPE recross_replica_restarts gauge\n")
+	for _, r := range h.Replicas {
+		fmt.Fprintf(&b, "recross_replica_restarts{replica=%q} %d\n", strconv.Itoa(r.ID), r.Restarts)
+	}
+	degraded := 0
+	if h.Available < h.Quorum {
+		degraded = 1
+	}
+	fmt.Fprintf(&b, "# TYPE recross_replicas_available gauge\nrecross_replicas_available %d\n", h.Available)
+	fmt.Fprintf(&b, "# TYPE recross_degraded_mode gauge\nrecross_degraded_mode %d\n", degraded)
+	return b.String()
 }
 
 // percentileDurations converts a nanosecond slice into p50/p95/p99

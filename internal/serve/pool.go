@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -13,71 +14,216 @@ import (
 // keeps the routing decision late.
 const replicaWorkDepth = 2
 
+// ReplicaState is one pool shard's health.
+type ReplicaState int32
+
+const (
+	// Healthy: serving normally.
+	Healthy ReplicaState = iota
+	// Suspect: serving, but on probation — it just restarted or returned
+	// a Run error; the next successful batch promotes it to Healthy.
+	Suspect
+	// Restarting: failed and queued for (or undergoing) a supervisor
+	// rebuild; not dispatched to.
+	Restarting
+	// Dead: exhausted the restart cap; never dispatched to again.
+	Dead
+)
+
+func (st ReplicaState) String() string {
+	switch st {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Restarting:
+		return "restarting"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("state(%d)", int32(st))
+	}
+}
+
 // replica is one pool shard: a timing model owned exclusively by one
-// worker goroutine (arch.System is single-goroutine by contract).
+// worker goroutine (arch.System is single-goroutine by contract). After
+// a failure the worker exits and the supervisor installs a rebuilt
+// System plus a fresh worker on the same work channel, so queued batches
+// are never stranded.
 type replica struct {
 	id          int
-	sys         arch.System
+	sys         arch.System // owned by the live worker; replaced only while no worker runs
 	work        chan []*request
 	outstanding atomic.Int64 // queued + running samples
 	batches     atomic.Int64
 	samples     atomic.Int64
+
+	state      atomic.Int32 // ReplicaState
+	workerLive atomic.Bool  // a worker goroutine currently owns sys
+	failures   atomic.Int64 // replica-level faults (panic/wedge/corrupt/error)
+	restarts   atomic.Int64 // successful supervisor rebuilds
+	attempts   atomic.Int32 // consecutive restart attempts; reset by a served batch
+	sysname    atomic.Value // string; sys.Name() is not readable concurrently with a swap
 }
 
 func newReplica(id int, sys arch.System) *replica {
-	return &replica{id: id, sys: sys, work: make(chan []*request, replicaWorkDepth)}
+	rep := &replica{id: id, sys: sys, work: make(chan []*request, replicaWorkDepth)}
+	rep.sysname.Store(sys.Name())
+	return rep
 }
 
-// run executes formed batches until the work channel closes.
+// sysName reports the current System's name without touching sys (which
+// the supervisor may be swapping).
+func (rep *replica) sysName() string {
+	n, _ := rep.sysname.Load().(string)
+	return n
+}
+
+func (rep *replica) setState(st ReplicaState) { rep.state.Store(int32(st)) }
+
+// State reports the replica's health.
+func (rep *replica) State() ReplicaState { return ReplicaState(rep.state.Load()) }
+
+// available reports whether the dispatcher may route to this replica.
+func (rep *replica) available() bool {
+	st := rep.State()
+	return (st == Healthy || st == Suspect) && rep.workerLive.Load()
+}
+
+// run executes formed batches until the work channel closes or the
+// replica suffers a fault, in which case the worker reports to the
+// supervisor and exits (the in-flight batch has already been failed
+// over; queued batches wait for the restarted worker).
 func (rep *replica) run(s *Server) {
 	for batch := range rep.work {
-		rep.serve(s, batch)
+		if !rep.serve(s, batch) {
+			rep.workerLive.Store(false)
+			s.failures <- rep // buffered(len replicas): never blocks
+			return
+		}
 	}
+	rep.workerLive.Store(false)
+}
+
+// runResult carries the inner Run outcome across the wedge watchdog.
+type runResult struct {
+	st  *arch.RunStats
+	err error
 }
 
 // serve runs one coalesced batch through the replica's timing model and
 // demultiplexes the functional results back to each request's future.
-func (rep *replica) serve(s *Server, batch []*request) {
+// It returns false when the replica itself must be considered broken
+// (panic, wedge, corrupt stats); the batch has then been failed over.
+func (rep *replica) serve(s *Server, batch []*request) bool {
 	defer rep.outstanding.Add(-int64(len(batch)))
 
 	b := make(trace.Batch, len(batch))
 	for i, r := range batch {
 		b[i] = r.sample
 	}
-	st, err := rep.sys.Run(b)
-	if err != nil {
-		for _, r := range batch {
-			s.metrics.Failed.Add(1)
-			r.complete(outcome{err: err})
-		}
-		return
+
+	// The timing model runs in an inner goroutine so a wedged batch can
+	// be abandoned: on timeout the worker walks away from both the
+	// goroutine and the System it owns (preserving the single-goroutine
+	// contract — the abandoned goroutine keeps the old System, the
+	// rebuilt replica gets a fresh one). A recovered panic travels back
+	// as a typed ReplicaError instead of killing the process.
+	sys := rep.sys
+	resc := make(chan runResult, 1) // buffered: a late wedge return parks harmlessly
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				resc <- runResult{err: &ReplicaError{
+					Replica: rep.id, Fault: FailurePanic, Cause: fmt.Errorf("%v", p),
+				}}
+			}
+		}()
+		st, err := sys.Run(b)
+		resc <- runResult{st, err}
+	}()
+
+	var rr runResult
+	watchdog := time.NewTimer(s.opts.WedgeTimeout)
+	select {
+	case rr = <-resc:
+		watchdog.Stop()
+	case <-watchdog.C:
+		rep.fail(s, batch, &ReplicaError{
+			Replica: rep.id, Fault: FailureWedge,
+			Cause: fmt.Errorf("batch of %d stuck > %v", len(batch), s.opts.WedgeTimeout),
+		})
+		return false
 	}
+
+	var rerr *ReplicaError
+	switch {
+	case rr.err != nil:
+		var ok bool
+		if rerr, ok = rr.err.(*ReplicaError); !ok {
+			// An ordinary Run error: fail over the batch and mark the
+			// replica suspect, but keep it serving — the model itself
+			// did not break.
+			rep.failures.Add(1)
+			s.metrics.faultCounter(FailureError).Add(1)
+			rep.setState(Suspect)
+			s.failover(batch, rep.id, &ReplicaError{Replica: rep.id, Fault: FailureError, Cause: rr.err})
+			return true
+		}
+	case rr.st == nil || rr.st.Cycles < 0:
+		rerr = &ReplicaError{
+			Replica: rep.id, Fault: FailureCorrupt,
+			Cause: fmt.Errorf("corrupt run stats %+v", rr.st),
+		}
+	}
+	if rerr != nil {
+		rep.fail(s, batch, rerr)
+		return false
+	}
+
 	rep.batches.Add(1)
 	rep.samples.Add(int64(len(batch)))
+	rep.attempts.Store(0) // a served batch ends the probation streak
+	if rep.State() == Suspect {
+		rep.setState(Healthy)
+	}
 	s.metrics.Batches.Add(1)
 	s.metrics.BatchSamples.Add(int64(len(batch)))
-	s.metrics.ServiceCycles.Record(int64(st.Cycles))
+	s.metrics.ServiceCycles.Record(int64(rr.st.Cycles))
 
 	for _, r := range batch {
 		vecs, err := s.opts.Layer.ReduceSample(r.sample)
 		if err != nil {
-			s.metrics.Failed.Add(1)
-			r.complete(outcome{err: err})
+			if r.complete(outcome{err: err}) {
+				s.metrics.Failed.Add(1)
+			}
 			continue
 		}
 		now := time.Now()
 		res := &Result{
 			Vectors:       vecs,
 			BatchSize:     len(batch),
-			ServiceCycles: st.Cycles,
+			ServiceCycles: rr.st.Cycles,
 			Replica:       rep.id,
+			Retries:       r.retries,
 			QueueWait:     r.deq.Sub(r.enq),
 			Total:         now.Sub(r.enq),
 		}
-		s.metrics.E2E.Record(res.Total.Nanoseconds())
-		s.metrics.Completed.Add(1)
-		r.complete(outcome{res: res})
+		if r.complete(outcome{res: res}) {
+			s.metrics.E2E.Record(res.Total.Nanoseconds())
+			s.metrics.Completed.Add(1)
+		}
 	}
+	return true
+}
+
+// fail records a replica-breaking fault, removes the replica from
+// dispatch, and fails the batch over to the healthy part of the pool.
+func (rep *replica) fail(s *Server, batch []*request, rerr *ReplicaError) {
+	rep.failures.Add(1)
+	s.metrics.faultCounter(rerr.Fault).Add(1)
+	rep.setState(Restarting) // before failover, so retries avoid this replica
+	s.failover(batch, rep.id, rerr)
 }
 
 // ReplicaLoad reports per-replica served batches and samples, for

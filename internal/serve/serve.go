@@ -3,7 +3,7 @@
 // evaluate recommendation accelerators under: concurrent single-sample
 // query streams, SLA tail latency, throughput under load.
 //
-// The layer has four parts:
+// The layer has five parts:
 //
 //   - a dynamic batcher: incoming single-sample requests queue per model
 //     and coalesce into batches, flushing when MaxBatch samples are
@@ -15,9 +15,18 @@
 //   - admission control: a bounded queue with a configurable overload
 //     policy (Block until space, or Shed with ErrOverloaded), and
 //     per-request context deadlines honored at dequeue time;
+//   - a self-healing supervisor: replica workers recover panics, detect
+//     wedged (never-returning) batches and corrupted results, and fail
+//     only the in-flight batch; the supervisor rebuilds the replica with
+//     exponential backoff under a restart cap, failed batches retry on a
+//     healthy replica under a bounded budget, and when available
+//     replicas fall below Quorum the server answers from the shared
+//     functional layer with Result.Degraded set — a replica fault never
+//     becomes a caller-visible error;
 //   - a metrics registry: lock-cheap counters and streaming histograms
 //     (queue wait, batch formation, simulated service cycles, end-to-end
-//     wall time) exposing p50/p95/p99 snapshots.
+//     wall time) exposing p50/p95/p99 snapshots, plus per-replica health
+//     states, fault/retry/restart counters and degraded-serve counts.
 //
 // An arch.System is single-goroutine (see the recross.System docs); the
 // pool gives each replica exclusively to one worker goroutine, which is
@@ -31,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"recross/internal/arch"
@@ -46,7 +56,61 @@ var (
 	ErrOverloaded = errors.New("serve: overloaded, request shed")
 	// ErrClosed reports that the server is draining or closed.
 	ErrClosed = errors.New("serve: server closed")
+	// ErrReplicaFailure is the sentinel every ReplicaError unwraps to:
+	// errors.Is(err, ErrReplicaFailure) identifies replica-level faults.
+	ErrReplicaFailure = errors.New("serve: replica failure")
 )
+
+// Failure classifies a replica-level fault.
+type Failure int
+
+const (
+	// FailurePanic: the replica's Run panicked; the worker recovered it.
+	FailurePanic Failure = iota
+	// FailureWedge: a batch exceeded WedgeTimeout and the replica (plus
+	// the goroutine stuck inside it) was abandoned.
+	FailureWedge
+	// FailureCorrupt: Run returned detectably corrupt stats (nil or a
+	// negative cycle count).
+	FailureCorrupt
+	// FailureError: Run returned an ordinary error.
+	FailureError
+)
+
+func (f Failure) String() string {
+	switch f {
+	case FailurePanic:
+		return "panic"
+	case FailureWedge:
+		return "wedge"
+	case FailureCorrupt:
+		return "corrupt"
+	case FailureError:
+		return "error"
+	default:
+		return fmt.Sprintf("failure(%d)", int(f))
+	}
+}
+
+// ReplicaError reports a replica-level fault that failed a batch. It
+// unwraps to ErrReplicaFailure; callers normally never see one, because
+// failed batches are retried and then served degraded.
+type ReplicaError struct {
+	// Replica is the failed pool worker.
+	Replica int
+	// Fault classifies the failure.
+	Fault Failure
+	// Cause is the recovered panic value, timeout description, or Run
+	// error.
+	Cause error
+}
+
+func (e *ReplicaError) Error() string {
+	return fmt.Sprintf("serve: replica %d %s: %v", e.Replica, e.Fault, e.Cause)
+}
+
+// Unwrap makes errors.Is(err, ErrReplicaFailure) true.
+func (e *ReplicaError) Unwrap() error { return ErrReplicaFailure }
 
 // OverloadPolicy selects what admission does when the queue is full.
 type OverloadPolicy int
@@ -101,6 +165,36 @@ type Options struct {
 	QueueDepth int
 	// Policy selects the overload behaviour (default Block).
 	Policy OverloadPolicy
+
+	// DefaultTimeout, when positive, is the server-side deadline applied
+	// to requests whose context arrives without one, so Block-policy
+	// admission cannot hold a caller forever (0 = no default).
+	DefaultTimeout time.Duration
+
+	// Rebuild, when non-nil, is the replica factory the supervisor uses
+	// to rebuild a failed replica's System (typically from the shared
+	// offline profile — see recross.Config.ReplicaSystems). When nil the
+	// old System instance is reused as-is, which is only safe for
+	// stateless fakes; real deployments should always set it.
+	Rebuild func(id int) (arch.System, error)
+	// MaxRetries is the per-request retry budget on replica failure:
+	// a batch-failed request is resubmitted to a healthy replica up to
+	// this many times before it is answered degraded (default 2).
+	MaxRetries int
+	// WedgeTimeout is how long one batch may run before its replica is
+	// declared wedged and abandoned (default 5s).
+	WedgeTimeout time.Duration
+	// RestartBackoff is the supervisor's initial restart delay; it
+	// doubles per consecutive attempt, capped at 100x (default 10ms).
+	RestartBackoff time.Duration
+	// RestartCap bounds consecutive restart attempts per replica before
+	// it is declared dead (default 5). A served batch resets the count.
+	RestartCap int
+	// Quorum is the minimum available (healthy or suspect) replicas for
+	// normal dispatch; below it the server enters degraded mode and
+	// answers from the functional layer with Result.Degraded set
+	// (default 1).
+	Quorum int
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +207,21 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth == 0 {
 		o.QueueDepth = 4 * o.MaxBatch
 	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.WedgeTimeout == 0 {
+		o.WedgeTimeout = 5 * time.Second
+	}
+	if o.RestartBackoff == 0 {
+		o.RestartBackoff = 10 * time.Millisecond
+	}
+	if o.RestartCap == 0 {
+		o.RestartCap = 5
+	}
+	if o.Quorum == 0 {
+		o.Quorum = 1
+	}
 	return o
 }
 
@@ -122,12 +231,21 @@ type Result struct {
 	// bit-identical to embedding.Layer.Reduce on the same op.
 	Vectors [][]float32
 	// BatchSize is how many samples were coalesced into the simulated
-	// batch that served this request.
+	// batch that served this request (1 for degraded answers).
 	BatchSize int
-	// ServiceCycles is the simulated DRAM-cycle latency of that batch.
+	// ServiceCycles is the simulated DRAM-cycle latency of that batch
+	// (0 for degraded answers: no timing model ran).
 	ServiceCycles sim.Cycle
-	// Replica is the pool worker that served the batch.
+	// Replica is the pool worker that served the batch (-1 for degraded
+	// answers).
 	Replica int
+	// Retries is how many times the request was resubmitted after a
+	// replica failure before being answered.
+	Retries int
+	// Degraded marks a request answered from the shared functional layer
+	// — correct vectors, no timing model — because no healthy replica
+	// could serve it (quorum loss, drain, or an exhausted retry budget).
+	Degraded bool
 	// QueueWait is the wall time spent waiting in the admission queue.
 	QueueWait time.Duration
 	// Total is the end-to-end wall time from admission to completion.
@@ -142,14 +260,26 @@ type outcome struct {
 
 // request is one queued lookup.
 type request struct {
-	ctx    context.Context
-	sample trace.Sample
-	enq    time.Time    // admission time
-	deq    time.Time    // dequeue time, set by the batcher
-	done   chan outcome // buffered(1): workers never block completing it
+	ctx     context.Context
+	sample  trace.Sample
+	enq     time.Time   // admission time
+	deq     time.Time   // dequeue time, set by the batcher
+	retries int         // resubmissions so far; owned by whoever holds the request
+	settled atomic.Bool // guards complete against late double-resolution
+
+	done chan outcome // buffered(1): workers never block completing it
 }
 
-func (r *request) complete(o outcome) { r.done <- o }
+// complete resolves the future exactly once; callers gate their metric
+// updates on the return so a request is counted exactly once even if a
+// failover path races a late completion.
+func (r *request) complete(o outcome) bool {
+	if !r.settled.CompareAndSwap(false, true) {
+		return false
+	}
+	r.done <- o
+	return true
+}
 
 // Server is the embedding-inference front-end. Create with New; all
 // methods are safe for concurrent use.
@@ -162,12 +292,19 @@ type Server struct {
 	mu     sync.RWMutex // guards closed against in-flight enqueues
 	closed bool
 
+	workMu     sync.RWMutex // guards workClosed against in-flight work sends
+	workClosed bool
+
+	failures       chan *replica // worker -> supervisor, cap len(replicas)
+	supervisorStop chan struct{}
+	supervisorDone chan struct{}
+
 	dispatcherDone chan struct{}
 	workers        sync.WaitGroup
 }
 
-// New builds and starts a server: one dispatcher goroutine plus one
-// worker goroutine per replica system.
+// New builds and starts a server: one dispatcher goroutine, one
+// supervisor goroutine, plus one worker goroutine per replica system.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	if len(opts.Systems) == 0 {
@@ -185,23 +322,39 @@ func New(opts Options) (*Server, error) {
 	if opts.Policy != Block && opts.Policy != Shed {
 		return nil, fmt.Errorf("serve: unknown overload policy %d", opts.Policy)
 	}
+	if opts.Quorum < 1 || opts.Quorum > len(opts.Systems) {
+		return nil, fmt.Errorf("serve: quorum %d out of [1,%d]", opts.Quorum, len(opts.Systems))
+	}
+	if opts.MaxRetries < 0 {
+		return nil, fmt.Errorf("serve: MaxRetries %d < 0", opts.MaxRetries)
+	}
 	s := &Server{
 		opts:           opts,
 		metrics:        NewMetrics(),
 		in:             make(chan *request, opts.QueueDepth),
+		failures:       make(chan *replica, len(opts.Systems)),
+		supervisorStop: make(chan struct{}),
+		supervisorDone: make(chan struct{}),
 		dispatcherDone: make(chan struct{}),
 	}
 	for i, sys := range opts.Systems {
 		rep := newReplica(i, sys)
 		s.replicas = append(s.replicas, rep)
-		s.workers.Add(1)
-		go func() {
-			defer s.workers.Done()
-			rep.run(s)
-		}()
+		s.startWorker(rep)
 	}
+	go s.supervise()
 	go s.dispatch()
 	return s, nil
+}
+
+// startWorker spawns the goroutine that owns rep's System.
+func (s *Server) startWorker(rep *replica) {
+	rep.workerLive.Store(true)
+	s.workers.Add(1)
+	go func() {
+		defer s.workers.Done()
+		rep.run(s)
+	}()
 }
 
 // Replicas returns the pool width.
@@ -222,15 +375,18 @@ func (s *Server) Draining() bool {
 // functional result vectors returned. ctx cancellation is honored while
 // blocked at admission and while queued (at dequeue time); once the
 // sample is in a running batch the result is computed but discarded if
-// the caller has gone.
+// the caller has gone. Replica faults are invisible here: a failed batch
+// is retried on a healthy replica (up to MaxRetries) and then answered
+// from the functional layer with Result.Degraded set.
 func (s *Server) Lookup(ctx context.Context, sample trace.Sample) (*Result, error) {
 	if len(sample) == 0 {
 		return nil, errors.New("serve: empty sample")
 	}
 	// Enforce the trace.Op shape contract before the sample can reach a
 	// worker: Systems assume len(Weights) == len(Indices) (weights are
-	// ignored for Sum/Max but must be present), and a violation would
-	// panic a replica goroutine and take the whole server down.
+	// ignored for Sum/Max but must be present). A violation would panic
+	// the replica goroutine — recoverable now, but it would still burn a
+	// restart on caller input.
 	for i, op := range sample {
 		if len(op.Indices) == 0 {
 			return nil, fmt.Errorf("serve: op %d has no indices", i)
@@ -238,6 +394,13 @@ func (s *Server) Lookup(ctx context.Context, sample trace.Sample) (*Result, erro
 		if len(op.Weights) != len(op.Indices) {
 			return nil, fmt.Errorf("serve: op %d has %d weights for %d indices",
 				i, len(op.Weights), len(op.Indices))
+		}
+	}
+	if s.opts.DefaultTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opts.DefaultTimeout)
+			defer cancel()
 		}
 	}
 	r := &request{ctx: ctx, sample: sample, enq: time.Now(), done: make(chan outcome, 1)}
@@ -281,8 +444,8 @@ func (s *Server) Lookup(ctx context.Context, sample trace.Sample) (*Result, erro
 }
 
 // Close gracefully drains the server: admission stops with ErrClosed,
-// every already-admitted request is batched and answered, and all
-// goroutines exit before Close returns.
+// every already-admitted request is batched and answered (normally or
+// degraded), and all tracked goroutines exit before Close returns.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -293,10 +456,36 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 
 	close(s.in)        // dispatcher drains the queue, flushes, exits
-	<-s.dispatcherDone // all batches handed to workers
+	<-s.dispatcherDone // all batches handed to workers (or served degraded)
+
+	// Stop the supervisor before closing work channels so it never
+	// spawns a worker concurrently with workers.Wait.
+	close(s.supervisorStop)
+	<-s.supervisorDone
+
+	// Close every work channel under the write lock so no failover
+	// resubmission can race a send onto a closed channel.
+	s.workMu.Lock()
+	s.workClosed = true
 	for _, rep := range s.replicas {
 		close(rep.work)
 	}
+	s.workMu.Unlock()
 	s.workers.Wait()
+
+	// Final sweep: replicas that lost their worker (failed while the
+	// supervisor was already stopped, or mid-restart) may still hold
+	// queued batches. The channels are closed and have no other reader
+	// left, so draining here terminates; resubmission is impossible now,
+	// so every swept request is answered degraded.
+	for _, rep := range s.replicas {
+		for batch := range rep.work {
+			rep.outstanding.Add(-int64(len(batch)))
+			s.failover(batch, rep.id, &ReplicaError{
+				Replica: rep.id, Fault: FailureError,
+				Cause: errors.New("replica lost during drain"),
+			})
+		}
+	}
 	return nil
 }

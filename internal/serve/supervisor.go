@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"errors"
+	"sort"
+	"time"
+)
+
+// supervise is the self-healing loop: it receives failed replicas from
+// their exiting workers and rebuilds them — exponential backoff, restart
+// cap, then the graveyard. It runs until Close stops it; a restart in
+// progress is abandoned at stop (Close's final sweep answers anything
+// still queued at a worker-less replica).
+func (s *Server) supervise() {
+	defer close(s.supervisorDone)
+	for {
+		select {
+		case rep := <-s.failures:
+			s.restartReplica(rep)
+		case <-s.supervisorStop:
+			return
+		}
+	}
+}
+
+// restartReplica rebuilds one failed replica: wait out the backoff,
+// rebuild the System (via Options.Rebuild when set), and hand the same
+// work channel to a fresh worker so batches queued across the failure
+// are served by the successor. Consecutive attempts beyond RestartCap
+// declare the replica dead.
+func (s *Server) restartReplica(rep *replica) {
+	rep.setState(Restarting)
+	for {
+		attempt := int(rep.attempts.Add(1))
+		if attempt > s.opts.RestartCap {
+			s.buryReplica(rep)
+			return
+		}
+		// Exponential backoff: base << (attempt-1), capped at 100x base.
+		d := s.opts.RestartBackoff << uint(attempt-1)
+		if cap := 100 * s.opts.RestartBackoff; d > cap {
+			d = cap
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-s.supervisorStop:
+			t.Stop()
+			return
+		}
+		sys := rep.sys
+		if s.opts.Rebuild != nil {
+			ns, err := s.opts.Rebuild(rep.id)
+			if err != nil {
+				continue // burns one attempt toward the cap
+			}
+			sys = ns
+		}
+		// No worker goroutine is running for rep here (its worker exited
+		// before reporting the failure), so the System swap is safe.
+		rep.sys = sys
+		rep.sysname.Store(sys.Name())
+		rep.restarts.Add(1)
+		s.metrics.Restarts.Add(1)
+		rep.setState(Suspect) // probation until it serves a batch
+		s.startWorker(rep)
+		return
+	}
+}
+
+// buryReplica retires a replica permanently and installs a graveyard
+// drainer: any batch routed to it before dispatch observed the Dead
+// state is failed over instead of stranded in the channel buffer.
+func (s *Server) buryReplica(rep *replica) {
+	rep.setState(Dead)
+	s.workers.Add(1)
+	go func() {
+		defer s.workers.Done()
+		for batch := range rep.work {
+			rep.outstanding.Add(-int64(len(batch)))
+			s.failover(batch, rep.id, &ReplicaError{
+				Replica: rep.id, Fault: FailureError,
+				Cause: errors.New("replica dead (restart cap exhausted)"),
+			})
+		}
+	}()
+}
+
+// failover resolves a batch whose replica failed: requests with retry
+// budget left are resubmitted to another available replica; the rest
+// are answered from the functional layer with Result.Degraded set. A
+// replica fault therefore never surfaces as a caller-visible error —
+// cause is carried only for requests whose functional fallback also
+// fails (which procedural layers never do).
+func (s *Server) failover(batch []*request, from int, cause *ReplicaError) {
+	for _, r := range batch {
+		if r.settled.Load() {
+			continue // e.g. already answered before a late wedge fired
+		}
+		if r.retries < s.opts.MaxRetries && s.resubmit(r, from) {
+			continue
+		}
+		s.serveDegraded(r)
+	}
+	_ = cause
+}
+
+// resubmit re-routes one failed request as a single-request batch to an
+// available replica other than the one that failed it, least-loaded
+// first. The sends are non-blocking: a worker must never wait on a
+// sibling's full queue (under heavy faults that converges on deadlock);
+// if nobody can take the request immediately it falls through to a
+// degraded answer. r.retries is bumped before the send so the receiving
+// worker observes it (channel-send happens-before).
+func (s *Server) resubmit(r *request, exclude int) bool {
+	cands := make([]*replica, 0, len(s.replicas))
+	for _, rep := range s.replicas {
+		if rep.id != exclude && rep.available() {
+			cands = append(cands, rep)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].outstanding.Load() < cands[j].outstanding.Load()
+	})
+	r.retries++
+	s.metrics.Retries.Add(1)
+	for _, rep := range cands {
+		rep.outstanding.Add(1)
+		if s.sendWork(rep, []*request{r}, false) {
+			return true
+		}
+		rep.outstanding.Add(-1)
+	}
+	r.retries--
+	s.metrics.Retries.Add(-1)
+	return false
+}
+
+// sendWork delivers a batch to rep's work channel. The read lock and
+// workClosed flag make the send safe against Close closing the channel;
+// block selects between a blocking send (dispatcher backpressure) and a
+// non-blocking attempt (failover resubmission).
+func (s *Server) sendWork(rep *replica, batch []*request, block bool) bool {
+	s.workMu.RLock()
+	defer s.workMu.RUnlock()
+	if s.workClosed {
+		return false
+	}
+	if block {
+		rep.work <- batch
+		return true
+	}
+	select {
+	case rep.work <- batch:
+		return true
+	default:
+		return false
+	}
+}
+
+// serveDegraded answers one request from the shared functional layer:
+// correct vectors, no timing model, Result.Degraded set. It is the
+// last-resort path — quorum loss, exhausted retry budget, or drain.
+func (s *Server) serveDegraded(r *request) {
+	vecs, err := s.opts.Layer.ReduceSample(r.sample)
+	if err != nil {
+		if r.complete(outcome{err: err}) {
+			s.metrics.Failed.Add(1)
+		}
+		return
+	}
+	if r.deq.IsZero() {
+		r.deq = time.Now()
+	}
+	res := &Result{
+		Vectors:   vecs,
+		BatchSize: 1,
+		Replica:   -1,
+		Retries:   r.retries,
+		Degraded:  true,
+		QueueWait: r.deq.Sub(r.enq),
+		Total:     time.Since(r.enq),
+	}
+	if r.complete(outcome{res: res}) {
+		s.metrics.Degraded.Add(1)
+		s.metrics.Completed.Add(1)
+		s.metrics.E2E.Record(res.Total.Nanoseconds())
+	}
+}
+
+// AvailableReplicas counts replicas eligible for dispatch (healthy or
+// suspect, with a live worker).
+func (s *Server) AvailableReplicas() int {
+	n := 0
+	for _, rep := range s.replicas {
+		if rep.available() {
+			n++
+		}
+	}
+	return n
+}
+
+// Degraded reports whether the server is below quorum and answering
+// from the functional layer.
+func (s *Server) Degraded() bool { return s.AvailableReplicas() < s.opts.Quorum }
+
+// ReplicaHealth is one replica's health snapshot.
+type ReplicaHealth struct {
+	// ID is the replica index.
+	ID int `json:"id"`
+	// State is "healthy", "suspect", "restarting" or "dead".
+	State string `json:"state"`
+	// Failures counts replica-level faults (panics, wedges, corrupt
+	// stats, run errors).
+	Failures int64 `json:"failures"`
+	// Restarts counts successful supervisor rebuilds.
+	Restarts int64 `json:"restarts"`
+	// System names the replica's architecture.
+	System string `json:"system"`
+}
+
+// HealthReport is the server-wide health snapshot behind /healthz.
+type HealthReport struct {
+	// Status is "ok", "degraded" (below quorum, serving functionally) or
+	// "draining".
+	Status string `json:"status"`
+	// Available counts dispatchable replicas; Quorum is the threshold.
+	Available int `json:"available"`
+	Quorum    int `json:"quorum"`
+	// Replicas holds the per-replica states.
+	Replicas []ReplicaHealth `json:"replicas"`
+}
+
+// Health snapshots per-replica states and the server-wide status.
+func (s *Server) Health() HealthReport {
+	h := HealthReport{Available: s.AvailableReplicas(), Quorum: s.opts.Quorum}
+	switch {
+	case s.Draining():
+		h.Status = "draining"
+	case h.Available < h.Quorum:
+		h.Status = "degraded"
+	default:
+		h.Status = "ok"
+	}
+	for _, rep := range s.replicas {
+		h.Replicas = append(h.Replicas, ReplicaHealth{
+			ID:       rep.id,
+			State:    rep.State().String(),
+			Failures: rep.failures.Load(),
+			Restarts: rep.restarts.Load(),
+			System:   rep.sysName(),
+		})
+	}
+	return h
+}

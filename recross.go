@@ -31,9 +31,11 @@ package recross
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"recross/internal/arch"
 	"recross/internal/baseline"
+	"recross/internal/chaos"
 	"recross/internal/core"
 	"recross/internal/dram"
 	"recross/internal/embedding"
@@ -85,12 +87,12 @@ type (
 	Profile = partition.Profile
 
 	// Server is the embedding-inference serving front-end: dynamic
-	// batching over a sharded replica pool with admission control and a
-	// metrics registry. Build one with NewServer (or serve.New directly
-	// via ServeOptions).
+	// batching over a sharded, self-healing replica pool with admission
+	// control and a metrics registry. Build one with NewServer (or
+	// serve.New directly via ServeOptions).
 	Server = serve.Server
 	// ServeOptions configures the serving layer (batching, queueing,
-	// overload policy, replica systems).
+	// overload policy, replica systems, retry/restart/quorum knobs).
 	ServeOptions = serve.Options
 	// ServeResult is one answered lookup.
 	ServeResult = serve.Result
@@ -104,6 +106,39 @@ type (
 	LoadgenOptions = serve.LoadgenOptions
 	// LoadgenReport is the load generator's throughput/latency summary.
 	LoadgenReport = serve.Report
+	// HealthReport is the server-wide health snapshot behind /healthz:
+	// per-replica states, available count, quorum, degraded/draining.
+	HealthReport = serve.HealthReport
+	// ReplicaHealth is one replica's state/failure/restart snapshot.
+	ReplicaHealth = serve.ReplicaHealth
+	// ReplicaError is the typed replica-fault error; it unwraps to
+	// ErrReplicaFailure.
+	ReplicaError = serve.ReplicaError
+
+	// FaultConfig configures the chaos fault-injection harness: per-kind
+	// rates, a stall duration, a deterministic per-replica schedule, and
+	// the RNG seed.
+	FaultConfig = chaos.Config
+	// FaultRates are per-batch injection probabilities (latency, panic,
+	// wedge, corrupt).
+	FaultRates = chaos.Rates
+	// FaultRule scripts one exact fault ("replica 2 panics on batch 5").
+	FaultRule = chaos.Rule
+	// FaultKind enumerates the injectable fault kinds.
+	FaultKind = chaos.Kind
+	// FaultInjector is the shared control plane of a fault campaign:
+	// enable/disable, per-kind counters, wedge release.
+	FaultInjector = chaos.Injector
+	// FaultySystem wraps any System with deterministic fault injection.
+	FaultySystem = chaos.FaultySystem
+)
+
+// The injectable fault kinds.
+const (
+	FaultLatency = chaos.Latency
+	FaultPanic   = chaos.Panic
+	FaultWedge   = chaos.Wedge
+	FaultCorrupt = chaos.Corrupt
 )
 
 // Serving layer overload policies and errors, re-exported.
@@ -113,6 +148,10 @@ var (
 	ErrOverloaded = serve.ErrOverloaded
 	// ErrServerClosed is returned once a Server is draining or closed.
 	ErrServerClosed = serve.ErrClosed
+	// ErrReplicaFailure identifies replica-level faults
+	// (errors.Is(err, ErrReplicaFailure)); callers normally never see
+	// one, since failed batches retry and then degrade.
+	ErrReplicaFailure = serve.ErrReplicaFailure
 )
 
 // Admission overload policies.
@@ -282,18 +321,9 @@ func (c Config) ReplicaSystems(a Arch, n int) ([]System, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("recross: replica count %d < 1", n)
 	}
-	c = c.withDefaults()
-	// Profile once up front for the architectures that need one. Skipped
-	// for multi-channel configs, which re-profile per channel shard.
-	if c.Profile == nil && c.Channels <= 1 && (a == TRiMB || a == ReCross) {
-		if err := c.Spec.Validate(); err != nil {
-			return nil, err
-		}
-		prof, err := NewProfile(c.Spec, c.ProfileSeed, c.ProfileSamples)
-		if err != nil {
-			return nil, err
-		}
-		c.Profile = prof
+	c, err := c.profiled(a)
+	if err != nil {
+		return nil, err
 	}
 	systems := make([]System, n)
 	for i := range systems {
@@ -306,12 +336,39 @@ func (c Config) ReplicaSystems(a Arch, n int) ([]System, error) {
 	return systems, nil
 }
 
+// profiled applies defaults and runs the offline profiling pass once up
+// front for the architectures that need one, so replica construction —
+// initial or a supervisor rebuild — reuses the shared read-only profile
+// instead of re-profiling. Skipped for multi-channel configs, which
+// re-profile per channel shard.
+func (c Config) profiled(a Arch) (Config, error) {
+	c = c.withDefaults()
+	if c.Profile == nil && c.Channels <= 1 && (a == TRiMB || a == ReCross) {
+		if err := c.Spec.Validate(); err != nil {
+			return c, err
+		}
+		prof, err := NewProfile(c.Spec, c.ProfileSeed, c.ProfileSamples)
+		if err != nil {
+			return c, err
+		}
+		c.Profile = prof
+	}
+	return c, nil
+}
+
 // NewServer builds the embedding-inference serving front-end: n replica
 // systems of architecture a over cfg (profiled once, via
 // Config.ReplicaSystems), the functional embedding layer for result
 // vectors, and the dynamic batcher / admission control configured by
-// opts (opts.Systems and opts.Layer are filled in here).
+// opts (opts.Systems and opts.Layer are filled in here). Unless the
+// caller supplies one, opts.Rebuild is wired to rebuild a failed replica
+// from the same architecture and shared profile, so the self-healing
+// supervisor restores full pool capacity without re-profiling.
 func NewServer(a Arch, cfg Config, n int, opts ServeOptions) (*Server, error) {
+	cfg, err := cfg.profiled(a)
+	if err != nil {
+		return nil, err
+	}
 	systems, err := cfg.ReplicaSystems(a, n)
 	if err != nil {
 		return nil, err
@@ -322,7 +379,68 @@ func NewServer(a Arch, cfg Config, n int, opts ServeOptions) (*Server, error) {
 	}
 	opts.Systems = systems
 	opts.Layer = layer
+	if opts.Rebuild == nil {
+		rebuildCfg := cfg
+		opts.Rebuild = func(int) (System, error) { return NewSystem(a, rebuildCfg) }
+	}
 	return serve.New(opts)
+}
+
+// WrapFaulty wraps one System with deterministic fault injection for
+// replica id; inj may be shared across a fleet (nil makes a fresh one).
+func WrapFaulty(sys System, fc FaultConfig, id int, inj *FaultInjector) *FaultySystem {
+	return chaos.Wrap(sys, fc, id, inj)
+}
+
+// NewChaosServer builds a serving front-end whose replicas are wrapped
+// with the fault-injection harness — the soak-test entry point behind
+// recross-serve's -chaos flags. Every replica shares one injector
+// (returned for enabling/disabling injection and releasing wedges), and
+// the supervisor's rebuild path wraps replacements too, so injection
+// continues across restarts until the injector is disabled.
+func NewChaosServer(a Arch, cfg Config, n int, opts ServeOptions, fc FaultConfig) (*Server, *FaultInjector, error) {
+	cfg, err := cfg.profiled(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	systems, err := cfg.ReplicaSystems(a, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	layer, err := NewLayer(cfg.Spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	wrapped, inj := chaos.WrapFleet(systems, fc)
+	opts.Systems = wrapped
+	opts.Layer = layer
+	if opts.Rebuild == nil {
+		rebuildCfg := cfg
+		var gen atomic.Int64
+		opts.Rebuild = func(id int) (System, error) {
+			sys, err := NewSystem(a, rebuildCfg)
+			if err != nil {
+				return nil, err
+			}
+			// A rebuilt replica must not replay its predecessor's fault
+			// sequence: with the same seed, a wrapper whose RNG faults on
+			// its first batch faults on the first batch of every
+			// incarnation, burning the restart cap until the replica is
+			// declared dead and the fleet decays into all-degraded
+			// service. Offset the seed per rebuild (still deterministic)
+			// and drop scripted rules, which are one-shot and already
+			// fired on the original incarnation.
+			rfc := fc
+			rfc.Schedule = nil
+			rfc.Seed = fc.Seed + int64(n)*gen.Add(1)
+			return chaos.Wrap(sys, rfc, id, inj), nil
+		}
+	}
+	srv, err := serve.New(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, inj, nil
 }
 
 // Loadgen drives a Server with closed-loop clients and reports
