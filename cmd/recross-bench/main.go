@@ -17,9 +17,12 @@
 //	-pooling N    gathers per embedding operation (default 80)
 //	-veclen N     embedding vector length (default 64)
 //	-ranks N      ranks per channel (default 2)
+//	-json         machine-readable output: one JSON document on stdout
+//	              (progress moves to stderr)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,9 +32,33 @@ import (
 	"recross/internal/experiments"
 )
 
+// jsonResult is one experiment's machine-readable output. Tables carry
+// their header and cell grid verbatim; text-only experiments (fig6)
+// carry Text instead.
+type jsonResult struct {
+	Name    string     `json:"name"`
+	Title   string     `json:"title,omitempty"`
+	Note    string     `json:"note,omitempty"`
+	Cols    []string   `json:"cols,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Text    string     `json:"text,omitempty"`
+	Seconds float64    `json:"seconds"`
+}
+
+// jsonDoc is the top-level -json document.
+type jsonDoc struct {
+	VecLen  int          `json:"veclen"`
+	Pooling int          `json:"pooling"`
+	Batch   int          `json:"batch"`
+	Ranks   int          `json:"ranks"`
+	Quick   bool         `json:"quick"`
+	Results []jsonResult `json:"results"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "scaled-down workload")
 	csvDir := flag.String("csv", "", "also write each table as <dir>/<experiment>.csv")
+	jsonOut := flag.Bool("json", false, "emit one JSON document on stdout instead of text tables")
 	serial := flag.Bool("serial", false, "disable concurrent sweep points")
 	batch := flag.Int("batch", 0, "batch size (0 = default)")
 	pooling := flag.Int("pooling", 0, "gathers per op (0 = default)")
@@ -96,8 +123,17 @@ func main() {
 	case len(names) == 1 && names[0] == "all":
 		names = append(append([]string{}, order...), extOrder...)
 	}
-	fmt.Printf("recross-bench: veclen=%d pooling=%d batch=%d ranks=%d quick=%v\n\n",
-		cfg.VecLen, cfg.Pooling, cfg.Batch, cfg.Ranks, *quick)
+	doc := jsonDoc{
+		VecLen: cfg.VecLen, Pooling: cfg.Pooling, Batch: cfg.Batch,
+		Ranks: cfg.Ranks, Quick: *quick,
+	}
+	if *jsonOut {
+		fmt.Fprintf(os.Stderr, "recross-bench: veclen=%d pooling=%d batch=%d ranks=%d quick=%v\n",
+			cfg.VecLen, cfg.Pooling, cfg.Batch, cfg.Ranks, *quick)
+	} else {
+		fmt.Printf("recross-bench: veclen=%d pooling=%d batch=%d ranks=%d quick=%v\n\n",
+			cfg.VecLen, cfg.Pooling, cfg.Batch, cfg.Ranks, *quick)
+	}
 	for _, n := range names {
 		run, ok := runners[n]
 		if !ok {
@@ -110,8 +146,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
 			os.Exit(1)
 		}
-		fmt.Println(res.String())
-		fmt.Printf("(%s took %.1fs)\n\n", n, time.Since(start).Seconds())
+		took := time.Since(start).Seconds()
+		if *jsonOut {
+			jr := jsonResult{Name: n, Seconds: took}
+			if tb, ok := res.(*experiments.Table); ok {
+				jr.Title, jr.Note, jr.Cols, jr.Rows = tb.Title, tb.Note, tb.Cols, tb.Rows
+			} else {
+				jr.Text = res.String()
+			}
+			doc.Results = append(doc.Results, jr)
+			fmt.Fprintf(os.Stderr, "%s done in %.1fs\n", n, took)
+		} else {
+			fmt.Println(res.String())
+			fmt.Printf("(%s took %.1fs)\n\n", n, took)
+		}
 		if *csvDir != "" {
 			if tb, ok := res.(*experiments.Table); ok {
 				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -124,6 +172,14 @@ func main() {
 					os.Exit(1)
 				}
 			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

@@ -34,6 +34,19 @@
 //
 // Watch /metrics (serve mode) for recross_replica_state,
 // recross_replica_restarts_total and recross_requests_degraded_total.
+//
+// Adaptive mode (-adapt, arch recross only) runs the online workload
+// profiler + repartitioner: admitted traffic feeds per-table frequency
+// sketches, a drift detector compares the live distribution against the
+// profile the deployed placement was solved for, and confirmed drift
+// re-runs the partitioner and hot-swaps replicas at batch boundaries.
+// Pair with the loadgen hot-set shift to watch it recover:
+//
+//	recross-serve -loadgen -replicas 4 -duration 30s \
+//	  -adapt -adapt-interval 1s -shift-at 10s
+//
+// Watch /metrics for recross_adapt_drift_score,
+// recross_adapt_repartitions_total and recross_adapt_realized_gain.
 package main
 
 import (
@@ -78,12 +91,22 @@ func main() {
 	chaosStall := flag.Duration("chaos-stall", 500*time.Microsecond, "chaos: injected stall duration")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: injection RNG seed (replica i draws from seed+i)")
 
+	adaptOn := flag.Bool("adapt", false, "run the online workload profiler + adaptive repartitioner (arch recross only)")
+	adaptInterval := flag.Duration("adapt-interval", 2*time.Second, "adapt: control-window length")
+	adaptThreshold := flag.Float64("adapt-threshold", 0.12, "adapt: drift score that counts a window as drifted")
+	adaptTopK := flag.Int("adapt-topk", 512, "adapt: Space-Saving sketch capacity per table")
+	adaptWindows := flag.Int("adapt-windows", 2, "adapt: consecutive drifted windows before replanning")
+	adaptCooldown := flag.Duration("adapt-cooldown", 30*time.Second, "adapt: minimum time between adopted repartitions")
+	adaptMinGain := flag.Float64("adapt-min-gain", 0.05, "adapt: minimum predicted speedup a plan must clear")
+
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	loadgen := flag.Bool("loadgen", false, "run the closed-loop load generator instead of serving HTTP")
 	clients := flag.Int("clients", 8, "loadgen: concurrent closed-loop clients")
 	duration := flag.Duration("duration", 10*time.Second, "loadgen: run length")
 	seed := flag.Int64("seed", 1, "loadgen: client trace seed base")
 	timeout := flag.Duration("timeout", 0, "loadgen: per-request deadline (0 = none)")
+	shiftAt := flag.Duration("shift-at", 0, "loadgen: permute the Zipf hot set after this much of the run (0 = never)")
+	shiftSalt := flag.Int64("shift-salt", 1, "loadgen: hot-set permutation salt")
 	flag.Parse()
 
 	pol, err := serve.ParsePolicy(*policy)
@@ -125,15 +148,34 @@ func main() {
 	chaosOn := *chaosPanic > 0 || *chaosWedge > 0 || *chaosCorrupt > 0 || *chaosLatency > 0
 
 	var srv *recross.Server
+	var ctrl *recross.AdaptController
 	var inj *recross.FaultInjector
 	var err2 error
-	if chaosOn {
+	switch {
+	case *adaptOn && chaosOn:
+		fail(errors.New("-adapt and -chaos-* are mutually exclusive"))
+	case *adaptOn:
+		srv, ctrl, err2 = recross.NewAdaptiveServer(recross.Arch(*archFlag), cfg, *replicas, sopts, recross.AdaptOptions{
+			TopK:      *adaptTopK,
+			Interval:  *adaptInterval,
+			Threshold: *adaptThreshold,
+			Windows:   *adaptWindows,
+			Cooldown:  *adaptCooldown,
+			MinGain:   *adaptMinGain,
+		})
+	case chaosOn:
 		srv, inj, err2 = recross.NewChaosServer(recross.Arch(*archFlag), cfg, *replicas, sopts, fc)
-	} else {
+	default:
 		srv, err2 = recross.NewServer(recross.Arch(*archFlag), cfg, *replicas, sopts)
 	}
 	if err2 != nil {
 		fail(err2)
+	}
+	if ctrl != nil {
+		ctrl.Start()
+		defer ctrl.Stop()
+		fmt.Fprintf(os.Stderr, "recross-serve: ADAPT ON (interval %v, threshold %.3g, topk %d, windows %d, cooldown %v, min-gain %.3g)\n",
+			*adaptInterval, *adaptThreshold, *adaptTopK, *adaptWindows, *adaptCooldown, *adaptMinGain)
 	}
 	if inj != nil {
 		// Wedged batches block their abandoned goroutines until released;
@@ -146,23 +188,32 @@ func main() {
 		time.Since(t0).Round(time.Millisecond), *maxBatch, *maxDelay, *queueDepth, pol, *reqTimeout, *quorum)
 
 	if *loadgen {
-		runLoadgen(srv, spec, *clients, *duration, *seed, *timeout)
+		runLoadgen(srv, ctrl, spec, *clients, *duration, *seed, *timeout, *shiftAt, *shiftSalt)
 		return
 	}
 	serveHTTP(srv, *addr)
 }
 
-func runLoadgen(srv *recross.Server, spec recross.ModelSpec, clients int, duration time.Duration, seed int64, timeout time.Duration) {
+func runLoadgen(srv *recross.Server, ctrl *recross.AdaptController, spec recross.ModelSpec,
+	clients int, duration time.Duration, seed int64, timeout, shiftAt time.Duration, shiftSalt int64) {
 	fmt.Fprintf(os.Stderr, "recross-serve: loadgen %d clients for %v...\n", clients, duration)
+	if shiftAt > 0 {
+		fmt.Fprintf(os.Stderr, "recross-serve: hot-set shift at %v (salt %d)\n", shiftAt, shiftSalt)
+	}
 	rep, err := recross.Loadgen(srv, recross.LoadgenOptions{
-		Spec:     spec,
-		Clients:  clients,
-		Duration: duration,
-		Seed:     seed,
-		Timeout:  timeout,
+		Spec:      spec,
+		Clients:   clients,
+		Duration:  duration,
+		Seed:      seed,
+		Timeout:   timeout,
+		ShiftAt:   shiftAt,
+		ShiftSalt: shiftSalt,
 	})
 	if err != nil {
 		fail(err)
+	}
+	if ctrl != nil {
+		ctrl.Stop()
 	}
 	if err := srv.Close(); err != nil {
 		fail(err)
@@ -174,6 +225,15 @@ func runLoadgen(srv *recross.Server, spec recross.ModelSpec, clients int, durati
 		fmt.Printf("  healing    %d faults (panic %d, wedge %d, corrupt %d, error %d), %d retries, %d restarts, %d degraded answers\n",
 			faults, snap.FaultPanics, snap.FaultWedges, snap.FaultCorrupt, snap.FaultErrors,
 			snap.Retries, snap.Restarts, snap.Degraded)
+	}
+	if ctrl != nil {
+		am := ctrl.Metrics()
+		fmt.Printf("  adapt      %d windows, %d drift triggers, %d replans, %d repartitions (%d rejected, %d skipped)\n",
+			am.Windows, am.Triggers, am.Replans, am.Adoptions, am.Rejected, am.Skipped)
+		if am.Adoptions > 0 {
+			fmt.Printf("             migrated %d rows (%d bytes); estimated gain %.3fx, realized gain %.3fx\n",
+				am.RowsMigrated, am.BytesMigrated, am.EstimatedGain, am.RealizedGain)
+		}
 	}
 }
 

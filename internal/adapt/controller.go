@@ -1,0 +1,428 @@
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"recross/internal/partition"
+	"recross/internal/trace"
+)
+
+// Options configures a Controller.
+type Options struct {
+	// Spec is the workload (required).
+	Spec trace.ModelSpec
+	// Baseline is the profile the current placement was solved for
+	// (required).
+	Baseline *partition.Profile
+	// Decision is the currently deployed partitioning (required).
+	Decision *partition.Decision
+	// Batch is the batch size the replanner optimizes for (required).
+	Batch int
+
+	// TopK and SampleEvery configure the frequency tracker.
+	TopK        int
+	SampleEvery int
+
+	// Interval is the control-window length for the background loop
+	// started by Start (default 2s). Step may also be called manually —
+	// tests drive the loop deterministically that way.
+	Interval time.Duration
+	// Threshold is the drift score that counts a window as drifted
+	// (default 0.12).
+	Threshold float64
+	// Windows is how many consecutive drifted windows fire the replanner
+	// (default 2).
+	Windows int
+	// Cooldown is the minimum time between adoptions (default 30s).
+	Cooldown time.Duration
+	// MinGain is the minimum predicted speedup (OldT/NewT - 1) a plan
+	// must clear (default 0.05).
+	MinGain float64
+	// AmortizeBatches is the horizon over which a plan's per-batch gain
+	// must repay its migration cost (default 10000).
+	AmortizeBatches int64
+	// MinSamples is the minimum observed (post-thinning, post-decay)
+	// sample count before the replanner trusts the sketches (default 200).
+	MinSamples int64
+	// Greedy selects the crude partitioner instead of the LP (the
+	// ReCross-Base ablation; default false = SolveLP).
+	Greedy bool
+
+	// Adopt deploys an accepted (profile, decision) pair — typically
+	// staging serve.Server system updates. Required for adoption;
+	// nil runs the loop in observe-only mode (drift metrics, no action).
+	Adopt func(prof *partition.Profile, dec *partition.Decision) error
+	// ServiceCycles, when non-nil, returns the cumulative count and sum
+	// of the serving layer's per-batch simulated service cycles; the
+	// controller differences consecutive windows to report the realized
+	// (as opposed to estimated) gain of an adoption.
+	ServiceCycles func() (count int64, sum float64)
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopK == 0 {
+		o.TopK = 512
+	}
+	if o.SampleEvery == 0 {
+		o.SampleEvery = 1
+	}
+	if o.Interval == 0 {
+		o.Interval = 2 * time.Second
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.12
+	}
+	if o.Windows == 0 {
+		o.Windows = 2
+	}
+	if o.Cooldown == 0 {
+		o.Cooldown = 30 * time.Second
+	}
+	if o.MinGain == 0 {
+		o.MinGain = 0.05
+	}
+	if o.AmortizeBatches == 0 {
+		o.AmortizeBatches = 10000
+	}
+	if o.MinSamples == 0 {
+		o.MinSamples = 200
+	}
+	return o
+}
+
+// StepResult reports one control window.
+type StepResult struct {
+	Drift Drift
+	// Replanned is set when the drift fired and a fresh solve ran.
+	Replanned bool
+	// Plan is the priced migration when Replanned (nil otherwise).
+	Plan *Plan
+	// Adopted is set when the plan passed the hysteresis gate and the
+	// Adopt callback succeeded.
+	Adopted bool
+	// Err carries a replan/adopt failure (the loop keeps running).
+	Err error
+}
+
+// Controller is the online control loop: observe → detect → replan →
+// gate → adopt. Create with NewController; Observe is safe for
+// concurrent use (it is the serving hot path), everything else is
+// serialized by the controller's own goroutine or the caller's manual
+// Step calls.
+type Controller struct {
+	opts    Options
+	tracker *Tracker
+
+	mu             sync.Mutex // guards the control-loop state below
+	detector       *Detector
+	current        *partition.Decision
+	adoptedProfile *partition.Profile // nil until first adoption
+
+	lastAdopt     time.Time
+	prevSvcCount  int64
+	prevSvcSum    float64
+	preAdoptMean  float64 // windowed service-cycle mean just before adoption
+	awaitRealized bool
+
+	metrics Metrics
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewController validates opts and builds the loop (not yet started).
+func NewController(opts Options) (*Controller, error) {
+	opts = opts.withDefaults()
+	if opts.Baseline == nil || opts.Decision == nil {
+		return nil, fmt.Errorf("adapt: baseline profile and decision required")
+	}
+	if opts.Batch <= 0 {
+		return nil, fmt.Errorf("adapt: batch %d <= 0", opts.Batch)
+	}
+	tracker, err := NewTracker(opts.Spec, TrackerOptions{TopK: opts.TopK, SampleEvery: opts.SampleEvery})
+	if err != nil {
+		return nil, err
+	}
+	det, err := NewDetector(opts.Baseline, opts.Threshold, opts.Windows)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		opts:     opts,
+		tracker:  tracker,
+		detector: det,
+		current:  opts.Decision,
+	}, nil
+}
+
+// Observe feeds one served sample into the tracker (hot path).
+func (c *Controller) Observe(s trace.Sample) { c.tracker.Observe(s) }
+
+// Tracker exposes the frequency tracker (for benchmarks and tests).
+func (c *Controller) Tracker() *Tracker { return c.tracker }
+
+// Current returns the deployed decision (post-adoption it is the adopted
+// one) — the supervisor's rebuild path applies it to replacement
+// replicas so a restart does not resurrect a stale mapping.
+func (c *Controller) Current() (*partition.Profile, *partition.Decision) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.adoptedProfile != nil {
+		return c.adoptedProfile, c.current
+	}
+	return c.opts.Baseline, c.current
+}
+
+// Start launches the background loop at the configured interval.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	if c.stop != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	stop, done := c.stop, c.done
+	c.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(c.opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.Step()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop (idempotent; safe if never started).
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	stop, done := c.stop, c.done
+	c.stop, c.done = nil, nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Step runs one control window synchronously: score drift, maybe replan,
+// gate, maybe adopt, then decay the sketches. Tests call it directly for
+// a deterministic loop; the background goroutine calls it on a ticker.
+func (c *Controller) Step() StepResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var res StepResult
+	c.metrics.Windows++
+
+	// Windowed service-cycle mean (for realized-gain accounting).
+	winMean := c.serviceWindowMean()
+
+	snaps := c.tracker.Snapshot()
+	dr, err := c.detector.Observe(snaps)
+	if err != nil {
+		res.Err = err
+		c.metrics.Errors++
+		return res
+	}
+	res.Drift = dr
+	c.metrics.DriftScore = dr.Score
+	c.metrics.DriftKS = dr.KS
+
+	if c.awaitRealized && winMean > 0 {
+		if c.preAdoptMean > 0 {
+			c.metrics.RealizedGain = c.preAdoptMean / winMean
+		}
+		c.awaitRealized = false
+	}
+
+	if dr.Fired {
+		c.metrics.Triggers++
+		res = c.replan(res, snaps, winMean)
+	}
+
+	c.tracker.Decay()
+	return res
+}
+
+// replan solves under the live profile and applies the hysteresis gate.
+// Called with c.mu held.
+func (c *Controller) replan(res StepResult, snaps []TableSnapshot, winMean float64) StepResult {
+	if n := c.tracker.Samples(); n < c.opts.MinSamples {
+		// Not enough live evidence to trust a solve; keep watching.
+		c.metrics.Skipped++
+		return res
+	}
+	prof, err := c.tracker.Profile()
+	if err != nil {
+		res.Err = err
+		c.metrics.Errors++
+		return res
+	}
+	solve := partition.SolveLP
+	if c.opts.Greedy {
+		solve = partition.Greedy
+	}
+	next, err := solve(prof, c.current.Regions, c.opts.Batch)
+	if err != nil {
+		res.Err = fmt.Errorf("adapt: replan solve: %w", err)
+		c.metrics.Errors++
+		return res
+	}
+	// Price the incumbent under the live traffic's identity, not just its
+	// shape — a permuted hot set looks identical to a shape-based estimate.
+	shares, err := c.detector.SegShares(snaps)
+	if err != nil {
+		res.Err = err
+		c.metrics.Errors++
+		return res
+	}
+	plan, err := PlanMigration(prof, c.current, next, c.opts.Batch, shares)
+	if err != nil {
+		res.Err = err
+		c.metrics.Errors++
+		return res
+	}
+	res.Replanned = true
+	res.Plan = plan
+	c.metrics.Replans++
+	c.metrics.LastSpeedup = plan.Speedup
+
+	cooled := time.Since(c.lastAdopt) >= c.opts.Cooldown || c.lastAdopt.IsZero()
+	if !plan.Worthwhile(c.opts.MinGain, c.opts.AmortizeBatches) || !cooled {
+		c.metrics.Rejected++
+		return res
+	}
+	if c.opts.Adopt == nil {
+		c.metrics.Rejected++
+		return res
+	}
+	if err := c.opts.Adopt(prof, next); err != nil {
+		res.Err = fmt.Errorf("adapt: adoption: %w", err)
+		c.metrics.Errors++
+		return res
+	}
+	res.Adopted = true
+	c.metrics.Adoptions++
+	c.metrics.RowsMigrated += plan.RowsMoved
+	c.metrics.BytesMigrated += plan.BytesMoved
+	c.metrics.EstimatedGain = plan.Speedup
+	c.lastAdopt = time.Now()
+	c.preAdoptMean = winMean
+	c.awaitRealized = true
+
+	// The adopted profile becomes the new baseline: drift is henceforth
+	// measured against what is actually deployed. The sketches restart
+	// empty — their counts straddle the drift that forced this change, and
+	// the next replan must price pure post-adoption traffic.
+	det, err := NewDetector(prof, c.opts.Threshold, c.opts.Windows)
+	if err == nil {
+		c.detector = det
+	}
+	c.tracker.Reset()
+	c.adoptedProfile = prof
+	c.current = next
+	return res
+}
+
+// serviceWindowMean differences the serving layer's cumulative service
+// cycles into this window's mean cycles per batch (0 when unavailable or
+// the window served nothing). Called with c.mu held.
+func (c *Controller) serviceWindowMean() float64 {
+	if c.opts.ServiceCycles == nil {
+		return 0
+	}
+	count, sum := c.opts.ServiceCycles()
+	dc, ds := count-c.prevSvcCount, sum-c.prevSvcSum
+	c.prevSvcCount, c.prevSvcSum = count, sum
+	if dc <= 0 {
+		return 0
+	}
+	return ds / float64(dc)
+}
+
+// Metrics is the control loop's counters and gauges. Snapshot with
+// Controller.Metrics; rendered for /metrics by Expo.
+type Metrics struct {
+	// Windows counts control windows evaluated.
+	Windows int64
+	// Triggers counts windows where the drift detector fired.
+	Triggers int64
+	// Replans counts solves run after a trigger.
+	Replans int64
+	// Adoptions counts plans that passed the gate and deployed.
+	Adoptions int64
+	// Rejected counts plans killed by the hysteresis gate (insufficient
+	// gain, unamortized migration cost, or cooldown).
+	Rejected int64
+	// Skipped counts triggers ignored for lack of observed samples.
+	Skipped int64
+	// Errors counts solve/adoption failures.
+	Errors int64
+	// RowsMigrated and BytesMigrated accumulate adopted plans' volumes.
+	RowsMigrated  int64
+	BytesMigrated int64
+	// DriftScore and DriftKS are the latest window's values.
+	DriftScore float64
+	DriftKS    float64
+	// LastSpeedup is the latest plan's predicted speedup (adopted or not).
+	LastSpeedup float64
+	// EstimatedGain is the last adopted plan's predicted speedup;
+	// RealizedGain is the measured pre/post windowed service-cycle ratio
+	// for that adoption (0 until one full post-adoption window passes).
+	EstimatedGain float64
+	RealizedGain  float64
+	// SamplesObserved is the tracker's live (decayed) sample count.
+	SamplesObserved int64
+}
+
+// Metrics snapshots the loop's counters.
+func (c *Controller) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.metrics
+	m.SamplesObserved = c.tracker.Samples()
+	return m
+}
+
+// Expo renders the adapt series in Prometheus text exposition format;
+// the serving layer appends it to /metrics via serve.RegisterExpo.
+func (c *Controller) Expo() string {
+	m := c.Metrics()
+	var b []byte
+	counter := func(name string, v int64) {
+		b = append(b, fmt.Sprintf("# TYPE %s counter\n%s %d\n", name, name, v)...)
+	}
+	gauge := func(name string, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		b = append(b, fmt.Sprintf("# TYPE %s gauge\n%s %g\n", name, name, v)...)
+	}
+	counter("recross_adapt_windows_total", m.Windows)
+	counter("recross_adapt_triggers_total", m.Triggers)
+	counter("recross_adapt_replans_total", m.Replans)
+	counter("recross_adapt_repartitions_total", m.Adoptions)
+	counter("recross_adapt_rejected_total", m.Rejected)
+	counter("recross_adapt_skipped_total", m.Skipped)
+	counter("recross_adapt_errors_total", m.Errors)
+	counter("recross_adapt_rows_migrated_total", m.RowsMigrated)
+	counter("recross_adapt_bytes_migrated_total", m.BytesMigrated)
+	gauge("recross_adapt_drift_score", m.DriftScore)
+	gauge("recross_adapt_drift_ks", m.DriftKS)
+	gauge("recross_adapt_last_speedup", m.LastSpeedup)
+	gauge("recross_adapt_estimated_gain", m.EstimatedGain)
+	gauge("recross_adapt_realized_gain", m.RealizedGain)
+	gauge("recross_adapt_samples_observed", float64(m.SamplesObserved))
+	return string(b)
+}

@@ -1,0 +1,296 @@
+package adapt
+
+import (
+	"fmt"
+	"testing"
+
+	"recross/internal/partition"
+	"recross/internal/trace"
+)
+
+func skewSpec(skew float64) trace.ModelSpec {
+	return trace.ModelSpec{Name: fmt.Sprintf("drift-%.1f", skew), Tables: []trace.TableSpec{
+		{Name: fmt.Sprintf("drift-a-%.1f", skew), Rows: 50000, VecLen: 16, Pooling: 8, Prob: 1, Skew: skew},
+		{Name: fmt.Sprintf("drift-b-%.1f", skew), Rows: 20000, VecLen: 16, Pooling: 8, Prob: 1, Skew: skew * 0.75},
+	}}
+}
+
+// window feeds one control window of traffic and advances the detector.
+func window(tr *Tracker, det *Detector, g *trace.Generator, samples int) (Drift, error) {
+	feed(tr, g, samples)
+	dr, err := det.Observe(tr.Snapshot())
+	tr.Decay()
+	return dr, err
+}
+
+// TestDriftStationaryNoFalsePositive is the false-positive-rate guarantee:
+// under stationary traffic — same distribution the placement was solved
+// for, fresh random draws — the detector must never fire, across three
+// skew regimes and a long run of windows. This is what makes the adaptive
+// loop safe to leave on: migrations cost bandwidth, and a detector that
+// fires on sampling noise converts noise into migrations.
+func TestDriftStationaryNoFalsePositive(t *testing.T) {
+	for _, skew := range []float64{0.6, 0.9, 1.2} {
+		skew := skew
+		t.Run(fmt.Sprintf("skew=%.1f", skew), func(t *testing.T) {
+			spec := skewSpec(skew)
+			baseline, err := partition.NewProfile(spec, 7, 2500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			det, err := NewDetector(baseline, 0.12, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := NewTracker(spec, TrackerOptions{TopK: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Live traffic: same spec, independent seed — stationary.
+			g, err := trace.NewGenerator(spec, 991)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var worst float64
+			for w := 0; w < 25; w++ {
+				dr, err := window(tr, det, g, 400)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dr.Score > worst {
+					worst = dr.Score
+				}
+				if dr.Fired {
+					t.Fatalf("window %d: false positive, score %.4f (threshold %.2f)", w, dr.Score, det.Threshold())
+				}
+			}
+			t.Logf("skew %.1f: worst stationary score %.4f vs threshold %.2f", skew, worst, det.Threshold())
+			// Guard the margin too, not just the binary outcome: a worst
+			// score grazing the threshold means the test passes on luck.
+			if worst > det.Threshold()*0.75 {
+				t.Fatalf("stationary score %.4f too close to threshold %.2f", worst, det.Threshold())
+			}
+		})
+	}
+}
+
+// TestDriftFiresOnHotSetShift is the detection guarantee: permute which
+// rows are popular (shape unchanged — the exact churn a CDF-vs-CDF
+// comparison cannot see) and the detector must fire within a bounded
+// number of windows.
+func TestDriftFiresOnHotSetShift(t *testing.T) {
+	spec := skewSpec(1.1)
+	baseline, err := partition.NewProfile(spec, 7, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(baseline, 0.12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTracker(spec, TrackerOptions{TopK: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := trace.NewGenerator(spec, 991)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stationary warmup: must stay quiet.
+	for w := 0; w < 4; w++ {
+		dr, err := window(tr, det, g, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dr.Fired {
+			t.Fatalf("fired during stationary warmup window %d (score %.4f)", w, dr.Score)
+		}
+	}
+	// The shift: same ranks, different rows.
+	if err := g.ShiftHotSet(424242); err != nil {
+		t.Fatal(err)
+	}
+	// Hysteresis needs 2 consecutive drifted windows; the sketch needs a
+	// decay or two to forget the old head. Allow 5 windows total.
+	fired := -1
+	for w := 0; w < 5; w++ {
+		dr, err := window(tr, det, g, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("post-shift window %d: score %.4f fired=%v", w, dr.Score, dr.Fired)
+		if dr.Fired {
+			fired = w
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("detector never fired after hot-set permutation")
+	}
+	if fired < 1 {
+		t.Fatalf("fired after %d windows, hysteresis requires >= 2", fired+1)
+	}
+}
+
+// TestDriftScoreSeparation pins the signal-to-noise margin the threshold
+// default rests on: the post-shift score must dominate the stationary
+// score by a wide factor.
+func TestDriftScoreSeparation(t *testing.T) {
+	spec := skewSpec(1.1)
+	baseline, err := partition.NewProfile(spec, 7, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(baseline, 0.12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := NewTracker(spec, TrackerOptions{TopK: 512})
+	g, _ := trace.NewGenerator(spec, 123)
+	feed(tr, g, 1000)
+	stationary, err := det.Score(tr.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh tracker under fully shifted traffic.
+	tr2, _ := NewTracker(spec, TrackerOptions{TopK: 512})
+	if err := g.ShiftHotSet(99); err != nil {
+		t.Fatal(err)
+	}
+	feed(tr2, g, 1000)
+	shifted, err := det.Score(tr2.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("stationary score %.4f, shifted score %.4f", stationary.Score, shifted.Score)
+	if shifted.Score < 3*stationary.Score {
+		t.Fatalf("separation too small: shifted %.4f < 3x stationary %.4f", shifted.Score, stationary.Score)
+	}
+	if shifted.KS <= stationary.KS {
+		t.Fatalf("KS did not grow under shift: %.4f <= %.4f", shifted.KS, stationary.KS)
+	}
+}
+
+func TestDriftEmptySnapshotIsQuiet(t *testing.T) {
+	spec := skewSpec(1.0)
+	baseline, err := partition.NewProfile(spec, 7, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(baseline, 0.12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := NewTracker(spec, TrackerOptions{TopK: 64})
+	dr, err := det.Observe(tr.Snapshot()) // nothing observed yet
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Score != 0 || dr.Fired {
+		t.Fatalf("no live data must mean no drift, got score %.4f fired=%v", dr.Score, dr.Fired)
+	}
+}
+
+func TestDetectorValidation(t *testing.T) {
+	spec := skewSpec(1.0)
+	baseline, _ := partition.NewProfile(spec, 7, 500)
+	if _, err := NewDetector(nil, 0.1, 2); err == nil {
+		t.Error("nil baseline should error")
+	}
+	if _, err := NewDetector(baseline, 0, 2); err == nil {
+		t.Error("zero threshold should error")
+	}
+	if _, err := NewDetector(baseline, 0.1, 0); err == nil {
+		t.Error("zero windows should error")
+	}
+	det, err := NewDetector(baseline, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Score(nil); err == nil {
+		t.Error("snapshot table-count mismatch should error")
+	}
+	if _, err := det.SegShares(nil); err == nil {
+		t.Error("SegShares table-count mismatch should error")
+	}
+}
+
+// TestSegSharesSumToOne checks the incumbent-pricing shares are a proper
+// distribution per table, stationary or shifted.
+func TestSegSharesSumToOne(t *testing.T) {
+	spec := skewSpec(1.1)
+	baseline, _ := partition.NewProfile(spec, 7, 2000)
+	det, err := NewDetector(baseline, 0.12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := NewTracker(spec, TrackerOptions{TopK: 512})
+	g, _ := trace.NewGenerator(spec, 55)
+	feed(tr, g, 800)
+	check := func(label string) {
+		shares, err := det.SegShares(tr.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range shares {
+			var sum float64
+			for _, s := range shares[i] {
+				if s < -1e-9 {
+					t.Fatalf("%s: table %d negative share %g", label, i, s)
+				}
+				sum += s
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Fatalf("%s: table %d shares sum to %g", label, i, sum)
+			}
+		}
+	}
+	check("stationary")
+	if err := g.ShiftHotSet(7); err != nil {
+		t.Fatal(err)
+	}
+	tr2, _ := NewTracker(spec, TrackerOptions{TopK: 512})
+	tr = tr2
+	feed(tr, g, 800)
+	check("shifted")
+}
+
+// TestSegSharesSeeThroughPermutation: after a hot-set shift the head
+// segments of the *old* ranking lose their live mass — that drained head
+// share is exactly what makes the stale placement expensive, and what the
+// shape-based estimate cannot represent.
+func TestSegSharesSeeThroughPermutation(t *testing.T) {
+	spec := skewSpec(1.2)
+	baseline, _ := partition.NewProfile(spec, 7, 2500)
+	det, err := NewDetector(baseline, 0.12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headShare := func(g *trace.Generator) float64 {
+		tr, _ := NewTracker(spec, TrackerOptions{TopK: 512})
+		feed(tr, g, 1000)
+		shares, err := det.SegShares(tr.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Head = segments up to the 1% boundary of table 0.
+		var head float64
+		for s := 0; s < 4; s++ { // bounds 0..0.01 span the first 4 segments
+			head += shares[0][s]
+		}
+		return head
+	}
+	g, _ := trace.NewGenerator(spec, 31)
+	stationaryHead := headShare(g)
+	if err := g.ShiftHotSet(1234); err != nil {
+		t.Fatal(err)
+	}
+	shiftedHead := headShare(g)
+	t.Logf("old-ranking head share: stationary %.3f, shifted %.3f", stationaryHead, shiftedHead)
+	if stationaryHead < 0.2 {
+		t.Fatalf("stationary head share %.3f implausibly low for skew 1.2", stationaryHead)
+	}
+	if shiftedHead > stationaryHead/2 {
+		t.Fatalf("shifted head share %.3f did not collapse (stationary %.3f)", shiftedHead, stationaryHead)
+	}
+}

@@ -25,16 +25,8 @@ func (r *ReCross) Rebalance(prof *partition.Profile) error {
 	if prof == nil {
 		return fmt.Errorf("core: nil profile")
 	}
-	if len(prof.Spec.Tables) != len(r.cfg.Spec.Tables) {
-		return fmt.Errorf("core: profile covers %d tables, spec has %d",
-			len(prof.Spec.Tables), len(r.cfg.Spec.Tables))
-	}
-	for i, t := range prof.Spec.Tables {
-		have := r.cfg.Spec.Tables[i]
-		if t.Rows != have.Rows || t.VecLen != have.VecLen {
-			return fmt.Errorf("core: profile table %q shape %dx%d != spec %dx%d",
-				t.Name, t.Rows, t.VecLen, have.Rows, have.VecLen)
-		}
+	if err := r.checkProfile(prof); err != nil {
+		return err
 	}
 
 	regions := r.Regions()
@@ -53,6 +45,59 @@ func (r *ReCross) Rebalance(prof *partition.Profile) error {
 		return fmt.Errorf("core: rebalance placement: %w", err)
 	}
 	r.prof, r.dec, r.pl = prof, dec, pl
+	return nil
+}
+
+// Adopt installs a pre-solved partitioning: the profile and decision come
+// from the online replanner (internal/adapt), which already ran the LP
+// once, priced the migration, and passed its hysteresis gate — re-solving
+// per replica (as Rebalance does) could in principle land each replica on
+// a different equal-objective vertex, and would waste a solve per pool
+// member. Only the mapping tables change; the hardware regions are fixed,
+// so dec must have been solved against this instance's Regions().
+//
+// The caller must respect the System single-goroutine contract: Adopt
+// swaps the placement the next Run reads, so it may only be called from
+// the goroutine that owns the instance (the serving layer stages updates
+// and applies them at batch boundaries for exactly this reason).
+func (r *ReCross) Adopt(prof *partition.Profile, dec *partition.Decision) error {
+	if prof == nil || dec == nil {
+		return fmt.Errorf("core: nil profile or decision")
+	}
+	if err := r.checkProfile(prof); err != nil {
+		return err
+	}
+	if len(dec.Regions) != 3 {
+		return fmt.Errorf("core: decision has %d regions, want 3", len(dec.Regions))
+	}
+	for j, want := range r.Regions() {
+		if dec.Regions[j].CapBytes != want.CapBytes {
+			return fmt.Errorf("core: decision region %q capacity %d != instance %d",
+				dec.Regions[j].Name, dec.Regions[j].CapBytes, want.CapBytes)
+		}
+	}
+	pl, err := partition.Build(prof, dec)
+	if err != nil {
+		return fmt.Errorf("core: adopt placement: %w", err)
+	}
+	r.prof, r.dec, r.pl = prof, dec, pl
+	return nil
+}
+
+// checkProfile verifies prof describes the spec this instance was built
+// with (table count and shapes).
+func (r *ReCross) checkProfile(prof *partition.Profile) error {
+	if len(prof.Spec.Tables) != len(r.cfg.Spec.Tables) {
+		return fmt.Errorf("core: profile covers %d tables, spec has %d",
+			len(prof.Spec.Tables), len(r.cfg.Spec.Tables))
+	}
+	for i, t := range prof.Spec.Tables {
+		have := r.cfg.Spec.Tables[i]
+		if t.Rows != have.Rows || t.VecLen != have.VecLen {
+			return fmt.Errorf("core: profile table %q shape %dx%d != spec %dx%d",
+				t.Name, t.Rows, t.VecLen, have.Rows, have.VecLen)
+		}
+	}
 	return nil
 }
 

@@ -92,6 +92,47 @@ func TestLPBeatsGreedyOnEstimate(t *testing.T) {
 	}
 }
 
+// TestParitySweepLPvsGreedy sweeps profiling seeds × batch sizes ×
+// workload skews and asserts, at every point, that (a) both partitioners
+// produce valid placements — segment and row fractions sum to 1,
+// capacities respected — and (b) the crude partitioner never beats the
+// LP on its own objective, the estimated latency bound T. The LP's
+// optimality must not depend on a particular profile draw.
+func TestParitySweepLPvsGreedy(t *testing.T) {
+	seeds := []int64{1, 7, 29, 101}
+	batches := []int{8, 32, 128}
+	skews := [][2]float64{{1.2, 0.6}, {0.9, 0.9}, {1.4, 0.2}}
+	for _, seed := range seeds {
+		for _, sk := range skews {
+			spec := trace.ModelSpec{Name: "parity", Tables: []trace.TableSpec{
+				{Name: "a", Rows: 40000, VecLen: 16, Pooling: 8, Prob: 1, Skew: sk[0]},
+				{Name: "b", Rows: 15000, VecLen: 16, Pooling: 4, Prob: 1, Skew: sk[1]},
+			}}
+			p, err := NewProfile(spec, seed, 600)
+			if err != nil {
+				t.Fatal(err)
+			}
+			regions := testRegions(spec.TotalBytes())
+			for _, batch := range batches {
+				lpDec, err := SolveLP(p, regions, batch)
+				if err != nil {
+					t.Fatalf("seed %d skew %v batch %d: LP: %v", seed, sk, batch, err)
+				}
+				gr, err := Greedy(p, regions, batch)
+				if err != nil {
+					t.Fatalf("seed %d skew %v batch %d: greedy: %v", seed, sk, batch, err)
+				}
+				checkDecision(t, p, lpDec)
+				checkDecision(t, p, gr)
+				if lpDec.T > gr.T*(1+1e-9) {
+					t.Fatalf("seed %d skew %v batch %d: LP T %.2f beaten by greedy %.2f",
+						seed, sk, batch, lpDec.T, gr.T)
+				}
+			}
+		}
+	}
+}
+
 func TestLPBalancesLoadAcrossRegions(t *testing.T) {
 	p := smallProfile(t)
 	regions := testRegions(p.Spec.TotalBytes())

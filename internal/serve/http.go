@@ -180,6 +180,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprint(w, s.metrics.Snapshot().Expo())
 	fmt.Fprint(w, s.Health().Expo())
+	s.expoMu.RLock()
+	fns := s.expoFns
+	s.expoMu.RUnlock()
+	for _, f := range fns {
+		fmt.Fprint(w, f())
+	}
 }
 
 // handleHealthz reports the self-healing pool's state as JSON. Status

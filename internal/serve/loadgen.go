@@ -28,6 +28,15 @@ type LoadgenOptions struct {
 	Seed int64
 	// Timeout, when positive, bounds each request with a deadline.
 	Timeout time.Duration
+	// ShiftAt, when positive, permutes every client generator's hot set
+	// (trace.Generator.ShiftHotSet with ShiftSalt) once that much of the
+	// run has elapsed — the mid-run popularity churn the adaptive
+	// repartitioner exists to absorb. Distribution shape is unchanged;
+	// which rows are hot is not.
+	ShiftAt time.Duration
+	// ShiftSalt selects the post-shift permutation (default 1, so setting
+	// only ShiftAt still changes the hot set).
+	ShiftSalt int64
 }
 
 func (o LoadgenOptions) withDefaults() LoadgenOptions {
@@ -39,6 +48,9 @@ func (o LoadgenOptions) withDefaults() LoadgenOptions {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.ShiftSalt == 0 {
+		o.ShiftSalt = 1
 	}
 	return o
 }
@@ -104,6 +116,10 @@ func Loadgen(s *Server, opts LoadgenOptions) (*Report, error) {
 	stats := make([]clientStats, opts.Clients)
 	deadline := time.Now().Add(opts.Duration)
 	start := time.Now()
+	var shiftTime time.Time
+	if opts.ShiftAt > 0 {
+		shiftTime = start.Add(opts.ShiftAt)
+	}
 
 	var wg sync.WaitGroup
 	errc := make(chan error, opts.Clients)
@@ -116,7 +132,20 @@ func Loadgen(s *Server, opts LoadgenOptions) (*Report, error) {
 		go func(c int, gen *trace.Generator) {
 			defer wg.Done()
 			st := &stats[c]
+			shifted := false
 			for time.Now().Before(deadline) {
+				if !shifted && !shiftTime.IsZero() && !time.Now().Before(shiftTime) {
+					// Each client owns its generator, so the shift is safe
+					// here; all clients derive the identical permutation.
+					if err := gen.ShiftHotSet(opts.ShiftSalt); err != nil {
+						select {
+						case errc <- err:
+						default:
+						}
+						return
+					}
+					shifted = true
+				}
 				sample := gen.Sample()
 				if len(sample) == 0 {
 					continue // all-probabilistic spec rolled no tables

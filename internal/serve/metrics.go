@@ -151,6 +151,14 @@ type Metrics struct {
 	FaultCorrupt atomic.Int64
 	FaultErrors  atomic.Int64
 
+	// UpdatesStaged/UpdatesApplied/UpdateFailures count staged System
+	// updates (see Server.StageUpdate): replica-stagings requested,
+	// batch-boundary applications, and failed applications (the replica
+	// keeps serving its old System).
+	UpdatesStaged  atomic.Int64
+	UpdatesApplied atomic.Int64
+	UpdateFailures atomic.Int64
+
 	// QueueWait is the admission-to-dequeue wait, nanoseconds.
 	QueueWait *Hist
 	// BatchForm is the batch formation delay (first dequeue to flush),
@@ -193,6 +201,7 @@ type Snapshot struct {
 
 	Degraded, Retries, Restarts                         int64
 	FaultPanics, FaultWedges, FaultCorrupt, FaultErrors int64
+	UpdatesStaged, UpdatesApplied, UpdateFailures       int64
 
 	QueueWait, BatchForm, ServiceCycles, E2E HistSnapshot
 }
@@ -200,24 +209,27 @@ type Snapshot struct {
 // Snapshot captures the registry.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		Admitted:      m.Admitted.Load(),
-		Completed:     m.Completed.Load(),
-		Failed:        m.Failed.Load(),
-		Shed:          m.Shed.Load(),
-		Canceled:      m.Canceled.Load(),
-		Batches:       m.Batches.Load(),
-		BatchSamples:  m.BatchSamples.Load(),
-		Degraded:      m.Degraded.Load(),
-		Retries:       m.Retries.Load(),
-		Restarts:      m.Restarts.Load(),
-		FaultPanics:   m.FaultPanics.Load(),
-		FaultWedges:   m.FaultWedges.Load(),
-		FaultCorrupt:  m.FaultCorrupt.Load(),
-		FaultErrors:   m.FaultErrors.Load(),
-		QueueWait:     m.QueueWait.Snapshot(),
-		BatchForm:     m.BatchForm.Snapshot(),
-		ServiceCycles: m.ServiceCycles.Snapshot(),
-		E2E:           m.E2E.Snapshot(),
+		Admitted:       m.Admitted.Load(),
+		Completed:      m.Completed.Load(),
+		Failed:         m.Failed.Load(),
+		Shed:           m.Shed.Load(),
+		Canceled:       m.Canceled.Load(),
+		Batches:        m.Batches.Load(),
+		BatchSamples:   m.BatchSamples.Load(),
+		Degraded:       m.Degraded.Load(),
+		Retries:        m.Retries.Load(),
+		Restarts:       m.Restarts.Load(),
+		FaultPanics:    m.FaultPanics.Load(),
+		FaultWedges:    m.FaultWedges.Load(),
+		FaultCorrupt:   m.FaultCorrupt.Load(),
+		FaultErrors:    m.FaultErrors.Load(),
+		UpdatesStaged:  m.UpdatesStaged.Load(),
+		UpdatesApplied: m.UpdatesApplied.Load(),
+		UpdateFailures: m.UpdateFailures.Load(),
+		QueueWait:      m.QueueWait.Snapshot(),
+		BatchForm:      m.BatchForm.Snapshot(),
+		ServiceCycles:  m.ServiceCycles.Snapshot(),
+		E2E:            m.E2E.Snapshot(),
 	}
 }
 
@@ -253,6 +265,9 @@ func (s Snapshot) Expo() string {
 	counter("recross_replica_faults_wedge_total", s.FaultWedges)
 	counter("recross_replica_faults_corrupt_total", s.FaultCorrupt)
 	counter("recross_replica_faults_error_total", s.FaultErrors)
+	counter("recross_updates_staged_total", s.UpdatesStaged)
+	counter("recross_updates_applied_total", s.UpdatesApplied)
+	counter("recross_update_failures_total", s.UpdateFailures)
 	counter("recross_batches_total", s.Batches)
 	gauge("recross_batch_mean_samples", s.MeanBatch())
 	hist := func(prefix string, h HistSnapshot, scale float64) {

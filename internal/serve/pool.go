@@ -64,6 +64,10 @@ type replica struct {
 	restarts   atomic.Int64 // successful supervisor rebuilds
 	attempts   atomic.Int32 // consecutive restart attempts; reset by a served batch
 	sysname    atomic.Value // string; sys.Name() is not readable concurrently with a swap
+
+	// update is a staged SystemUpdate (see StageUpdate); the worker swaps
+	// it out and applies it between batches, when it owns sys.
+	update atomic.Pointer[SystemUpdate]
 }
 
 func newReplica(id int, sys arch.System) *replica {
@@ -96,6 +100,9 @@ func (rep *replica) available() bool {
 // over; queued batches wait for the restarted worker).
 func (rep *replica) run(s *Server) {
 	for batch := range rep.work {
+		// Between batches the worker owns the System exclusively — the
+		// one safe moment to apply a staged placement swap.
+		rep.applyUpdate(s)
 		if !rep.serve(s, batch) {
 			rep.workerLive.Store(false)
 			s.failures <- rep // buffered(len replicas): never blocks

@@ -195,6 +195,12 @@ type Options struct {
 	// answers from the functional layer with Result.Degraded set
 	// (default 1).
 	Quorum int
+
+	// Observer, when non-nil, is called with every admitted sample — the
+	// adaptive repartitioner's tap into the live access stream. It runs on
+	// the caller's goroutine inside Lookup, so it must be cheap and safe
+	// for concurrent use (adapt.Tracker.Observe is both).
+	Observer func(trace.Sample)
 }
 
 func (o Options) withDefaults() Options {
@@ -301,6 +307,9 @@ type Server struct {
 
 	dispatcherDone chan struct{}
 	workers        sync.WaitGroup
+
+	expoMu  sync.RWMutex
+	expoFns []func() string // extra /metrics sections (RegisterExpo)
 }
 
 // New builds and starts a server: one dispatcher goroutine, one
@@ -359,6 +368,19 @@ func (s *Server) startWorker(rep *replica) {
 
 // Replicas returns the pool width.
 func (s *Server) Replicas() int { return len(s.replicas) }
+
+// RegisterExpo appends an extra section to the /metrics exposition —
+// how subsystems composed around the server (the adaptive repartitioning
+// controller, for one) publish their own series through the same
+// endpoint. f must be safe for concurrent use.
+func (s *Server) RegisterExpo(f func() string) {
+	if f == nil {
+		return
+	}
+	s.expoMu.Lock()
+	s.expoFns = append(s.expoFns, f)
+	s.expoMu.Unlock()
+}
 
 // Metrics returns the live registry (snapshot it for reporting).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -432,6 +454,9 @@ func (s *Server) Lookup(ctx context.Context, sample trace.Sample) (*Result, erro
 	}
 	s.mu.RUnlock()
 	s.metrics.Admitted.Add(1)
+	if s.opts.Observer != nil {
+		s.opts.Observer(sample)
+	}
 
 	select {
 	case o := <-r.done:

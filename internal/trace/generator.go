@@ -159,6 +159,26 @@ func (g *Generator) Batch(n int) Batch {
 	return b
 }
 
+// ShiftHotSet re-derives every table's popularity permutation with the
+// given salt, modelling the real-world drift the adaptive repartitioner
+// exists for: item popularity churns (yesterday's viral items cool off,
+// new ones heat up) while the *shape* of the distribution — the Zipf skew
+// — stays put. Ranks keep their probabilities; which rows hold them
+// changes. salt 0 restores the original hot set; the same (table, salt)
+// always produces the same permutation, so independent generators shift
+// identically. Not safe for concurrent use with Sample/Index (the
+// generator is single-goroutine, like everything else seeded here).
+func (g *Generator) ShiftHotSet(salt int64) error {
+	for i, t := range g.spec.Tables {
+		s, err := NewScatter(t.Rows, scatterSeed(t.Name)+salt)
+		if err != nil {
+			return fmt.Errorf("table %q: %w", t.Name, err)
+		}
+		g.scats[i] = s
+	}
+	return nil
+}
+
 // Histograms returns the per-table access histograms accumulated over
 // everything generated so far. The returned slices alias internal state;
 // callers must not modify them.

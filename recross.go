@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"recross/internal/adapt"
 	"recross/internal/arch"
 	"recross/internal/baseline"
 	"recross/internal/chaos"
@@ -114,6 +115,32 @@ type (
 	// ReplicaError is the typed replica-fault error; it unwraps to
 	// ErrReplicaFailure.
 	ReplicaError = serve.ReplicaError
+
+	// SystemUpdate is a staged replica-System transformation, applied by
+	// each worker at a batch boundary (see Server.StageUpdate).
+	SystemUpdate = serve.SystemUpdate
+
+	// AdaptController is the online workload profiler + adaptive
+	// repartitioning loop: a streaming frequency sketch over the serving
+	// path, a drift detector against the deployed placement's profile, a
+	// replanner re-running the partitioner LP, and a hysteresis gate
+	// pricing migrations before adopting them. Build one (wired into a
+	// Server) with NewAdaptiveServer.
+	AdaptController = adapt.Controller
+	// AdaptOptions configures the adaptive loop (sketch size, control
+	// interval, drift threshold, hysteresis windows, migration economics).
+	AdaptOptions = adapt.Options
+	// AdaptMetrics is the control loop's counter/gauge snapshot.
+	AdaptMetrics = adapt.Metrics
+	// AdaptStepResult reports one control window (drift, plan, adoption).
+	AdaptStepResult = adapt.StepResult
+	// DriftDetector compares live traffic against a placement's profile.
+	DriftDetector = adapt.Detector
+	// MigrationPlan prices a proposed repartitioning (bytes moved,
+	// bandwidth-cycles, predicted speedup).
+	MigrationPlan = adapt.Plan
+	// FreqTracker is the bounded-memory per-table frequency sketch.
+	FreqTracker = adapt.Tracker
 
 	// FaultConfig configures the chaos fault-injection harness: per-kind
 	// rates, a stall duration, a deterministic per-replica schedule, and
@@ -384,6 +411,117 @@ func NewServer(a Arch, cfg Config, n int, opts ServeOptions) (*Server, error) {
 		opts.Rebuild = func(int) (System, error) { return NewSystem(a, rebuildCfg) }
 	}
 	return serve.New(opts)
+}
+
+// NewAdaptiveServer builds a serving front-end with the online adaptive
+// repartitioning loop wired through it: every admitted sample feeds the
+// controller's frequency sketches (ServeOptions.Observer), adoption
+// stages a non-blocking placement swap on every replica
+// (Server.StageUpdate, applied at batch boundaries), supervisor-rebuilt
+// replicas come up already on the adopted placement, and the controller's
+// recross_adapt_* series ride the server's /metrics endpoint.
+//
+// Only the ReCross architecture has a partitioner to adapt; other arches
+// are rejected. The returned controller is not started: call Start for
+// the background loop at AdaptOptions.Interval, or drive Step yourself
+// (deterministic tests do). Close the server first, then Stop the
+// controller.
+func NewAdaptiveServer(a Arch, cfg Config, n int, sopts ServeOptions, aopts AdaptOptions) (*Server, *AdaptController, error) {
+	if a != ReCross {
+		return nil, nil, fmt.Errorf("recross: adaptive serving requires the %q architecture (it owns the partitioner), got %q", ReCross, a)
+	}
+	cfg, err := cfg.profiled(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	systems, err := cfg.ReplicaSystems(a, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	layer, err := NewLayer(cfg.Spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	rc, ok := systems[0].(*core.ReCross)
+	if !ok {
+		return nil, nil, fmt.Errorf("recross: %q replicas do not expose partitioning internals", a)
+	}
+	origDec := rc.Decision()
+
+	// The controller and server reference each other (Observer feeds the
+	// controller; adoption stages updates on the server), so the adoption
+	// closure captures the server variable filled in below.
+	var srv *Server
+	aopts.Spec = cfg.Spec
+	aopts.Baseline = rc.Profile()
+	aopts.Decision = origDec
+	if aopts.Batch == 0 {
+		aopts.Batch = cfg.Batch
+	}
+	if aopts.Adopt == nil {
+		aopts.Adopt = func(prof *Profile, dec *partition.Decision) error {
+			if srv == nil {
+				return fmt.Errorf("recross: adoption before server construction")
+			}
+			srv.StageUpdate(func(id int, sys System) (System, error) {
+				rb, ok := sys.(adapt.Rebalancer)
+				if !ok {
+					return sys, nil // non-partitioned replica: nothing to swap
+				}
+				if err := rb.Adopt(prof, dec); err != nil {
+					return nil, err
+				}
+				return sys, nil
+			})
+			return nil
+		}
+	}
+	if aopts.ServiceCycles == nil {
+		aopts.ServiceCycles = func() (int64, float64) {
+			if srv == nil {
+				return 0, 0
+			}
+			h := srv.Metrics().ServiceCycles.Snapshot()
+			return h.Count, h.Mean * float64(h.Count)
+		}
+	}
+	ctrl, err := adapt.NewController(aopts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sopts.Systems = systems
+	sopts.Layer = layer
+	if sopts.Observer == nil {
+		sopts.Observer = ctrl.Observe
+	}
+	if sopts.Rebuild == nil {
+		rebuildCfg := cfg
+		sopts.Rebuild = func(id int) (System, error) {
+			sys, err := NewSystem(a, rebuildCfg)
+			if err != nil {
+				return nil, err
+			}
+			// A replacement replica must not resurrect the boot placement
+			// after an adoption: bring it up on the controller's current
+			// state.
+			prof, dec := ctrl.Current()
+			if dec != origDec {
+				if rb, ok := sys.(adapt.Rebalancer); ok {
+					if err := rb.Adopt(prof, dec); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return sys, nil
+		}
+	}
+	srv, err = serve.New(sopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv.RegisterExpo(ctrl.Expo)
+	return srv, ctrl, nil
 }
 
 // WrapFaulty wraps one System with deterministic fault injection for
