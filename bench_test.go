@@ -9,8 +9,48 @@ import (
 	"io"
 	"testing"
 
+	"recross/internal/core"
 	"recross/internal/experiments"
 )
+
+func benchRecrossRun(b *testing.B, ref bool) {
+	b.Helper()
+	spec := CriteoKaggle(64, 80)
+	cfg := core.DefaultConfig(spec)
+	cfg.ProfileSamples = 500
+	cfg.RefScheduler = ref
+	sys, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := NewGenerator(spec, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := gen.Batch(32)
+	var cycles int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := sys.Run(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += int64(rs.Cycles)
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(cycles)/secs, "simcycles/s")
+	}
+}
+
+// BenchmarkRecrossRun measures one batch through the full ReCross timing
+// model on the fast arbiter — the serving layer's per-batch cost.
+func BenchmarkRecrossRun(b *testing.B) { benchRecrossRun(b, false) }
+
+// BenchmarkRecrossRunReference is the same batch on the pre-fast-path
+// configuration (Reference scan scheduler, fresh channel per run); the
+// ratio to BenchmarkRecrossRun is the arbiter's end-to-end speedup.
+func BenchmarkRecrossRunReference(b *testing.B) { benchRecrossRun(b, true) }
 
 func benchTable(b *testing.B, run func(experiments.Config) (*experiments.Table, error)) {
 	b.Helper()

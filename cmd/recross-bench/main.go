@@ -19,6 +19,11 @@
 //	-ranks N      ranks per channel (default 2)
 //	-json         machine-readable output: one JSON document on stdout
 //	              (progress moves to stderr)
+//	-perf FILE    run the scheduler perf microbenchmarks and write a JSON
+//	              trajectory file (e.g. BENCH_PR4.json); without experiment
+//	              names, runs only the perf suite
+//	-cpuprofile FILE  write a CPU profile of the run
+//	-memprofile FILE  write a heap profile at exit
 package main
 
 import (
@@ -27,6 +32,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"recross/internal/experiments"
@@ -64,7 +71,25 @@ func main() {
 	pooling := flag.Int("pooling", 0, "gathers per op (0 = default)")
 	veclen := flag.Int("veclen", 0, "embedding vector length (0 = default)")
 	ranks := flag.Int("ranks", 0, "ranks per channel (0 = default)")
+	perfOut := flag.String("perf", "", "run the scheduler perf microbenchmarks and write a JSON trajectory file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	finishProfiles := startProfiles(*cpuprofile, *memprofile)
+	defer finishProfiles()
+
+	if *perfOut != "" {
+		if err := runPerf(*perfOut); err != nil {
+			fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+			finishProfiles()
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "perf: wrote %s\n", *perfOut)
+		if len(flag.Args()) == 0 {
+			return
+		}
+	}
 
 	cfg := experiments.Paper()
 	if *quick {
@@ -187,3 +212,37 @@ func main() {
 type text string
 
 func (t text) String() string { return string(t) }
+
+// startProfiles starts the optional CPU profile and returns the function
+// that stops it and writes the optional heap profile.
+func startProfiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize the retained-heap picture
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"recross/internal/arch"
+	"recross/internal/core"
+	"recross/internal/dram"
+	"recross/internal/memctrl"
+	"recross/internal/sim"
+	"recross/internal/trace"
+)
+
+// The -perf suite measures the scheduler hot path in isolation and end to
+// end, on both the fast arbiter and the Reference scan scheduler, and
+// writes the results as a JSON perf-trajectory file (BENCH_PR4.json in
+// this PR) so future changes have a recorded baseline to regress against.
+
+// perfEntry is one benchmark's record.
+type perfEntry struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// SimCyclesPerSec is simulated DRAM cycles advanced per wall-clock
+	// second — the simulator's throughput figure of merit.
+	SimCyclesPerSec float64 `json:"sim_cycles_per_wall_second,omitempty"`
+}
+
+// perfDoc is the trajectory file.
+type perfDoc struct {
+	GoVersion string      `json:"go_version"`
+	CPUs      int         `json:"cpus"`
+	When      string      `json:"when"`
+	Entries   []perfEntry `json:"entries"`
+}
+
+// perfDrainReqs is the 4k-request mixed row-hit workload shared by the
+// drain benchmarks (mirrors internal/memctrl's BenchmarkDrain*4k).
+func perfDrainReqs(geo dram.Geometry) []memctrl.Request {
+	rng := rand.New(rand.NewSource(1))
+	reqs := make([]memctrl.Request, 4096)
+	for i := range reqs {
+		reqs[i] = memctrl.Request{
+			Loc: dram.Loc{
+				Rank: rng.Intn(geo.Ranks),
+				BG:   rng.Intn(geo.BankGroups),
+				Bank: rng.Intn(geo.Banks),
+				Row:  rng.Intn(64),
+			},
+			Cols:     8,
+			Consumer: dram.ToBankPE,
+			Arrival:  sim.Cycle(i),
+			Op:       int32(i / 16),
+		}
+	}
+	return reqs
+}
+
+// perfDrain benchmarks a raw controller drain.
+func perfDrain(reference bool) (perfEntry, error) {
+	geo := dram.DDR5(2)
+	reqs := perfDrainReqs(geo)
+	s, err := arch.NewChannelSim(arch.ChannelSpec{
+		Geo: geo, Tm: dram.DDR5Timing(), Mode: dram.NMPTwoStage,
+		Policy: memctrl.LAS, OpWindow: arch.NMPOpWindow,
+		Reference: reference,
+	})
+	if err != nil {
+		return perfEntry{}, err
+	}
+	finish, _, _, err := s.Run(reqs, 0)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	name := "drain_fast_4k"
+	if reference {
+		name = "drain_reference_4k"
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := s.Run(reqs, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return mkEntry(name, r, int64(finish)), nil
+}
+
+// perfRecrossRun benchmarks one batch through the full ReCross model.
+func perfRecrossRun(reference bool) (perfEntry, error) {
+	spec := trace.CriteoKaggle(64, 80)
+	cfg := core.DefaultConfig(spec)
+	cfg.ProfileSamples = 500
+	cfg.RefScheduler = reference
+	sys, err := core.New(cfg)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	gen, err := trace.NewGenerator(spec, 7)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	batch := gen.Batch(32)
+	rs, err := sys.Run(batch)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	name := "recross_run_fast"
+	if reference {
+		name = "recross_run_reference"
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Run(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return mkEntry(name, r, int64(rs.Cycles)), nil
+}
+
+func mkEntry(name string, r testing.BenchmarkResult, cyclesPerOp int64) perfEntry {
+	e := perfEntry{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if secs := r.T.Seconds(); secs > 0 {
+		e.SimCyclesPerSec = float64(cyclesPerOp) * float64(r.N) / secs
+	}
+	return e
+}
+
+// runPerf executes the perf suite and writes the trajectory file.
+func runPerf(path string) error {
+	doc := perfDoc{
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		When:      time.Now().UTC().Format(time.RFC3339),
+	}
+	suite := []func() (perfEntry, error){
+		func() (perfEntry, error) { return perfDrain(false) },
+		func() (perfEntry, error) { return perfDrain(true) },
+		func() (perfEntry, error) { return perfRecrossRun(false) },
+		func() (perfEntry, error) { return perfRecrossRun(true) },
+	}
+	for _, f := range suite {
+		e, err := f()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "perf: %-24s %12.0f ns/op %8d allocs/op %14.0f simcycles/s\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.SimCyclesPerSec)
+		doc.Entries = append(doc.Entries, e)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

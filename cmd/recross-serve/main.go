@@ -55,6 +55,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux (-pprof-addr)
 	"os"
 	"os/signal"
 	"syscall"
@@ -100,6 +101,7 @@ func main() {
 	adaptMinGain := flag.Float64("adapt-min-gain", 0.05, "adapt: minimum predicted speedup a plan must clear")
 
 	addr := flag.String("addr", ":8080", "HTTP listen address")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	loadgen := flag.Bool("loadgen", false, "run the closed-loop load generator instead of serving HTTP")
 	clients := flag.Int("clients", 8, "loadgen: concurrent closed-loop clients")
 	duration := flag.Duration("duration", 10*time.Second, "loadgen: run length")
@@ -108,6 +110,17 @@ func main() {
 	shiftAt := flag.Duration("shift-at", 0, "loadgen: permute the Zipf hot set after this much of the run (0 = never)")
 	shiftSalt := flag.Int64("shift-salt", 1, "loadgen: hot-set permutation salt")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The profiler gets its own listener so profiling traffic never
+		// competes with (or is admission-controlled like) serving traffic.
+		go func() {
+			fmt.Fprintf(os.Stderr, "recross-serve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "recross-serve: pprof server: %v\n", err)
+			}
+		}()
+	}
 
 	pol, err := serve.ParsePolicy(*policy)
 	if err != nil {

@@ -83,6 +83,11 @@ type ChannelSpec struct {
 	// only a handful of ops overlap; the CPU baseline overlaps one op per
 	// core.
 	OpWindow int
+	// Reference selects the O(banks)-scan memctrl.Reference scheduler
+	// instead of the fast arbiter. The two are bit-identical (the memctrl
+	// differential fuzzer enforces it); this knob exists for benchmarking
+	// and for pinning down a divergence should one ever appear.
+	Reference bool
 }
 
 // NMPOpWindow is the op concurrency the NMP dispatch pipeline sustains:
@@ -93,17 +98,27 @@ const NMPOpWindow = 4
 // CPUOpWindow is one in-flight embedding op per core (Table 2: 16 cores).
 const CPUOpWindow = 16
 
-// RunChannel drains reqs through a fresh channel and then streams
-// resultBursts of reduced results back over the channel DQ. It returns the
-// end-to-end finish time, the channel stats, and the drain result.
-func RunChannel(spec ChannelSpec, reqs []memctrl.Request, resultBursts int) (sim.Cycle, dram.Stats, memctrl.Result, error) {
+// ChannelSim owns a reusable channel + controller pair for one ChannelSpec:
+// Run resets the channel timing state in place and drains through the
+// retained scheduler, so steady-state batch runs reuse every piece of
+// scheduler scratch (bank queues, node pool, heaps, op maps) instead of
+// rebuilding them. Like the channel it wraps, a ChannelSim is single-
+// goroutine — the documented System contract.
+type ChannelSim struct {
+	ch  *dram.Channel
+	ctl *memctrl.Controller
+	ref *memctrl.Reference
+}
+
+// NewChannelSim builds the channel and scheduler for spec.
+func NewChannelSim(spec ChannelSpec) (*ChannelSim, error) {
 	ch, err := dram.NewChannel(spec.Geo, spec.Tm, spec.Mode)
 	if err != nil {
-		return 0, dram.Stats{}, memctrl.Result{}, err
+		return nil, err
 	}
 	for _, fb := range spec.SALPBanks {
 		if fb < 0 || fb >= spec.Geo.TotalBanks() {
-			return 0, dram.Stats{}, memctrl.Result{}, fmt.Errorf("arch: SALP bank %d out of range", fb)
+			return nil, fmt.Errorf("arch: SALP bank %d out of range", fb)
 		}
 		ch.EnableSALP(fb)
 	}
@@ -111,20 +126,73 @@ func RunChannel(spec ChannelSpec, reqs []memctrl.Request, resultBursts int) (sim
 	if w == 0 {
 		w = memctrl.DefaultWindow
 	}
-	ctl, err := memctrl.New(ch, spec.Policy, w)
-	if err != nil {
-		return 0, dram.Stats{}, memctrl.Result{}, err
+	s := &ChannelSim{ch: ch}
+	if spec.Reference {
+		r, err := memctrl.NewReference(ch, spec.Policy, w)
+		if err != nil {
+			return nil, err
+		}
+		r.OpWindowLimit = spec.OpWindow
+		s.ref = r
+	} else {
+		c, err := memctrl.New(ch, spec.Policy, w)
+		if err != nil {
+			return nil, err
+		}
+		c.OpWindowLimit = spec.OpWindow
+		s.ctl = c
 	}
-	ctl.OpWindowLimit = spec.OpWindow
-	res, err := ctl.Drain(reqs)
+	return s, nil
+}
+
+// Channel exposes the underlying channel (for stats inspection between
+// runs; its counters are cleared by the next Run).
+func (s *ChannelSim) Channel() *dram.Channel { return s.ch }
+
+// Run resets the channel, drains reqs, and then streams resultBursts of
+// reduced results back over the channel DQ. It returns the end-to-end
+// finish time, a stats snapshot (safe to retain: it does not alias the
+// channel's reused counters), and the drain result.
+func (s *ChannelSim) Run(reqs []memctrl.Request, resultBursts int) (sim.Cycle, dram.Stats, memctrl.Result, error) {
+	s.ch.Reset()
+	var res memctrl.Result
+	var err error
+	if s.ref != nil {
+		res, err = s.ref.Drain(reqs)
+	} else {
+		res, err = s.ctl.Drain(reqs)
+	}
 	if err != nil {
 		return 0, dram.Stats{}, memctrl.Result{}, err
 	}
 	finish := res.Finish
 	if resultBursts > 0 {
-		finish = ch.StreamResults(resultBursts, finish)
+		finish = s.ch.StreamResults(resultBursts, finish)
 	}
-	return finish, ch.St, res, nil
+	return finish, snapshotStats(&s.ch.St), res, nil
+}
+
+// snapshotStats deep-copies the per-bank/BG/rank counter slices, which the
+// channel zeroes in place on Reset.
+func snapshotStats(st *dram.Stats) dram.Stats {
+	out := *st
+	out.PerBankRDs = append([]int64(nil), st.PerBankRDs...)
+	out.PerBGRDs = append([]int64(nil), st.PerBGRDs...)
+	out.PerRankRDs = append([]int64(nil), st.PerRankRDs...)
+	out.PerBankACTs = append([]int64(nil), st.PerBankACTs...)
+	return out
+}
+
+// RunChannel drains reqs through a fresh channel and then streams
+// resultBursts of reduced results back over the channel DQ. It returns the
+// end-to-end finish time, the channel stats, and the drain result. Callers
+// on a hot path should hold a ChannelSim instead and amortize the setup.
+func RunChannel(spec ChannelSpec, reqs []memctrl.Request, resultBursts int) (sim.Cycle, dram.Stats, memctrl.Result, error) {
+	s, err := NewChannelSim(spec)
+	if err != nil {
+		return 0, dram.Stats{}, memctrl.Result{}, err
+	}
+	return s.Run(reqs, resultBursts)
 }
 
 // Bursts returns the RD bursts per vector of vecLen FP32 elements, at least
@@ -243,6 +311,37 @@ func DedupOp(op trace.Op) trace.Op {
 		out.Weights = append(out.Weights, op.Weights[k])
 	}
 	return out
+}
+
+// Deduper is the scratch-reusing form of DedupOp for hot paths: the
+// returned op's Indices and Weights alias the Deduper's buffers and are
+// valid only until the next Dedup call. Single-goroutine, like the Systems
+// that embed one.
+type Deduper struct {
+	seen map[int64]int
+	idx  []int64
+	wts  []float32
+}
+
+// Dedup merges duplicate indices as DedupOp does, without allocating in
+// steady state.
+func (d *Deduper) Dedup(op trace.Op) trace.Op {
+	if d.seen == nil {
+		d.seen = make(map[int64]int, len(op.Indices))
+	}
+	clear(d.seen)
+	d.idx = d.idx[:0]
+	d.wts = d.wts[:0]
+	for k, idx := range op.Indices {
+		if j, ok := d.seen[idx]; ok {
+			d.wts[j] += op.Weights[k]
+			continue
+		}
+		d.seen[idx] = len(d.idx)
+		d.idx = append(d.idx, idx)
+		d.wts = append(d.wts, op.Weights[k])
+	}
+	return trace.Op{Table: op.Table, Indices: d.idx, Weights: d.wts}
 }
 
 // CountBatch returns the total lookups and ops in a batch.

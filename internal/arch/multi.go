@@ -19,6 +19,13 @@ type MultiChannel struct {
 	systems  []System
 	shardOf  []int // table -> channel
 	tableIdx []int // table -> index within its channel's sub-spec
+
+	// Run scratch, reused across batches under the single-goroutine
+	// System contract (the per-channel goroutines Run spawns touch only
+	// their own sub-System and result slot).
+	shards  []trace.Batch
+	results []*RunStats
+	errs    []error
 }
 
 // NewMultiChannel builds `channels` instances via the build callback, each
@@ -73,9 +80,22 @@ func (m *MultiChannel) Name() string { return m.name }
 // channels (with table indices remapped into each sub-spec), the channels
 // run concurrently, and the stats merge with Cycles = slowest channel.
 func (m *MultiChannel) Run(b trace.Batch) (*RunStats, error) {
-	shards := make([]trace.Batch, len(m.systems))
+	if m.shards == nil {
+		m.shards = make([]trace.Batch, len(m.systems))
+		m.results = make([]*RunStats, len(m.systems))
+		m.errs = make([]error, len(m.systems))
+	}
+	shards := m.shards
 	for c := range shards {
-		shards[c] = make(trace.Batch, len(b))
+		if cap(shards[c]) < len(b) {
+			grown := make(trace.Batch, len(b))
+			copy(grown, shards[c])
+			shards[c] = grown
+		}
+		shards[c] = shards[c][:len(b)]
+		for si := range shards[c] {
+			shards[c][si] = shards[c][si][:0]
+		}
 	}
 	for si, s := range b {
 		for _, op := range s {
@@ -89,8 +109,8 @@ func (m *MultiChannel) Run(b trace.Batch) (*RunStats, error) {
 		}
 	}
 
-	results := make([]*RunStats, len(m.systems))
-	errs := make([]error, len(m.systems))
+	results := m.results
+	errs := m.errs
 	var wg sync.WaitGroup
 	for c := range m.systems {
 		wg.Add(1)

@@ -108,23 +108,24 @@ func (r *ReCross) checkProfile(prof *partition.Profile) error {
 // come from the host, occupy the channel DQ, and respect tWR/tWTR.
 func (r *ReCross) RunTraining(b trace.Batch) (*arch.RunStats, error) {
 	geo := r.geo
-	var reqs []memctrl.Request
+	scr := &r.scr
+	reqs := scr.reqs[:0]
 	var lookups int64
 	var opID int32
 	var seq int64
 	instr := arch.InstrCycles(dram.NMPTwoStage, r.bursts)
 
-	type rowKey struct {
-		table int
-		row   int64
+	if scr.touchedRows == nil {
+		scr.touchedRows = map[trainKey]bool{}
 	}
-	touched := map[rowKey]bool{}
+	clear(scr.touchedRows)
+	touched := scr.touchedRows
 	for _, s := range b {
 		for _, op := range s {
-			op = arch.DedupOp(op)
+			op = r.dedup.Dedup(op)
 			for _, idx := range op.Indices {
 				lookups++
-				touched[rowKey{op.Table, idx}] = true
+				touched[trainKey{op.Table, idx}] = true
 				region, slot := r.pl.Locate(op.Table, idx)
 				loc, err := arch.Stripe(geo, r.regionBanks[region], slot, r.bursts)
 				if err != nil {
@@ -160,21 +161,9 @@ func (r *ReCross) RunTraining(b trace.Batch) (*arch.RunStats, error) {
 	// Map iteration order is random; restore the op-order invariant the
 	// controller requires (all writes share one op id, so sorting is not
 	// needed — they are appended after every read op).
+	scr.reqs = reqs
 
-	policy := memctrl.FRFCFS
-	if r.cfg.LAS {
-		policy = memctrl.LAS
-	}
-	var salpBanks []int
-	if r.cfg.SAP {
-		salpBanks = r.regionBanks[RegionB]
-	}
-	spec := arch.ChannelSpec{
-		Geo: geo, Tm: r.cfg.Tm, Mode: dram.NMPTwoStage,
-		Policy: policy, SALPBanks: salpBanks,
-		OpWindow: arch.NMPOpWindow,
-	}
-	finish, st, res, err := arch.RunChannel(spec, reqs, int(ops)*r.bursts)
+	finish, st, res, err := r.runChannel(reqs, int(ops)*r.bursts)
 	if err != nil {
 		return nil, err
 	}

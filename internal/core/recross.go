@@ -59,6 +59,11 @@ type Config struct {
 	// Geo overrides the channel geometry (nil = dram.DDR5(Ranks)); pair a
 	// DDR4 geometry with dram.DDR4Timing() in Tm.
 	Geo *dram.Geometry
+	// RefScheduler selects the O(banks)-scan memctrl.Reference scheduler
+	// over a fresh channel per run — the pre-fast-path behavior, kept for
+	// benchmarking the arbiter end to end. Results are bit-identical (the
+	// memctrl differential fuzzer enforces it).
+	RefScheduler bool
 }
 
 // DefaultConfig returns the paper's ReCross-d: 1 rank PE, 4 bank-group PEs
@@ -131,6 +136,59 @@ type ReCross struct {
 	bursts      int
 	vecLen      int
 	consumers   [3]dram.Consumer
+
+	// Run scratch, reused across batches under the single-goroutine
+	// System contract: the channel+scheduler pair (reset in place per
+	// run), the op deduplicator, and the request/accumulator buffers.
+	// Steady-state Run allocates only the returned RunStats.
+	chsim *arch.ChannelSim
+	dedup arch.Deduper
+	scr   runScratch
+}
+
+// runScratch holds Run's and RunTraining's reusable buffers.
+type runScratch struct {
+	reqs           []memctrl.Request
+	rankLoad       []int64
+	bgLoad         []int64
+	bankLoad       []int64
+	touchedBank    []bool
+	touchedBG      []bool
+	bankPsumBursts []int64
+	bgPsumBursts   []int64
+	gatingBusy     []int64
+	dqBusy         []int64
+	touchedRows    map[trainKey]bool
+}
+
+// trainKey identifies one touched embedding row in RunTraining.
+type trainKey struct {
+	table int
+	row   int64
+}
+
+// resetI64 returns s resized to n and zeroed, growing its backing array
+// only when needed.
+func resetI64(s *[]int64, n int) []int64 {
+	if cap(*s) < n {
+		*s = make([]int64, n)
+	}
+	v := (*s)[:n]
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+func resetBool(s *[]bool, n int) []bool {
+	if cap(*s) < n {
+		*s = make([]bool, n)
+	}
+	v := (*s)[:n]
+	for i := range v {
+		v[i] = false
+	}
+	return v
 }
 
 // New profiles the workload, solves the partitioning, and builds the
@@ -181,7 +239,42 @@ func New(cfg Config) (*ReCross, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The channel spec is fixed for the instance's lifetime (Adopt swaps
+	// the placement, not the bank regions), so one reusable channel+
+	// scheduler pair serves every run.
+	r.chsim, err = arch.NewChannelSim(r.chanSpec())
+	if err != nil {
+		return nil, err
+	}
 	return r, nil
+}
+
+// chanSpec builds the instance's channel configuration.
+func (r *ReCross) chanSpec() arch.ChannelSpec {
+	policy := memctrl.FRFCFS
+	if r.cfg.LAS {
+		policy = memctrl.LAS
+	}
+	var salpBanks []int
+	if r.cfg.SAP {
+		salpBanks = r.regionBanks[RegionB]
+	}
+	return arch.ChannelSpec{
+		Geo: r.geo, Tm: r.cfg.Tm, Mode: dram.NMPTwoStage,
+		Policy: policy, SALPBanks: salpBanks,
+		OpWindow:  arch.NMPOpWindow,
+		Reference: r.cfg.RefScheduler,
+	}
+}
+
+// runChannel drains one run's requests: through the retained ChannelSim
+// normally, or through a fresh channel + Reference scheduler when the
+// RefScheduler benchmark knob is set (the pre-fast-path cost model).
+func (r *ReCross) runChannel(reqs []memctrl.Request, resultBursts int) (sim.Cycle, dram.Stats, memctrl.Result, error) {
+	if r.cfg.RefScheduler {
+		return arch.RunChannel(r.chanSpec(), reqs, resultBursts)
+	}
+	return r.chsim.Run(reqs, resultBursts)
 }
 
 // assignBanks carves the channel into the R-, G- and B-region bank sets:
@@ -311,7 +404,8 @@ func (r *ReCross) PEBreakdown() (rank, bg, bank, salp int) {
 // Run implements arch.System: one batch through the timing model.
 func (r *ReCross) Run(b trace.Batch) (*arch.RunStats, error) {
 	geo := r.geo
-	var reqs []memctrl.Request
+	scr := &r.scr
+	reqs := scr.reqs[:0]
 	var lookups, ops int64
 	var opID int32
 	var seq int64
@@ -319,20 +413,20 @@ func (r *ReCross) Run(b trace.Batch) (*arch.RunStats, error) {
 
 	// Per-PE-node load accumulators for the imbalance metric: rank PEs,
 	// then BG PEs, then bank PEs.
-	rankLoad := make([]int64, geo.Ranks)
-	bgLoad := make([]int64, geo.Ranks*geo.BankGroups)
-	bankLoad := make([]int64, geo.TotalBanks())
+	rankLoad := resetI64(&scr.rankLoad, geo.Ranks)
+	bgLoad := resetI64(&scr.bgLoad, geo.Ranks*geo.BankGroups)
+	bankLoad := resetI64(&scr.bankLoad, geo.TotalBanks())
 
 	// Per-op touched PEs, for the partial-sum collection cost (§3.3).
 	var bankPsums, bgPsums int64
-	touchedBank := make([]bool, geo.TotalBanks())
-	touchedBG := make([]bool, geo.Ranks*geo.BankGroups)
-	bankPsumBursts := make([]int64, geo.Ranks*geo.BankGroups) // per gating
-	bgPsumBursts := make([]int64, geo.Ranks)                  // per chip DQ
+	touchedBank := resetBool(&scr.touchedBank, geo.TotalBanks())
+	touchedBG := resetBool(&scr.touchedBG, geo.Ranks*geo.BankGroups)
+	bankPsumBursts := resetI64(&scr.bankPsumBursts, geo.Ranks*geo.BankGroups) // per gating
+	bgPsumBursts := resetI64(&scr.bgPsumBursts, geo.Ranks)                    // per chip DQ
 
 	for _, s := range b {
 		for _, op := range s {
-			op = arch.DedupOp(op)
+			op = r.dedup.Dedup(op)
 			for i := range touchedBank {
 				touchedBank[i] = false
 			}
@@ -380,22 +474,10 @@ func (r *ReCross) Run(b trace.Batch) (*arch.RunStats, error) {
 			opID++
 		}
 	}
+	scr.reqs = reqs
 
-	policy := memctrl.FRFCFS
-	if r.cfg.LAS {
-		policy = memctrl.LAS
-	}
-	var salpBanks []int
-	if r.cfg.SAP {
-		salpBanks = r.regionBanks[RegionB]
-	}
-	spec := arch.ChannelSpec{
-		Geo: geo, Tm: r.cfg.Tm, Mode: dram.NMPTwoStage,
-		Policy: policy, SALPBanks: salpBanks,
-		OpWindow: arch.NMPOpWindow,
-	}
 	// The rank summarizer returns one vector per op to the host.
-	finish, st, res, err := arch.RunChannel(spec, reqs, int(ops)*r.bursts)
+	finish, st, res, err := r.runChannel(reqs, int(ops)*r.bursts)
 	if err != nil {
 		return nil, err
 	}
@@ -404,11 +486,11 @@ func (r *ReCross) Run(b trace.Batch) (*arch.RunStats, error) {
 	// over the chip DQ (shared with R-region gathers) to the rank PE.
 	// With only 1+4+4 PEs per rank this traffic is small — the §3.3
 	// advantage of reducing data promptly at every level.
-	gatingBusy := make([]int64, geo.Ranks*geo.BankGroups)
+	gatingBusy := resetI64(&scr.gatingBusy, geo.Ranks*geo.BankGroups)
 	for fbg := range gatingBusy {
 		gatingBusy[fbg] = bgLoad[fbg] + bankPsumBursts[fbg]
 	}
-	dqBusy := make([]int64, geo.Ranks)
+	dqBusy := resetI64(&scr.dqBusy, geo.Ranks)
 	for rank := range dqBusy {
 		dqBusy[rank] = rankLoad[rank] + bgPsumBursts[rank]
 	}

@@ -191,7 +191,38 @@ type Channel struct {
 
 	salpBanks map[int]bool
 
+	// Timing-edge epochs: revision counters bumped whenever the timing
+	// state of the corresponding scope moves in a way that can push a
+	// *future* command's earliest issue time. The memory controller's fast
+	// arbiter caches Earliest* results and uses these to re-check
+	// staleness in O(1) instead of recomputing every candidate on every
+	// pick (see internal/memctrl).
+	epCh   uint32
+	epRank []uint32
+	epBG   []uint32
+	epBank []uint32
+
 	St Stats
+}
+
+// EpochStamp captures the revision counters of every timing-state scope
+// that can affect a command's earliest issue time at one location: the
+// channel-global edges (command bus, host DQ), the rank edges (tRRD_S,
+// tFAW, tCCD_S, tWTR), the bank-group edges (tRRD_L, tCCD_L) and the
+// bank-local edges. If a stamp taken when an Earliest* query was computed
+// still equals the current stamp, the cached answer is exact.
+type EpochStamp struct {
+	Ch, Rank, BG, Bank uint32
+}
+
+// EpochOf returns the current timing-edge stamp for l's scopes.
+func (c *Channel) EpochOf(l Loc) EpochStamp {
+	return EpochStamp{
+		Ch:   c.epCh,
+		Rank: c.epRank[l.Rank],
+		BG:   c.epBG[c.Geo.FlatBG(l)],
+		Bank: c.epBank[c.Geo.FlatBank(l)],
+	}
 }
 
 // NewChannel builds a channel with every bank conventional. Use EnableSALP
@@ -217,37 +248,81 @@ func NewChannel(geo Geometry, tm Timing, mode InstrMode) (*Channel, error) {
 		rankACTHist: make([][4]sim.Cycle, geo.Ranks),
 		rankACTPos:  make([]int, geo.Ranks),
 		salpBanks:   make(map[int]bool),
+		epRank:      make([]uint32, geo.Ranks),
+		epBG:        make([]uint32, geo.Ranks*geo.BankGroups),
+		epBank:      make([]uint32, nb),
 	}
-	for i := range c.banks {
-		c.banks[i].openRow = noRow
-		c.banks[i].lastRDSub = -1
-	}
+	c.St.PerBankRDs = make([]int64, nb)
+	c.St.PerBankACTs = make([]int64, nb)
+	c.St.PerBGRDs = make([]int64, geo.Ranks*geo.BankGroups)
+	c.St.PerRankRDs = make([]int64, geo.Ranks)
+	c.Reset()
+	return c, nil
+}
+
+// Reset clears all timing and statistics state in place, reusing every
+// allocation, so the channel can run another independent batch. The SALP
+// configuration (EnableSALP) is retained; command recording stays enabled
+// but the trace is truncated. A reset channel is indistinguishable (to
+// callers) from a freshly built one with the same SALP set.
+func (c *Channel) Reset() {
 	neg := sim.Cycle(-1 << 40)
 	for i := range c.banks {
-		c.banks[i].lastACT = neg
-		c.banks[i].lastRD = neg
+		b := &c.banks[i]
+		b.openRow = noRow
+		b.lastACT = neg
+		b.lastRD = neg
+		b.lastWREnd = neg
+		b.lastRDSub = -1
+		for s := range b.subOpenRow {
+			b.subOpenRow[s] = noRow
+			b.subLastACT[s] = neg
+			b.subLastRD[s] = neg
+		}
 	}
 	for i := range c.bgLastACT {
 		c.bgLastACT[i] = neg
 		c.bgLastRD[i] = neg
 	}
-	for r := 0; r < geo.Ranks; r++ {
+	for r := range c.rankLastACT {
 		c.rankLastACT[r] = neg
 		c.rankLastRD[r] = neg
 		c.rankLastWR[r] = neg
 		for k := 0; k < 4; k++ {
 			c.rankACTHist[r][k] = neg
 		}
+		c.rankACTPos[r] = 0
 	}
-	for i := range c.banks {
-		c.banks[i].lastWREnd = neg
-	}
+	c.cmdBusFree = 0
 	c.lastHostRD = neg
-	c.St.PerBankRDs = make([]int64, nb)
-	c.St.PerBankACTs = make([]int64, nb)
-	c.St.PerBGRDs = make([]int64, geo.Ranks*geo.BankGroups)
-	c.St.PerRankRDs = make([]int64, geo.Ranks)
-	return c, nil
+	c.Trace = c.Trace[:0]
+	c.epCh = 0
+	for i := range c.epRank {
+		c.epRank[i] = 0
+	}
+	for i := range c.epBG {
+		c.epBG[i] = 0
+	}
+	for i := range c.epBank {
+		c.epBank[i] = 0
+	}
+	st := &c.St
+	*st = Stats{
+		PerBankRDs:  st.PerBankRDs,
+		PerBGRDs:    st.PerBGRDs,
+		PerRankRDs:  st.PerRankRDs,
+		PerBankACTs: st.PerBankACTs,
+	}
+	for i := range st.PerBankRDs {
+		st.PerBankRDs[i] = 0
+		st.PerBankACTs[i] = 0
+	}
+	for i := range st.PerBGRDs {
+		st.PerBGRDs[i] = 0
+	}
+	for i := range st.PerRankRDs {
+		st.PerRankRDs[i] = 0
+	}
 }
 
 // EnableSALP marks the bank at flat index subarray-parallel.
@@ -268,6 +343,7 @@ func (c *Channel) EnableSALP(flatBank int) {
 		b.subLastRD[i] = neg
 	}
 	c.salpBanks[flatBank] = true
+	c.epBank[flatBank]++
 }
 
 // IsSALP reports whether the bank at flat index is subarray-parallel.
@@ -393,6 +469,16 @@ func (c *Channel) IssueACT(l Loc, now sim.Cycle) sim.Cycle {
 		// The implicit PRE also consumed a command-bus slot.
 		c.cmdBusFree += c.Mode.instrSlots(&c.Tm, cmdPRE)
 	}
+	// Timing edges moved: the bank's row/ACT state, the group's tRRD_L
+	// window, the rank's tRRD_S/tFAW window, and (only when commands cost
+	// host C/A slots) the shared command bus. With zero-slot NMP modes
+	// cmdBusFree equals the issue time, which can never gate a later pick.
+	c.epBank[fb]++
+	c.epBG[c.Geo.FlatBG(l)]++
+	c.epRank[l.Rank]++
+	if c.cmdBusFree > t {
+		c.epCh++
+	}
 	if c.Record {
 		if pred {
 			pre := t - c.Tm.TRP
@@ -483,6 +569,24 @@ func (c *Channel) IssueRD(l Loc, consumer Consumer, now sim.Cycle) (issue, done 
 	}
 
 	c.cmdBusFree = t + c.Mode.instrSlots(&c.Tm, cmdRD)
+	// Timing edges moved: the bank always; the group/rank/host paths only
+	// when the burst traveled that far up the tree (the consumer switch
+	// above mirrors exactly which last-RD trackers were written).
+	c.epBank[fb]++
+	switch consumer {
+	case ToBankGroupPE:
+		c.epBG[fbg]++
+	case ToRankPE:
+		c.epBG[fbg]++
+		c.epRank[l.Rank]++
+	case ToHost:
+		c.epBG[fbg]++
+		c.epRank[l.Rank]++
+		c.epCh++
+	}
+	if c.cmdBusFree > t {
+		c.epCh++
+	}
 	c.St.RDs++
 	c.St.PerBankRDs[fb]++
 	c.St.PerBGRDs[fbg]++
@@ -528,6 +632,10 @@ func (c *Channel) IssueWR(l Loc, now sim.Cycle) (issue, done sim.Cycle) {
 	c.rankLastWR[l.Rank] = done
 	c.lastHostRD = t // occupies the channel DQ like a host burst
 	c.cmdBusFree = t + c.Mode.instrSlots(&c.Tm, cmdWR)
+	// Timing edges moved: bank write state, rank tWTR window, host DQ.
+	c.epBank[fb]++
+	c.epRank[l.Rank]++
+	c.epCh++
 	c.St.WRs++
 	if c.Record {
 		c.Trace = append(c.Trace, CmdEvent{At: t, Kind: "WR", Loc: l, Done: done})
@@ -545,6 +653,7 @@ func (c *Channel) ResultTransfer(nBursts int, now sim.Cycle) sim.Cycle {
 		t += c.Tm.TBL
 		c.St.HostResultTx++
 	}
+	c.epCh++
 	return t
 }
 
@@ -562,6 +671,7 @@ func (c *Channel) StreamResults(nBursts int, drainFinish sim.Cycle) sim.Cycle {
 	}
 	// The final op's result can only leave after the drain completes.
 	c.lastHostRD = finish
+	c.epCh++
 	return finish
 }
 

@@ -8,12 +8,22 @@
 // The controller is the single mutator of a dram.Channel: it picks, at every
 // step, the highest-priority command that can issue at the earliest possible
 // cycle, exactly emulating a per-cycle "issue the highest-priority ready
-// command" loop but skipping idle cycles. Each bank's scheduling choice
-// (which queue entry goes next, and whether it is a row-hit read or an
-// activation) depends only on that bank's own state, so it is cached and
-// recomputed only after the bank itself is touched; cross-bank timing
-// effects (tRRD, tFAW, tCCD, bus occupancy) are re-evaluated every pick via
-// the cheap Earliest* queries.
+// command" loop but skipping idle cycles.
+//
+// Two implementations share that contract:
+//
+//   - Reference is the original scheduler: every pick scans all banks and
+//     re-issues Earliest* timing queries for each candidate — O(banks) per
+//     command. It is kept as the correctness oracle.
+//   - Controller.Drain is the fast arbiter: per-bank candidates live in
+//     lazy min-heaps keyed by earliest issue time, invalidated by the
+//     timing-edge epochs dram.Channel exports, with row-hit column streams
+//     coalesced into uninterruptible runs — O(log banks) per command.
+//
+// The two are bit-identical: the differential fuzzer in this package
+// asserts equal Result and dram.Stats over both policies, SALP on/off,
+// writes, and op windows, so the optimization is invisible to every paper
+// figure.
 package memctrl
 
 import (
@@ -68,7 +78,12 @@ type Result struct {
 	OpLatency []sim.Cycle
 }
 
-// Controller drains request lists through one DRAM channel.
+// Controller drains request lists through one DRAM channel using the fast
+// event-driven arbiter (see the package comment; Reference is the scan
+// oracle). Like the dram.Channel it mutates, a Controller is single-
+// goroutine: Drain may not be called concurrently, and its scratch state
+// is reused across calls so steady-state drains allocate only the returned
+// Result slices.
 type Controller struct {
 	ch     *dram.Channel
 	policy Policy
@@ -98,6 +113,21 @@ type Controller struct {
 	// set WriteHighWatermark to 1 to interleave writes eagerly.
 	WriteHighWatermark int
 	WriteLowWatermark  int
+
+	// Fast-arbiter scratch, reused across Drain calls under the
+	// single-goroutine contract (see fast.go).
+	fbanks   []fastBank
+	free     *fnode
+	rheap    entryHeap
+	wheap    entryHeap
+	dirty    []int32
+	opOrder  []int32
+	opStartM map[int32]sim.Cycle
+	opEndM   map[int32]sim.Cycle
+	opLeftM  map[int32]int
+
+	// Reference-scheduler scratch (see reference.go).
+	refWrites []refWCand
 }
 
 // DefaultWindow is the per-bank lookahead of the request queue.
@@ -121,309 +151,23 @@ func New(ch *dram.Channel, policy Policy, window int) (*Controller, error) {
 // Channel returns the controller's channel (for stats inspection).
 func (c *Controller) Channel() *dram.Channel { return c.ch }
 
-// pending is the in-flight form of a Request.
-type pending struct {
-	req      *Request
-	idx      int // index in the input slice
-	nextCol  int // next column to read (0-based offset from Loc.Col)
-	acted    bool
-	admitted sim.Cycle // when the request got its controller queue slot
-}
-
-// bankQueue holds one bank's pending requests plus the cached scheduling
-// choice. pos < 0 means the choice must be recomputed. For SALP banks a
-// secondary lookahead-activation candidate (pos2) lets the controller
-// activate an idle subarray for a younger request while an older one is
-// still streaming — the overlap of the paper's Fig. 6(c).
-type bankQueue struct {
-	q     []*pending
-	pos   int
-	isRD  bool
-	class int // 0 row-hit RD, 1 idle activation, 2 conflict activation
-	pos2  int // lookahead ACT candidate, -1 if none
-}
-
 // Drain issues every request and returns completion statistics. The input
 // slice is not modified. Requests must be valid for the channel's geometry.
 func (c *Controller) Drain(reqs []Request) (Result, error) {
-	geo := c.ch.Geo
-	res := Result{Done: make([]sim.Cycle, len(reqs))}
-	if len(reqs) == 0 {
-		return res, nil
-	}
+	return c.fastDrain(reqs)
+}
 
-	opOrder := []int32{}
-	opStart := map[int32]sim.Cycle{}
-	opEnd := map[int32]sim.Cycle{}
+// validate performs the shared request-list geometry checks.
+func (c *Controller) validate(reqs []Request) error {
+	geo := c.ch.Geo
 	for i := range reqs {
 		r := &reqs[i]
 		if err := geo.CheckLoc(r.Loc); err != nil {
-			return res, fmt.Errorf("memctrl: request %d: %w", i, err)
+			return fmt.Errorf("memctrl: request %d: %w", i, err)
 		}
 		if r.Cols <= 0 || r.Loc.Col+r.Cols > geo.ColumnsPerRow() {
-			return res, fmt.Errorf("memctrl: request %d: %d columns at col %d exceed the row", i, r.Cols, r.Loc.Col)
-		}
-		if at, ok := opStart[r.Op]; !ok || r.Arrival < at {
-			if !ok {
-				opOrder = append(opOrder, r.Op)
-			}
-			opStart[r.Op] = r.Arrival
+			return fmt.Errorf("memctrl: request %d: %d columns at col %d exceed the row", i, r.Cols, r.Loc.Col)
 		}
 	}
-	queues := make([]bankQueue, geo.TotalBanks())
-	limit := c.InflightLimit
-	if limit <= 0 {
-		limit = DefaultInflight
-	}
-
-	// Op-window bookkeeping: opLeft[k] counts incomplete requests of op k;
-	// watermark is the lowest incomplete op.
-	var opLeft map[int32]int
-	var watermark int32
-	if c.OpWindowLimit > 0 {
-		opLeft = make(map[int32]int)
-		for i := range reqs {
-			if i > 0 && reqs[i].Op < reqs[i-1].Op {
-				return res, fmt.Errorf("memctrl: requests not in op order with an op window")
-			}
-			opLeft[reqs[i].Op]++
-		}
-		if len(reqs) > 0 {
-			watermark = reqs[0].Op
-		}
-	}
-	opEligible := func(i int) bool {
-		return c.OpWindowLimit <= 0 ||
-			int(reqs[i].Op-watermark) < c.OpWindowLimit
-	}
-
-	// admit places request i into its bank queue, no earlier than `at`
-	// (the time the queue slot freed).
-	admit := func(i int, at sim.Cycle) {
-		r := &reqs[i]
-		fb := geo.FlatBank(r.Loc)
-		p := &pending{req: r, idx: i, admitted: at}
-		queues[fb].q = append(queues[fb].q, p)
-		queues[fb].pos = -1
-	}
-	inflight := 0
-	pendingWrites := 0
-	next := 0 // next unadmitted request
-	for ; next < len(reqs) && next < limit && opEligible(next); next++ {
-		admit(next, 0)
-		inflight++
-		if reqs[next].Write {
-			pendingWrites++
-		}
-	}
-
-	// Write-drain watermarks.
-	hi := c.WriteHighWatermark
-	if hi <= 0 {
-		hi = 16
-	}
-	lo := c.WriteLowWatermark
-	if lo <= 0 {
-		lo = 2
-	}
-	draining := false
-
-	remaining := len(reqs)
-	now := sim.Cycle(0)
-	for remaining > 0 {
-		if pendingWrites >= hi {
-			draining = true
-		} else if pendingWrites <= lo {
-			draining = false
-		}
-		fb, pos, isRD, earliest, ok := c.pick(queues, now, draining)
-		if !ok {
-			return res, fmt.Errorf("memctrl: no candidate with %d requests remaining", remaining)
-		}
-		bq := &queues[fb]
-		p := bq.q[pos]
-		loc := p.req.Loc
-		loc.Col += p.nextCol
-		if isRD {
-			var done sim.Cycle
-			if p.req.Write {
-				_, done = c.ch.IssueWR(loc, earliest)
-			} else {
-				_, done = c.ch.IssueRD(loc, p.req.Consumer, earliest)
-			}
-			p.nextCol++
-			if p.nextCol == p.req.Cols {
-				res.Done[p.idx] = done
-				if done > res.Finish {
-					res.Finish = done
-				}
-				if done > opEnd[p.req.Op] {
-					opEnd[p.req.Op] = done
-				}
-				if p.acted {
-					res.RowMisses++
-				} else {
-					res.RowHits++
-				}
-				bq.q = append(bq.q[:pos], bq.q[pos+1:]...)
-				remaining--
-				inflight--
-				if p.req.Write {
-					pendingWrites--
-				}
-				if opLeft != nil {
-					opLeft[p.req.Op]--
-					for opLeft[watermark] == 0 && int(watermark) < int(reqs[len(reqs)-1].Op)+1 {
-						delete(opLeft, watermark)
-						watermark++
-					}
-				}
-				// Queue slots free when data is delivered; admit the
-				// next requests (in arrival order) that fit both the
-				// slot budget and the op window.
-				for inflight < limit && next < len(reqs) && opEligible(next) {
-					admit(next, done)
-					if reqs[next].Write {
-						pendingWrites++
-					}
-					next++
-					inflight++
-				}
-			}
-		} else {
-			c.ch.IssueACT(loc, earliest)
-			p.acted = true
-		}
-		bq.pos = -1 // this bank's state changed; rechoose next time
-		if earliest > now {
-			now = earliest
-		}
-	}
-	for _, op := range opOrder {
-		res.OpLatency = append(res.OpLatency, opEnd[op]-opStart[op])
-	}
-	return res, nil
-}
-
-// pick returns the command that can issue first across all banks (primary
-// cached choices plus SALP lookahead activations), with priority classes
-// breaking ties at equal cycles. Unless the write queue is draining, write
-// commands are considered only when no read command is available.
-func (c *Controller) pick(queues []bankQueue, now sim.Cycle, draining bool) (bank, pos int, isRD bool, earliest sim.Cycle, ok bool) {
-	bestBank := -1
-	bestPos := 0
-	bestRD := false
-	var bestTime sim.Cycle
-	bestClass := 0
-	var bestArrival sim.Cycle
-	deferredWrites := false
-
-	eval := func(fb, pos int, isRD bool, class int) {
-		if !draining && queues[fb].q[pos].req.Write {
-			deferredWrites = true
-			return
-		}
-		p := queues[fb].q[pos]
-		loc := p.req.Loc
-		loc.Col += p.nextCol
-		at := now
-		if p.req.Arrival > at {
-			at = p.req.Arrival
-		}
-		if p.admitted > at {
-			at = p.admitted
-		}
-		var t sim.Cycle
-		switch {
-		case isRD && p.req.Write:
-			t = c.ch.EarliestWR(loc, at)
-		case isRD:
-			t = c.ch.EarliestRD(loc, p.req.Consumer, at)
-		default:
-			t = c.ch.EarliestACT(loc, at)
-		}
-		if bestBank < 0 || t < bestTime ||
-			(t == bestTime && (class < bestClass ||
-				(class == bestClass && p.req.Arrival < bestArrival))) {
-			bestBank, bestPos, bestRD = fb, pos, isRD
-			bestTime, bestClass, bestArrival = t, class, p.req.Arrival
-		}
-	}
-
-	for fb := range queues {
-		bq := &queues[fb]
-		if len(bq.q) == 0 {
-			continue
-		}
-		if bq.pos < 0 {
-			c.choose(bq)
-		}
-		eval(fb, bq.pos, bq.isRD, bq.class)
-		if bq.pos2 >= 0 && bq.pos2 < len(bq.q) {
-			eval(fb, bq.pos2, false, 1)
-		}
-	}
-	if bestBank < 0 && deferredWrites {
-		// No read can issue: let the writes through after all.
-		return c.pick(queues, now, true)
-	}
-	if bestBank < 0 {
-		return 0, 0, false, 0, false
-	}
-	return bestBank, bestPos, bestRD, bestTime, true
-}
-
-// choose recomputes the bank's scheduling choice: the oldest row-hit within
-// the window if any (first-ready), otherwise the queue head's activation.
-// For SALP banks it additionally records a lookahead activation: the oldest
-// windowed request targeting an idle subarray, which can be activated
-// underneath an ongoing row-hit stream (subarray activation overlap).
-func (c *Controller) choose(bq *bankQueue) {
-	bq.pos2 = -1
-	limit := len(bq.q)
-	if limit > c.window {
-		limit = c.window
-	}
-	hit := -1
-	fb := -1
-	for pos := 0; pos < limit; pos++ {
-		p := bq.q[pos]
-		loc := p.req.Loc
-		loc.Col += p.nextCol
-		if fb < 0 {
-			fb = c.ch.Geo.FlatBank(loc)
-		}
-		if c.ch.RowOpen(loc) {
-			if hit < 0 {
-				hit = pos
-			}
-			continue
-		}
-		if bq.pos2 < 0 && pos > 0 && !p.acted && c.ch.IsSALP(fb) {
-			if _, open := c.ch.OpenRowAt(loc); !open {
-				bq.pos2 = pos // idle-subarray lookahead activation
-			}
-		}
-	}
-	if hit >= 0 {
-		bq.pos, bq.isRD, bq.class = hit, true, 0
-		return
-	}
-	head := bq.q[0]
-	loc := head.req.Loc
-	loc.Col += head.nextCol
-	class := 1
-	if _, open := c.ch.OpenRowAt(loc); open {
-		class = 2 // needs a (local) precharge first
-	}
-	if c.policy == FRFCFS {
-		// Plain FR-FCFS does not distinguish idle activations from
-		// conflicts: all non-hits are served oldest-first. The split is
-		// exactly what LAS adds (paper §4.1).
-		class = 1
-	}
-	bq.pos, bq.isRD, bq.class = 0, false, class
-	if bq.pos2 == 0 {
-		bq.pos2 = -1
-	}
+	return nil
 }

@@ -1,0 +1,674 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"recross/internal/dram"
+	"recross/internal/sim"
+)
+
+// This file is the fast arbiter behind Controller.Drain. It reproduces the
+// Reference scheduler's command stream bit-for-bit while replacing the
+// O(banks) per-command scan with:
+//
+//   - Two lazy min-heaps (reads+activations, writes) of per-bank candidate
+//     entries keyed (earliest issue time, class, arrival, bank, kind) —
+//     exactly the reference scan's comparison order. Keys are lower
+//     bounds: timing state only advances, so an untouched bank's earliest
+//     issue time never decreases. A popped entry is accepted immediately
+//     when the dram timing epochs of its scopes are unchanged and time has
+//     not passed it (the key is then provably exact); otherwise one
+//     Earliest* query re-keys it and the heap re-orders.
+//   - Column-burst coalescing: a row-hit request streaming Cols bursts is
+//     issued as one uninterruptible run for as long as its exact
+//     next-column time beats every other candidate's lower bound (and the
+//     bank's own SALP lookahead ACT, computed exactly), skipping
+//     arbitration entirely for the common streaming case.
+//   - Doubly-linked per-bank queues with pooled nodes, reused heaps and op
+//     maps: a steady-state Drain allocates only the returned Result.
+//
+// Per-command cost: O(log banks) amortized (one heap pop + push, a
+// constant number of Earliest* queries) versus the reference's
+// O(banks) Earliest* queries; coalesced columns cost O(1).
+
+// fnode is the in-flight form of a Request: a node of its bank's
+// doubly-linked queue, pooled on the Controller.
+type fnode struct {
+	req      *Request
+	idx      int // index in the input slice
+	nextCol  int // next column to issue (0-based offset from Loc.Col)
+	acted    bool
+	admitted sim.Cycle // when the request got its controller queue slot
+
+	prev, next *fnode
+}
+
+// fastBank is one bank's pending queue plus its cached scheduling choice
+// (the same choice Reference.choose computes). stamp versions the queue:
+// heap entries carry the stamp they were computed under and are discarded
+// when it no longer matches, which is how completions, admissions and
+// same-bank issues invalidate cached candidates.
+type fastBank struct {
+	head, tail *fnode
+	n          int
+	fb         int32
+	stamp      uint32
+	dirty      bool
+	salp       bool
+
+	cand      *fnode // primary candidate
+	candRD    bool
+	candClass int32
+	cand2     *fnode // SALP idle-subarray lookahead ACT, nil if none
+}
+
+// entry is a heap candidate: a lower bound on the earliest issue time of
+// one bank's cached choice, plus everything the reference comparator
+// breaks ties on. ep is the dram timing-edge stamp the bound was computed
+// under; while it is unchanged (and time has not advanced past the bound)
+// the bound is exact.
+type entry struct {
+	time    sim.Cycle
+	arrival sim.Cycle
+	class   int32
+	fb      int32
+	kind    int32 // 0 primary, 1 lookahead ACT
+	stamp   uint32
+	ep      dram.EpochStamp
+}
+
+// entryLess orders entries exactly as the reference scan resolves ties:
+// earliest issue time, then priority class, then request arrival, then
+// bank scan order, then primary-before-lookahead.
+func entryLess(a, b *entry) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	if a.arrival != b.arrival {
+		return a.arrival < b.arrival
+	}
+	if a.fb != b.fb {
+		return a.fb < b.fb
+	}
+	return a.kind < b.kind
+}
+
+// entryHeap is a plain binary min-heap of entries (no container/heap to
+// keep pushes and pops allocation- and interface-free).
+type entryHeap struct{ es []entry }
+
+func (h *entryHeap) top() *entry {
+	if len(h.es) == 0 {
+		return nil
+	}
+	return &h.es[0]
+}
+
+func (h *entryHeap) push(e entry) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entryLess(&h.es[i], &h.es[p]) {
+			break
+		}
+		h.es[i], h.es[p] = h.es[p], h.es[i]
+		i = p
+	}
+}
+
+func (h *entryHeap) pop() {
+	n := len(h.es) - 1
+	h.es[0] = h.es[n]
+	h.es = h.es[:n]
+	if n > 0 {
+		h.siftDown(0)
+	}
+}
+
+// fixTop restores heap order after the root entry was re-keyed in place.
+func (h *entryHeap) fixTop() { h.siftDown(0) }
+
+func (h *entryHeap) siftDown(i int) {
+	n := len(h.es)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && entryLess(&h.es[r], &h.es[l]) {
+			m = r
+		}
+		if !entryLess(&h.es[m], &h.es[i]) {
+			return
+		}
+		h.es[i], h.es[m] = h.es[m], h.es[i]
+		i = m
+	}
+}
+
+// fastState is the per-drain loop state, grouped so the helper methods
+// stay allocation-free.
+type fastState struct {
+	reqs      []Request
+	res       *Result
+	limit     int
+	inflight  int
+	pendWR    int
+	next      int // next unadmitted request
+	remaining int
+	watermark int32
+	now       sim.Cycle
+	hi, lo    int
+	draining  bool
+}
+
+// fastDrain is the fast-arbiter implementation of Controller.Drain.
+func (c *Controller) fastDrain(reqs []Request) (Result, error) {
+	geo := c.ch.Geo
+	res := Result{Done: make([]sim.Cycle, len(reqs))}
+	if len(reqs) == 0 {
+		return res, nil
+	}
+	if err := c.validate(reqs); err != nil {
+		return res, err
+	}
+
+	if c.opStartM == nil {
+		c.opStartM = make(map[int32]sim.Cycle)
+		c.opEndM = make(map[int32]sim.Cycle)
+		c.opLeftM = make(map[int32]int)
+	}
+	clear(c.opStartM)
+	clear(c.opEndM)
+	clear(c.opLeftM)
+	c.opOrder = c.opOrder[:0]
+	for i := range reqs {
+		r := &reqs[i]
+		if at, ok := c.opStartM[r.Op]; !ok || r.Arrival < at {
+			if !ok {
+				c.opOrder = append(c.opOrder, r.Op)
+			}
+			c.opStartM[r.Op] = r.Arrival
+		}
+	}
+
+	nb := geo.TotalBanks()
+	if cap(c.fbanks) < nb {
+		c.fbanks = make([]fastBank, nb)
+	}
+	c.fbanks = c.fbanks[:nb]
+	for i := range c.fbanks {
+		bq := &c.fbanks[i]
+		for nd := bq.head; nd != nil; { // reclaim nodes of an aborted drain
+			nx := nd.next
+			c.freeNode(nd)
+			nd = nx
+		}
+		stamp := bq.stamp
+		*bq = fastBank{fb: int32(i), stamp: stamp + 1, salp: c.ch.IsSALP(i)}
+	}
+	c.rheap.es = c.rheap.es[:0]
+	c.wheap.es = c.wheap.es[:0]
+	c.dirty = c.dirty[:0]
+
+	limit := c.InflightLimit
+	if limit <= 0 {
+		limit = DefaultInflight
+	}
+	if c.OpWindowLimit > 0 {
+		for i := range reqs {
+			if i > 0 && reqs[i].Op < reqs[i-1].Op {
+				return res, fmt.Errorf("memctrl: requests not in op order with an op window")
+			}
+			c.opLeftM[reqs[i].Op]++
+		}
+	}
+
+	st := fastState{reqs: reqs, res: &res, limit: limit, remaining: len(reqs)}
+	if c.OpWindowLimit > 0 {
+		st.watermark = reqs[0].Op
+	}
+	for st.next < len(reqs) && st.next < limit && c.opEligible(&st, st.next) {
+		c.fastAdmit(&st, st.next, 0)
+		st.inflight++
+		if reqs[st.next].Write {
+			st.pendWR++
+		}
+		st.next++
+	}
+
+	st.hi = c.WriteHighWatermark
+	if st.hi <= 0 {
+		st.hi = 16
+	}
+	st.lo = c.WriteLowWatermark
+	if st.lo <= 0 {
+		st.lo = 2
+	}
+
+	for st.remaining > 0 {
+		if st.pendWR >= st.hi {
+			st.draining = true
+		} else if st.pendWR <= st.lo {
+			st.draining = false
+		}
+		c.flushDirty(st.now)
+		bq, nd, isRD, earliest, ok := c.popBest(st.now, st.draining)
+		if !ok {
+			return res, fmt.Errorf("memctrl: no candidate with %d requests remaining", st.remaining)
+		}
+		loc := nd.req.Loc
+		loc.Col += nd.nextCol
+		if isRD {
+			var done sim.Cycle
+			if nd.req.Write {
+				_, done = c.ch.IssueWR(loc, earliest)
+			} else {
+				_, done = c.ch.IssueRD(loc, nd.req.Consumer, earliest)
+			}
+			nd.nextCol++
+			if earliest > st.now {
+				st.now = earliest
+			}
+			switch {
+			case nd.nextCol == nd.req.Cols:
+				c.fastComplete(&st, bq, nd, done)
+			case st.draining || !nd.req.Write:
+				c.streamRun(&st, bq, nd)
+			}
+		} else {
+			c.ch.IssueACT(loc, earliest)
+			nd.acted = true
+			if earliest > st.now {
+				st.now = earliest
+			}
+		}
+		c.markDirty(bq)
+	}
+	for _, op := range c.opOrder {
+		res.OpLatency = append(res.OpLatency, c.opEndM[op]-c.opStartM[op])
+	}
+	return res, nil
+}
+
+// opEligible mirrors the reference op-window admission gate.
+func (c *Controller) opEligible(st *fastState, i int) bool {
+	return c.OpWindowLimit <= 0 ||
+		int(st.reqs[i].Op-st.watermark) < c.OpWindowLimit
+}
+
+// fastAdmit places request i at the tail of its bank queue, no earlier
+// than `at` (the time its controller queue slot freed).
+func (c *Controller) fastAdmit(st *fastState, i int, at sim.Cycle) {
+	r := &st.reqs[i]
+	nd := c.newNode()
+	nd.req = r
+	nd.idx = i
+	nd.admitted = at
+	bq := &c.fbanks[c.ch.Geo.FlatBank(r.Loc)]
+	nd.prev = bq.tail
+	if bq.tail != nil {
+		bq.tail.next = nd
+	} else {
+		bq.head = nd
+	}
+	bq.tail = nd
+	bq.n++
+	c.markDirty(bq)
+}
+
+// fastComplete records a finished request, frees its node and queue slot,
+// advances the op-window watermark, and admits the next eligible requests.
+func (c *Controller) fastComplete(st *fastState, bq *fastBank, nd *fnode, done sim.Cycle) {
+	res := st.res
+	res.Done[nd.idx] = done
+	if done > res.Finish {
+		res.Finish = done
+	}
+	op := nd.req.Op
+	if done > c.opEndM[op] {
+		c.opEndM[op] = done
+	}
+	if nd.acted {
+		res.RowMisses++
+	} else {
+		res.RowHits++
+	}
+	wasWrite := nd.req.Write
+	c.unlink(bq, nd)
+	c.freeNode(nd)
+	st.remaining--
+	st.inflight--
+	if wasWrite {
+		st.pendWR--
+	}
+	if c.OpWindowLimit > 0 {
+		c.opLeftM[op]--
+		last := st.reqs[len(st.reqs)-1].Op
+		for c.opLeftM[st.watermark] == 0 && int(st.watermark) < int(last)+1 {
+			delete(c.opLeftM, st.watermark)
+			st.watermark++
+		}
+	}
+	// Queue slots free when data is delivered; admit the next requests
+	// (in arrival order) that fit both the slot budget and the op window.
+	for st.inflight < st.limit && st.next < len(st.reqs) && c.opEligible(st, st.next) {
+		c.fastAdmit(st, st.next, done)
+		if st.reqs[st.next].Write {
+			st.pendWR++
+		}
+		st.next++
+		st.inflight++
+	}
+	c.markDirty(bq)
+}
+
+// markDirty queues the bank for re-choosing before the next arbitration.
+func (c *Controller) markDirty(bq *fastBank) {
+	if !bq.dirty {
+		bq.dirty = true
+		c.dirty = append(c.dirty, bq.fb)
+	}
+}
+
+// flushDirty re-chooses every dirty bank's candidates and pushes fresh
+// heap entries; the stamp bump retires the bank's stale entries in place.
+func (c *Controller) flushDirty(now sim.Cycle) {
+	for _, fb := range c.dirty {
+		bq := &c.fbanks[fb]
+		bq.dirty = false
+		bq.stamp++
+		bq.cand, bq.cand2 = nil, nil
+		if bq.n == 0 {
+			continue
+		}
+		c.fastChoose(bq)
+		c.pushEntries(bq, now)
+	}
+	c.dirty = c.dirty[:0]
+}
+
+// fastChoose mirrors Reference.choose on the linked queue: the oldest
+// row-hit within the window if any, otherwise the queue head's activation;
+// for SALP banks additionally the oldest windowed idle-subarray lookahead
+// activation (never the head).
+func (c *Controller) fastChoose(bq *fastBank) {
+	bq.cand2 = nil
+	limit := bq.n
+	if limit > c.window {
+		limit = c.window
+	}
+	var hit *fnode
+	pos := 0
+	for nd := bq.head; nd != nil && pos < limit; nd, pos = nd.next, pos+1 {
+		loc := nd.req.Loc
+		loc.Col += nd.nextCol
+		if c.ch.RowOpen(loc) {
+			if hit == nil {
+				hit = nd
+			}
+			continue
+		}
+		if bq.cand2 == nil && pos > 0 && !nd.acted && bq.salp {
+			if _, open := c.ch.OpenRowAt(loc); !open {
+				bq.cand2 = nd // idle-subarray lookahead activation
+			}
+		}
+	}
+	if hit != nil {
+		bq.cand, bq.candRD, bq.candClass = hit, true, 0
+		return
+	}
+	head := bq.head
+	loc := head.req.Loc
+	loc.Col += head.nextCol
+	class := int32(1)
+	if _, open := c.ch.OpenRowAt(loc); open {
+		class = 2 // needs a (local) precharge first
+	}
+	if c.policy == FRFCFS {
+		// Plain FR-FCFS does not distinguish idle activations from
+		// conflicts (paper §4.1).
+		class = 1
+	}
+	bq.cand, bq.candRD, bq.candClass = head, false, class
+}
+
+// candTime computes the exact earliest issue time of a candidate at `now`
+// — the same query the reference eval makes.
+func (c *Controller) candTime(nd *fnode, isRD bool, now sim.Cycle) sim.Cycle {
+	loc := nd.req.Loc
+	loc.Col += nd.nextCol
+	at := now
+	if nd.req.Arrival > at {
+		at = nd.req.Arrival
+	}
+	if nd.admitted > at {
+		at = nd.admitted
+	}
+	switch {
+	case isRD && nd.req.Write:
+		return c.ch.EarliestWR(loc, at)
+	case isRD:
+		return c.ch.EarliestRD(loc, nd.req.Consumer, at)
+	default:
+		return c.ch.EarliestACT(loc, at)
+	}
+}
+
+// pushEntries inserts the bank's current candidates into the heaps: write
+// commands into the write heap (invisible unless draining), everything
+// else into the read heap.
+func (c *Controller) pushEntries(bq *fastBank, now sim.Cycle) {
+	if nd := bq.cand; nd != nil {
+		e := entry{
+			time:    c.candTime(nd, bq.candRD, now),
+			arrival: nd.req.Arrival,
+			class:   bq.candClass,
+			fb:      bq.fb,
+			kind:    0,
+			stamp:   bq.stamp,
+			ep:      c.ch.EpochOf(nd.req.Loc),
+		}
+		if nd.req.Write {
+			c.wheap.push(e)
+		} else {
+			c.rheap.push(e)
+		}
+	}
+	if nd := bq.cand2; nd != nil {
+		e := entry{
+			time:    c.candTime(nd, false, now),
+			arrival: nd.req.Arrival,
+			class:   1,
+			fb:      bq.fb,
+			kind:    1,
+			stamp:   bq.stamp,
+			ep:      c.ch.EpochOf(nd.req.Loc),
+		}
+		if nd.req.Write {
+			c.wheap.push(e)
+		} else {
+			c.rheap.push(e)
+		}
+	}
+}
+
+// popBest returns the command that can issue first across all banks —
+// the same answer as the reference scan. Stale-stamp entries are
+// discarded; an entry whose timing epochs are unchanged (and whose bound
+// time has not been overtaken by `now`) is exact and wins immediately;
+// otherwise one Earliest* query re-keys it and the heaps re-order. When no
+// read command exists at all, writes compete for this pick only (the
+// deferred-write fallback).
+func (c *Controller) popBest(now sim.Cycle, draining bool) (bq *fastBank, nd *fnode, isRD bool, t sim.Cycle, ok bool) {
+	for {
+		var h *entryHeap
+		rt := c.rheap.top()
+		var wt *entry
+		if draining {
+			wt = c.wheap.top()
+		}
+		switch {
+		case rt == nil && wt == nil:
+			if !draining && len(c.wheap.es) > 0 {
+				// No read can issue: let the writes through after all.
+				draining = true
+				continue
+			}
+			return nil, nil, false, 0, false
+		case rt == nil:
+			h = &c.wheap
+		case wt == nil:
+			h = &c.rheap
+		case entryLess(wt, rt):
+			h = &c.wheap
+		default:
+			h = &c.rheap
+		}
+		e := &h.es[0]
+		bank := &c.fbanks[e.fb]
+		if e.stamp != bank.stamp {
+			h.pop()
+			continue
+		}
+		var cnd *fnode
+		var rd bool
+		if e.kind == 0 {
+			cnd, rd = bank.cand, bank.candRD
+		} else {
+			cnd, rd = bank.cand2, false
+		}
+		// Cheap staleness re-check: unchanged epochs + unovertaken bound
+		// => the key is provably exact (Earliest* is monotone in both
+		// its time argument and the channel state).
+		if e.time >= now && c.ch.EpochOf(cnd.req.Loc) == e.ep {
+			tt := e.time
+			h.pop()
+			return bank, cnd, rd, tt, true
+		}
+		tt := c.candTime(cnd, rd, now)
+		if tt > e.time {
+			e.time = tt
+			e.ep = c.ch.EpochOf(cnd.req.Loc)
+			h.fixTop()
+			continue
+		}
+		h.pop()
+		return bank, cnd, rd, tt, true
+	}
+}
+
+// streamRun issues the remaining columns of nd's row-hit stream as one
+// uninterruptible run: each next column is issued without re-arbitrating
+// while its exact time beats (under the reference comparator) the bank's
+// own SALP lookahead ACT (computed exactly) and the best lower bound in
+// the heaps. Heap keys only under-estimate, so a stale key can end the run
+// early — never extend it past a command the reference would have
+// interleaved.
+func (c *Controller) streamRun(st *fastState, bq *fastBank, nd *fnode) {
+	for nd.nextCol < nd.req.Cols {
+		t := c.candTime(nd, true, st.now)
+		run := entry{time: t, arrival: nd.req.Arrival, class: 0, fb: bq.fb, kind: 0}
+		if la := bq.cand2; la != nil && (st.draining || !la.req.Write) {
+			t2 := c.candTime(la, false, st.now)
+			lae := entry{time: t2, arrival: la.req.Arrival, class: 1, fb: bq.fb, kind: 1}
+			if entryLess(&lae, &run) {
+				return // the lookahead ACT preempts the stream
+			}
+		}
+		if top := c.bestTop(st.draining); top != nil && !entryLess(&run, top) {
+			return // another bank may win this pick
+		}
+		loc := nd.req.Loc
+		loc.Col += nd.nextCol
+		var done sim.Cycle
+		if nd.req.Write {
+			_, done = c.ch.IssueWR(loc, t)
+		} else {
+			_, done = c.ch.IssueRD(loc, nd.req.Consumer, t)
+		}
+		nd.nextCol++
+		if t > st.now {
+			st.now = t
+		}
+		if nd.nextCol == nd.req.Cols {
+			c.fastComplete(st, bq, nd, done)
+			return
+		}
+	}
+}
+
+// bestTop returns the least lower-bound entry across the heaps eligible
+// under the current draining mode, discarding stale-stamp tops.
+func (c *Controller) bestTop(draining bool) *entry {
+	rt := c.cleanTop(&c.rheap)
+	if !draining {
+		return rt
+	}
+	wt := c.cleanTop(&c.wheap)
+	switch {
+	case rt == nil:
+		return wt
+	case wt == nil:
+		return rt
+	case entryLess(wt, rt):
+		return wt
+	default:
+		return rt
+	}
+}
+
+func (c *Controller) cleanTop(h *entryHeap) *entry {
+	for {
+		t := h.top()
+		if t == nil {
+			return nil
+		}
+		if t.stamp == c.fbanks[t.fb].stamp {
+			return t
+		}
+		h.pop()
+	}
+}
+
+func (c *Controller) unlink(bq *fastBank, nd *fnode) {
+	if nd.prev != nil {
+		nd.prev.next = nd.next
+	} else {
+		bq.head = nd.next
+	}
+	if nd.next != nil {
+		nd.next.prev = nd.prev
+	} else {
+		bq.tail = nd.prev
+	}
+	bq.n--
+}
+
+// newNode takes a pooled node (allocating a fresh chunk only when the pool
+// is dry); freeNode returns one. The pool lives on the Controller under
+// the single-goroutine contract.
+func (c *Controller) newNode() *fnode {
+	if c.free == nil {
+		chunk := make([]fnode, 64)
+		for i := range chunk {
+			chunk[i].next = c.free
+			c.free = &chunk[i]
+		}
+	}
+	nd := c.free
+	c.free = nd.next
+	*nd = fnode{}
+	return nd
+}
+
+func (c *Controller) freeNode(nd *fnode) {
+	*nd = fnode{next: c.free}
+	c.free = nd
+}

@@ -1,0 +1,357 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"recross/internal/dram"
+	"recross/internal/sim"
+)
+
+// Reference is the original O(banks)-per-command scheduler, kept as the
+// correctness oracle for the fast arbiter: every pick re-scans all banks
+// and re-issues the Earliest* timing queries for every candidate. The fast
+// path (Controller.Drain) must produce bit-identical Result and
+// dram.Stats; the differential fuzzer in this package enforces it.
+//
+// Reference embeds Controller so the two share every configuration knob
+// (InflightLimit, OpWindowLimit, write watermarks); only Drain differs.
+type Reference struct {
+	Controller
+}
+
+// NewReference builds a reference scheduler over ch with the same
+// semantics as New.
+func NewReference(ch *dram.Channel, policy Policy, window int) (*Reference, error) {
+	c, err := New(ch, policy, window)
+	if err != nil {
+		return nil, err
+	}
+	return &Reference{Controller: *c}, nil
+}
+
+// Drain issues every request with the full-scan scheduler.
+func (r *Reference) Drain(reqs []Request) (Result, error) {
+	return r.refDrain(reqs)
+}
+
+// pending is the in-flight form of a Request.
+type pending struct {
+	req      *Request
+	idx      int // index in the input slice
+	nextCol  int // next column to read (0-based offset from Loc.Col)
+	acted    bool
+	admitted sim.Cycle // when the request got its controller queue slot
+}
+
+// bankQueue holds one bank's pending requests plus the cached scheduling
+// choice. pos < 0 means the choice must be recomputed. For SALP banks a
+// secondary lookahead-activation candidate (pos2) lets the controller
+// activate an idle subarray for a younger request while an older one is
+// still streaming — the overlap of the paper's Fig. 6(c).
+type bankQueue struct {
+	q     []*pending
+	pos   int
+	isRD  bool
+	class int // 0 row-hit RD, 1 idle activation, 2 conflict activation
+	pos2  int // lookahead ACT candidate, -1 if none
+}
+
+// refWCand is a write candidate deferred during the first pick pass.
+type refWCand struct {
+	fb, pos int
+	isRD    bool
+	class   int
+}
+
+// refDrain is the reference drain loop (the pre-fast-path Drain).
+func (c *Controller) refDrain(reqs []Request) (Result, error) {
+	geo := c.ch.Geo
+	res := Result{Done: make([]sim.Cycle, len(reqs))}
+	if len(reqs) == 0 {
+		return res, nil
+	}
+
+	if err := c.validate(reqs); err != nil {
+		return res, err
+	}
+	opOrder := []int32{}
+	opStart := map[int32]sim.Cycle{}
+	opEnd := map[int32]sim.Cycle{}
+	for i := range reqs {
+		r := &reqs[i]
+		if at, ok := opStart[r.Op]; !ok || r.Arrival < at {
+			if !ok {
+				opOrder = append(opOrder, r.Op)
+			}
+			opStart[r.Op] = r.Arrival
+		}
+	}
+	queues := make([]bankQueue, geo.TotalBanks())
+	limit := c.InflightLimit
+	if limit <= 0 {
+		limit = DefaultInflight
+	}
+
+	// Op-window bookkeeping: opLeft[k] counts incomplete requests of op k;
+	// watermark is the lowest incomplete op.
+	var opLeft map[int32]int
+	var watermark int32
+	if c.OpWindowLimit > 0 {
+		opLeft = make(map[int32]int)
+		for i := range reqs {
+			if i > 0 && reqs[i].Op < reqs[i-1].Op {
+				return res, fmt.Errorf("memctrl: requests not in op order with an op window")
+			}
+			opLeft[reqs[i].Op]++
+		}
+		if len(reqs) > 0 {
+			watermark = reqs[0].Op
+		}
+	}
+	opEligible := func(i int) bool {
+		return c.OpWindowLimit <= 0 ||
+			int(reqs[i].Op-watermark) < c.OpWindowLimit
+	}
+
+	// admit places request i into its bank queue, no earlier than `at`
+	// (the time the queue slot freed).
+	admit := func(i int, at sim.Cycle) {
+		r := &reqs[i]
+		fb := geo.FlatBank(r.Loc)
+		p := &pending{req: r, idx: i, admitted: at}
+		queues[fb].q = append(queues[fb].q, p)
+		queues[fb].pos = -1
+	}
+	inflight := 0
+	pendingWrites := 0
+	next := 0 // next unadmitted request
+	for ; next < len(reqs) && next < limit && opEligible(next); next++ {
+		admit(next, 0)
+		inflight++
+		if reqs[next].Write {
+			pendingWrites++
+		}
+	}
+
+	// Write-drain watermarks.
+	hi := c.WriteHighWatermark
+	if hi <= 0 {
+		hi = 16
+	}
+	lo := c.WriteLowWatermark
+	if lo <= 0 {
+		lo = 2
+	}
+	draining := false
+
+	remaining := len(reqs)
+	now := sim.Cycle(0)
+	for remaining > 0 {
+		if pendingWrites >= hi {
+			draining = true
+		} else if pendingWrites <= lo {
+			draining = false
+		}
+		fb, pos, isRD, earliest, ok := c.pick(queues, now, draining)
+		if !ok {
+			return res, fmt.Errorf("memctrl: no candidate with %d requests remaining", remaining)
+		}
+		bq := &queues[fb]
+		p := bq.q[pos]
+		loc := p.req.Loc
+		loc.Col += p.nextCol
+		if isRD {
+			var done sim.Cycle
+			if p.req.Write {
+				_, done = c.ch.IssueWR(loc, earliest)
+			} else {
+				_, done = c.ch.IssueRD(loc, p.req.Consumer, earliest)
+			}
+			p.nextCol++
+			if p.nextCol == p.req.Cols {
+				res.Done[p.idx] = done
+				if done > res.Finish {
+					res.Finish = done
+				}
+				if done > opEnd[p.req.Op] {
+					opEnd[p.req.Op] = done
+				}
+				if p.acted {
+					res.RowMisses++
+				} else {
+					res.RowHits++
+				}
+				bq.q = append(bq.q[:pos], bq.q[pos+1:]...)
+				remaining--
+				inflight--
+				if p.req.Write {
+					pendingWrites--
+				}
+				if opLeft != nil {
+					opLeft[p.req.Op]--
+					for opLeft[watermark] == 0 && int(watermark) < int(reqs[len(reqs)-1].Op)+1 {
+						delete(opLeft, watermark)
+						watermark++
+					}
+				}
+				// Queue slots free when data is delivered; admit the
+				// next requests (in arrival order) that fit both the
+				// slot budget and the op window.
+				for inflight < limit && next < len(reqs) && opEligible(next) {
+					admit(next, done)
+					if reqs[next].Write {
+						pendingWrites++
+					}
+					next++
+					inflight++
+				}
+			}
+		} else {
+			c.ch.IssueACT(loc, earliest)
+			p.acted = true
+		}
+		bq.pos = -1 // this bank's state changed; rechoose next time
+		if earliest > now {
+			now = earliest
+		}
+	}
+	for _, op := range opOrder {
+		res.OpLatency = append(res.OpLatency, opEnd[op]-opStart[op])
+	}
+	return res, nil
+}
+
+// pick returns the command that can issue first across all banks (primary
+// cached choices plus SALP lookahead activations), with priority classes
+// breaking ties at equal cycles. Unless the write queue is draining, write
+// commands are considered only when no read command is available: the scan
+// collects deferred write candidates, and a second pass over just that
+// list (not the full bank array, and without re-running the Earliest*
+// queries of read candidates) evaluates them when the first pass found no
+// read — the same answer the old recursive pick(draining=true) produced,
+// since in that situation the recursion's candidate set was exactly the
+// deferred writes, visited in the same order.
+func (c *Controller) pick(queues []bankQueue, now sim.Cycle, draining bool) (bank, pos int, isRD bool, earliest sim.Cycle, ok bool) {
+	bestBank := -1
+	bestPos := 0
+	bestRD := false
+	var bestTime sim.Cycle
+	bestClass := 0
+	var bestArrival sim.Cycle
+	writes := c.refWrites[:0]
+
+	eval := func(fb, pos int, isRD bool, class int) {
+		p := queues[fb].q[pos]
+		loc := p.req.Loc
+		loc.Col += p.nextCol
+		at := now
+		if p.req.Arrival > at {
+			at = p.req.Arrival
+		}
+		if p.admitted > at {
+			at = p.admitted
+		}
+		var t sim.Cycle
+		switch {
+		case isRD && p.req.Write:
+			t = c.ch.EarliestWR(loc, at)
+		case isRD:
+			t = c.ch.EarliestRD(loc, p.req.Consumer, at)
+		default:
+			t = c.ch.EarliestACT(loc, at)
+		}
+		if bestBank < 0 || t < bestTime ||
+			(t == bestTime && (class < bestClass ||
+				(class == bestClass && p.req.Arrival < bestArrival))) {
+			bestBank, bestPos, bestRD = fb, pos, isRD
+			bestTime, bestClass, bestArrival = t, class, p.req.Arrival
+		}
+	}
+	consider := func(fb, pos int, isRD bool, class int) {
+		if !draining && queues[fb].q[pos].req.Write {
+			writes = append(writes, refWCand{fb: fb, pos: pos, isRD: isRD, class: class})
+			return
+		}
+		eval(fb, pos, isRD, class)
+	}
+
+	for fb := range queues {
+		bq := &queues[fb]
+		if len(bq.q) == 0 {
+			continue
+		}
+		if bq.pos < 0 {
+			c.choose(bq)
+		}
+		consider(fb, bq.pos, bq.isRD, bq.class)
+		if bq.pos2 >= 0 && bq.pos2 < len(bq.q) {
+			consider(fb, bq.pos2, false, 1)
+		}
+	}
+	if bestBank < 0 && len(writes) > 0 {
+		// No read can issue: let the writes through after all.
+		for _, w := range writes {
+			eval(w.fb, w.pos, w.isRD, w.class)
+		}
+	}
+	c.refWrites = writes[:0]
+	if bestBank < 0 {
+		return 0, 0, false, 0, false
+	}
+	return bestBank, bestPos, bestRD, bestTime, true
+}
+
+// choose recomputes the bank's scheduling choice: the oldest row-hit within
+// the window if any (first-ready), otherwise the queue head's activation.
+// For SALP banks it additionally records a lookahead activation: the oldest
+// windowed request targeting an idle subarray, which can be activated
+// underneath an ongoing row-hit stream (subarray activation overlap).
+func (c *Controller) choose(bq *bankQueue) {
+	bq.pos2 = -1
+	limit := len(bq.q)
+	if limit > c.window {
+		limit = c.window
+	}
+	hit := -1
+	fb := -1
+	for pos := 0; pos < limit; pos++ {
+		p := bq.q[pos]
+		loc := p.req.Loc
+		loc.Col += p.nextCol
+		if fb < 0 {
+			fb = c.ch.Geo.FlatBank(loc)
+		}
+		if c.ch.RowOpen(loc) {
+			if hit < 0 {
+				hit = pos
+			}
+			continue
+		}
+		if bq.pos2 < 0 && pos > 0 && !p.acted && c.ch.IsSALP(fb) {
+			if _, open := c.ch.OpenRowAt(loc); !open {
+				bq.pos2 = pos // idle-subarray lookahead activation
+			}
+		}
+	}
+	if hit >= 0 {
+		bq.pos, bq.isRD, bq.class = hit, true, 0
+		return
+	}
+	head := bq.q[0]
+	loc := head.req.Loc
+	loc.Col += head.nextCol
+	class := 1
+	if _, open := c.ch.OpenRowAt(loc); open {
+		class = 2 // needs a (local) precharge first
+	}
+	if c.policy == FRFCFS {
+		// Plain FR-FCFS does not distinguish idle activations from
+		// conflicts: all non-hits are served oldest-first. The split is
+		// exactly what LAS adds (paper §4.1).
+		class = 1
+	}
+	bq.pos, bq.isRD, bq.class = 0, false, class
+	if bq.pos2 == 0 {
+		bq.pos2 = -1
+	}
+}
