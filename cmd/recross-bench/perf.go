@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -12,7 +13,9 @@ import (
 	"recross/internal/arch"
 	"recross/internal/core"
 	"recross/internal/dram"
+	"recross/internal/embedding"
 	"recross/internal/memctrl"
+	"recross/internal/serve"
 	"recross/internal/sim"
 	"recross/internal/trace"
 )
@@ -155,6 +158,14 @@ func runPerf(path string) error {
 		func() (perfEntry, error) { return perfDrain(true) },
 		func() (perfEntry, error) { return perfRecrossRun(false) },
 		func() (perfEntry, error) { return perfRecrossRun(true) },
+		func() (perfEntry, error) { return perfReduce(trace.Sum, "reduce_sum_4k") },
+		func() (perfEntry, error) { return perfReduce(trace.Max, "reduce_max_4k") },
+		func() (perfEntry, error) { return perfReduce(trace.WeightedSum, "reduce_weightedsum_4k") },
+		perfReduceScalar,
+		func() (perfEntry, error) { return perfServeDataplane(8<<20, "serve_dataplane") },
+		func() (perfEntry, error) { return perfServeDataplane(0, "serve_dataplane_nocache") },
+		func() (perfEntry, error) { return perfRecrossE2E(true) },
+		func() (perfEntry, error) { return perfRecrossE2E(false) },
 	}
 	for _, f := range suite {
 		e, err := f()
@@ -170,4 +181,241 @@ func runPerf(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ---- PR5: embedding data-plane benchmarks ----
+
+// perfReduceLayer builds a one-table functional layer (100k rows x 64
+// FP32) plus a 4096-gather op of the given kind with Zipf-skewed indices
+// and random weights — the data-plane microbenchmark workload.
+func perfReduceLayer(kind trace.ReduceKind) (*embedding.Layer, trace.Op, error) {
+	spec := trace.ModelSpec{Name: "perf-reduce", Tables: []trace.TableSpec{
+		{Name: "t0", Rows: 100000, VecLen: 64, Pooling: 80, Prob: 1, Skew: 1.2},
+	}}
+	layer, err := embedding.NewLayer(spec)
+	if err != nil {
+		return nil, trace.Op{}, err
+	}
+	rng := rand.New(rand.NewSource(9))
+	z := rand.NewZipf(rng, 1.2, 8, 99999)
+	idx := make([]int64, 4096)
+	w := make([]float32, len(idx))
+	for i := range idx {
+		idx[i] = int64(z.Uint64())
+		w[i] = rng.Float32()
+	}
+	return layer, trace.Op{Table: 0, Kind: kind, Indices: idx, Weights: w}, nil
+}
+
+// perfReduce benchmarks the kernelized zero-alloc reduce path — fused
+// unrolled kernels, reused Scratch, 8 MiB hot-row cache — on one 4k op.
+func perfReduce(kind trace.ReduceKind, name string) (perfEntry, error) {
+	layer, op, err := perfReduceLayer(kind)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	cache, err := embedding.NewRowCache(8<<20, 64)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	if err := layer.AttachRowCache(cache); err != nil {
+		return perfEntry{}, err
+	}
+	dst := make([]float32, 64)
+	var scr embedding.Scratch
+	if err := layer.ReduceInto(dst, op, &scr); err != nil { // warm the cache
+		return perfEntry{}, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := layer.ReduceInto(dst, op, &scr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return mkEntry(name, r, 0), nil
+}
+
+// perfReduceScalar reproduces the pre-kernel data plane as the baseline:
+// per-call result and gather-buffer allocation, every row regenerated
+// through the procedural hash (no cache), scalar accumulation loops.
+func perfReduceScalar() (perfEntry, error) {
+	layer, op, err := perfReduceLayer(trace.WeightedSum)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	t := layer.Table(0)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out := make([]float32, t.VecLen())
+			row := make([]float32, t.VecLen())
+			for k, idx := range op.Indices {
+				t.Row(idx, row)
+				w := op.Weights[k]
+				for j := range out {
+					out[j] += w * row[j]
+				}
+			}
+			perfSink = out[0]
+		}
+	})
+	return mkEntry("reduce_weightedsum_4k_scalar", r, 0), nil
+}
+
+// perfSink defeats dead-code elimination of the scalar baseline.
+var perfSink float32
+
+// perfServeSystem is a no-op timing model so the serve_dataplane entries
+// measure the serving layer's own work — batching, dispatch, and above
+// all the functional reduction data plane — rather than a simulator.
+type perfServeSystem struct{}
+
+func (perfServeSystem) Name() string { return "perf-noop" }
+
+func (perfServeSystem) Run(b trace.Batch) (*arch.RunStats, error) {
+	lookups, _ := arch.CountBatch(b)
+	return &arch.RunStats{Cycles: 1, Lookups: lookups, Imbalance: 1}, nil
+}
+
+// perfServeDataplane benchmarks one Lookup through a real serve.Server —
+// admission, batcher, replica dispatch, worker-pool reduction — with the
+// hot-row cache sized by cacheBytes (0 disables).
+func perfServeDataplane(cacheBytes int64, name string) (perfEntry, error) {
+	spec := trace.ModelSpec{Name: "perf-serve", Tables: []trace.TableSpec{
+		{Name: "t0", Rows: 100000, VecLen: 64, Pooling: 80, Prob: 1, Skew: 1.2},
+		{Name: "t1", Rows: 100000, VecLen: 64, Pooling: 80, Prob: 1, Skew: 1.2},
+	}}
+	layer, err := embedding.NewLayer(spec)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	srv, err := serve.New(serve.Options{
+		Systems:       []arch.System{perfServeSystem{}},
+		Layer:         layer,
+		MaxBatch:      1,
+		RowCacheBytes: cacheBytes,
+	})
+	if err != nil {
+		return perfEntry{}, err
+	}
+	defer srv.Close()
+	gen, err := trace.NewGenerator(spec, 11)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	samples := make([]trace.Sample, 256)
+	for i := range samples {
+		samples[i] = gen.Sample()
+	}
+	ctx := context.Background()
+	if _, err := srv.Lookup(ctx, samples[0]); err != nil { // warm
+		return perfEntry{}, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.Lookup(ctx, samples[i%len(samples)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return mkEntry(name, r, 0), nil
+}
+
+// perfRecrossE2E benchmarks the full end-to-end batch answer at sim
+// fidelity: the ReCross timing Run plus the functional reduction of every
+// sample — what serving one batch actually costs. cached selects the
+// kernel + 64 MiB hot-row-cache data plane; otherwise the scalar
+// pre-kernel baseline (per-op allocations, uncached regeneration) runs.
+func perfRecrossE2E(cached bool) (perfEntry, error) {
+	spec := trace.CriteoKaggle(64, 80)
+	cfg := core.DefaultConfig(spec)
+	cfg.ProfileSamples = 500
+	sys, err := core.New(cfg)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	layer, err := embedding.NewLayer(spec)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	name := "recross_e2e_scalar"
+	if cached {
+		name = "recross_e2e_fast"
+		cache, err := embedding.NewRowCache(64<<20, 64)
+		if err != nil {
+			return perfEntry{}, err
+		}
+		if err := layer.AttachRowCache(cache); err != nil {
+			return perfEntry{}, err
+		}
+	}
+	gen, err := trace.NewGenerator(spec, 7)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	batch := gen.Batch(32)
+	rs, err := sys.Run(batch)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	var scr embedding.Scratch
+	reduceBatch := func() error {
+		for _, s := range batch {
+			if cached {
+				if _, err := layer.ReduceSampleInto(s, &scr); err != nil {
+					return err
+				}
+				continue
+			}
+			for _, op := range s {
+				t := layer.Table(op.Table)
+				out := make([]float32, t.VecLen())
+				row := make([]float32, t.VecLen())
+				for k, idx := range op.Indices {
+					t.Row(idx, row)
+					switch op.Kind {
+					case trace.Sum:
+						for j := range out {
+							out[j] += row[j]
+						}
+					case trace.Max:
+						if k == 0 {
+							copy(out, row)
+						} else {
+							for j := range out {
+								if row[j] > out[j] {
+									out[j] = row[j]
+								}
+							}
+						}
+					default:
+						w := op.Weights[k]
+						for j := range out {
+							out[j] += w * row[j]
+						}
+					}
+				}
+				perfSink = out[0]
+			}
+		}
+		return nil
+	}
+	if err := reduceBatch(); err != nil { // warm the cache
+		return perfEntry{}, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Run(batch); err != nil {
+				b.Fatal(err)
+			}
+			if err := reduceBatch(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return mkEntry(name, r, int64(rs.Cycles)), nil
 }

@@ -21,7 +21,10 @@
 // the simulated architectures (cpu, tensordimm, recnmp, trim-g, trim-b,
 // recross, ...). -request-timeout is the server-side default deadline
 // applied to requests that arrive without one, so Block-policy admission
-// can never hold a connection forever (0 disables it).
+// can never hold a connection forever (0 disables it). -row-cache-mb
+// sizes the data plane's hot-row cache of materialized embedding rows
+// (0 disables; watch recross_dataplane_row_cache_* on /metrics) and
+// -reduce-workers sets the embedding-reduction worker pool size.
 //
 // Chaos mode wraps every replica with the fault-injection harness for
 // soak runs against the self-healing pool — the server must keep
@@ -84,6 +87,8 @@ func main() {
 	quorum := flag.Int("quorum", 1, "minimum available replicas before degraded mode (functional-layer answers)")
 	maxRetries := flag.Int("max-retries", 2, "per-request retry budget after a replica failure")
 	wedgeTimeout := flag.Duration("wedge-timeout", 5*time.Second, "declare a replica wedged after one batch runs this long (keep well above the worst-case batch wall time, or slow legitimate batches are treated as wedges and the pool thrashes)")
+	rowCacheMB := flag.Int64("row-cache-mb", 64, "hot-row cache budget in MiB for materialized embedding rows (0 disables); watch recross_dataplane_row_cache_* on /metrics")
+	reduceWorkers := flag.Int("reduce-workers", 0, "embedding-reduction worker goroutines (0 = min(4, GOMAXPROCS))")
 
 	chaosPanic := flag.Float64("chaos-panic", 0, "chaos: per-batch replica panic probability")
 	chaosWedge := flag.Float64("chaos-wedge", 0, "chaos: per-batch wedged (never-returning) batch probability")
@@ -147,6 +152,8 @@ func main() {
 		Quorum:         *quorum,
 		MaxRetries:     *maxRetries,
 		WedgeTimeout:   *wedgeTimeout,
+		RowCacheBytes:  *rowCacheMB << 20,
+		ReduceWorkers:  *reduceWorkers,
 	}
 	fc := recross.FaultConfig{
 		Rates: recross.FaultRates{

@@ -123,6 +123,33 @@ func (t *Tracker) Reset() {
 	t.samples.Store(0)
 }
 
+// Hot reports whether row idx of table ti is currently frequency-hot:
+// the Space-Saving sketch retains it with an estimated count of at least
+// total/k — the guarantee threshold above which a true heavy hitter is
+// never silently dropped. It is the admission signal for the hot-row
+// cache (embedding.RowCache.SetAdmit): while a table's sketch is empty
+// everything is admitted (cold start, no evidence either way); once
+// traffic accumulates only rows the tracker ranks as heavy earn cache
+// slots, so one-off scans cannot wash the working set out. Safe for
+// concurrent use with Observe — one short per-table critical section on
+// the same striped lock.
+func (t *Tracker) Hot(ti int, idx int64) bool {
+	if ti < 0 || ti >= len(t.tables) {
+		return false
+	}
+	return t.tables[ti].hot(idx)
+}
+
+func (ts *tableSketch) hot(idx int64) bool {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.total == 0 {
+		return true
+	}
+	e, ok := ts.entries[idx]
+	return ok && e.count*int64(ts.cap) >= ts.total
+}
+
 // TableSnapshot is one table's sketch content: keys with their estimated
 // counts (descending), the exact access total, and the number of
 // Space-Saving evictions (0 means every count is exact).

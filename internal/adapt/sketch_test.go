@@ -183,3 +183,46 @@ func TestTrackerConcurrentObserve(t *testing.T) {
 		}
 	}
 }
+
+func TestTrackerHot(t *testing.T) {
+	spec := testSpec()
+	tr, err := NewTracker(spec, TrackerOptions{TopK: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold start: no evidence yet, everything is admitted.
+	if !tr.Hot(0, 123) {
+		t.Fatal("empty sketch should admit everything (cold start)")
+	}
+	// Out-of-range tables are never hot.
+	if tr.Hot(-1, 0) || tr.Hot(len(spec.Tables), 0) {
+		t.Fatal("out-of-range table reported hot")
+	}
+
+	// A stream dominated by one key: that key is hot, strangers are not.
+	s := trace.Sample{{Table: 0, Kind: trace.Sum,
+		Indices: make([]int64, 8), Weights: make([]float32, 8)}}
+	for i := 0; i < 100; i++ {
+		tr.Observe(s) // 800 accesses to row 0 of table 0
+	}
+	if !tr.Hot(0, 0) {
+		t.Fatal("dominant key should be hot")
+	}
+	if tr.Hot(0, 999) {
+		t.Fatal("never-seen key reported hot")
+	}
+	// Table 1 saw nothing: still cold-start-admitting.
+	if !tr.Hot(1, 7) {
+		t.Fatal("untouched table should still admit (its sketch is empty)")
+	}
+
+	// A key observed once against an 800-strong total is retained (the
+	// sketch has spare capacity) but far below the total/k threshold.
+	one := trace.Sample{{Table: 0, Kind: trace.Sum,
+		Indices: []int64{42}, Weights: []float32{1}}}
+	tr.Observe(one)
+	if tr.Hot(0, 42) {
+		t.Fatal("1-of-801 key should be below the total/k admission bar")
+	}
+}

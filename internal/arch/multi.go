@@ -21,11 +21,21 @@ type MultiChannel struct {
 	tableIdx []int // table -> index within its channel's sub-spec
 
 	// Run scratch, reused across batches under the single-goroutine
-	// System contract (the per-channel goroutines Run spawns touch only
-	// their own sub-System and result slot).
+	// System contract (each persistent channel worker touches only its
+	// own sub-System and result slot).
 	shards  []trace.Batch
 	results []*RunStats
 	errs    []error
+
+	// Persistent per-channel workers, started lazily on the first Run so
+	// a constructed-but-never-run MultiChannel spawns nothing. Each
+	// worker owns its channel's System for the instance's lifetime,
+	// preserving the single-goroutine contract; Run hands workers 1..n-1
+	// their shards (channel 0 runs on the caller) and waits on wg, so
+	// batches never pay a goroutine spawn.
+	work   []chan trace.Batch
+	wg     sync.WaitGroup
+	closed bool
 }
 
 // NewMultiChannel builds `channels` instances via the build callback, each
@@ -80,6 +90,9 @@ func (m *MultiChannel) Name() string { return m.name }
 // channels (with table indices remapped into each sub-spec), the channels
 // run concurrently, and the stats merge with Cycles = slowest channel.
 func (m *MultiChannel) Run(b trace.Batch) (*RunStats, error) {
+	if m.closed {
+		return nil, fmt.Errorf("arch: MultiChannel closed")
+	}
 	if m.shards == nil {
 		m.shards = make([]trace.Batch, len(m.systems))
 		m.results = make([]*RunStats, len(m.systems))
@@ -109,22 +122,13 @@ func (m *MultiChannel) Run(b trace.Batch) (*RunStats, error) {
 		}
 	}
 
-	results := m.results
-	errs := m.errs
-	var wg sync.WaitGroup
-	for c := range m.systems {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			results[c], errs[c] = m.systems[c].Run(shards[c])
-		}(c)
-	}
-	wg.Wait()
-	for c, err := range errs {
+	m.dispatch(shards)
+	for c, err := range m.errs {
 		if err != nil {
 			return nil, fmt.Errorf("arch: channel %d: %w", c, err)
 		}
 	}
+	results := m.results
 
 	out := &RunStats{Imbalance: 1}
 	var loads []int64
@@ -160,4 +164,58 @@ func (m *MultiChannel) Run(b trace.Batch) (*RunStats, error) {
 		out.Imbalance = LoadsToImbalance(loads)
 	}
 	return out, nil
+}
+
+// dispatch fans the pre-routed shards out to the channels and waits for
+// the slowest: shards 1..n-1 go to the persistent workers, shard 0 runs
+// on the calling goroutine (which would only park otherwise — and a
+// single-channel instance then dispatches with no handoff at all).
+// Results and errors land in m.results / m.errs.
+func (m *MultiChannel) dispatch(shards []trace.Batch) {
+	m.ensureWorkers()
+	m.wg.Add(len(m.systems) - 1)
+	for c := 1; c < len(m.systems); c++ {
+		m.work[c] <- shards[c]
+	}
+	m.results[0], m.errs[0] = m.systems[0].Run(shards[0])
+	m.wg.Wait()
+}
+
+// ensureWorkers lazily starts one persistent worker per channel. Run is
+// single-goroutine (the System contract), so no lock guards the start.
+func (m *MultiChannel) ensureWorkers() {
+	if m.work != nil {
+		return
+	}
+	// Channel 0 has no worker — dispatch runs it on the caller.
+	m.work = make([]chan trace.Batch, len(m.systems))
+	for c := 1; c < len(m.systems); c++ {
+		ch := make(chan trace.Batch, 1)
+		m.work[c] = ch
+		go func(c int, ch chan trace.Batch) {
+			for b := range ch {
+				m.results[c], m.errs[c] = m.systems[c].Run(b)
+				m.wg.Done()
+			}
+		}(c, ch)
+	}
+}
+
+// Close shuts the persistent channel workers down. Idempotent; Run after
+// Close errors. A MultiChannel that is never closed keeps len(systems)
+// idle goroutines parked on their work channels until process exit —
+// harmless for a server's lifetime, but callers that build many
+// short-lived instances (sweeps, tests) should Close them.
+func (m *MultiChannel) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	for _, ch := range m.work {
+		if ch != nil {
+			close(ch)
+		}
+	}
+	m.work = nil
+	return nil
 }

@@ -96,7 +96,10 @@ func (r *ReCross) reduceOp(layer *embedding.Layer, op trace.Op, row []float32) (
 		if err != nil {
 			return nil, err
 		}
-		tab.Row(idx, row)
+		// Gather through the layer so an attached hot-row cache serves the
+		// materialization (bit-identical: a cached row is a copy of the
+		// same generated values).
+		layer.MaterializeRow(op.Table, idx, row)
 		var w float32 = 1
 		if opc == nmp.OpWeightedSum {
 			w = op.Weights[k]
@@ -135,7 +138,7 @@ func (r *ReCross) reduceOp(layer *embedding.Layer, op trace.Op, row []float32) (
 			}
 			bgUnits[bg] = dst
 		}
-		if err := dst.AccumulatePsum(opc, u.Result()); err != nil {
+		if err := dst.FoldUnit(opc, u); err != nil {
 			return nil, err
 		}
 	}
@@ -148,7 +151,7 @@ func (r *ReCross) reduceOp(layer *embedding.Layer, op trace.Op, row []float32) (
 			bgUnits[k.node] = u
 			continue
 		}
-		if err := dst.AccumulatePsum(opc, u.Result()); err != nil {
+		if err := dst.FoldUnit(opc, u); err != nil {
 			return nil, err
 		}
 	}
@@ -158,7 +161,7 @@ func (r *ReCross) reduceOp(layer *embedding.Layer, op trace.Op, row []float32) (
 		if err != nil {
 			return nil, err
 		}
-		if err := dst.AccumulatePsum(opc, u.Result()); err != nil {
+		if err := dst.FoldUnit(opc, u); err != nil {
 			return nil, err
 		}
 	}
@@ -170,7 +173,7 @@ func (r *ReCross) reduceOp(layer *embedding.Layer, op trace.Op, row []float32) (
 		if err != nil {
 			return nil, err
 		}
-		if err := dst.AccumulatePsum(opc, u.Result()); err != nil {
+		if err := dst.FoldUnit(opc, u); err != nil {
 			return nil, err
 		}
 	}
@@ -180,7 +183,7 @@ func (r *ReCross) reduceOp(layer *embedding.Layer, op trace.Op, row []float32) (
 		return nil, err
 	}
 	for _, u := range rankUnits {
-		if err := summ.Fold(opc, u.Result()); err != nil {
+		if err := summ.FoldUnit(opc, u); err != nil {
 			return nil, err
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"recross/internal/kernels"
 	"recross/internal/trace"
 )
 
@@ -113,6 +114,12 @@ func (t *Dense) SetRow(i int64, v []float32) error {
 // Layer is the embedding layer of one model: one table per sparse feature.
 type Layer struct {
 	tables []Table
+	// cache, when attached, memoizes materialized rows of procedural
+	// tables so hot rows are hashed once instead of per lookup.
+	cache *RowCache
+	// cached[ti] marks tables whose rows are worth caching (procedural
+	// regeneration; a Dense table's Row is already just a copy).
+	cached []bool
 }
 
 // NewLayer builds a layer of procedural tables matching spec.
@@ -145,60 +152,184 @@ func (l *Layer) Tables() int { return len(l.tables) }
 // Table returns table ti.
 func (l *Layer) Table(ti int) Table { return l.tables[ti] }
 
+// AttachRowCache memoizes materialized rows of the layer's procedural
+// tables in c: hot rows are generated once and then served by copy instead
+// of being re-hashed element-by-element on every lookup. Dense tables are
+// left uncached (their Row is already a plain copy). c's vector length
+// must match the layer's tables. Attach before serving begins; afterwards
+// the layer (cache included) is safe for concurrent reads.
+func (l *Layer) AttachRowCache(c *RowCache) error {
+	if c == nil {
+		l.cache, l.cached = nil, nil
+		return nil
+	}
+	cached := make([]bool, len(l.tables))
+	any := false
+	for i, t := range l.tables {
+		if _, procedural := t.(*Procedural); !procedural {
+			continue
+		}
+		if t.VecLen() != c.VecLen() {
+			return fmt.Errorf("embedding: row cache vecLen %d != table %d vecLen %d",
+				c.VecLen(), i, t.VecLen())
+		}
+		cached[i] = true
+		any = true
+	}
+	if !any {
+		return fmt.Errorf("embedding: no procedural tables to cache")
+	}
+	l.cache, l.cached = c, cached
+	return nil
+}
+
+// RowCache returns the attached cache, or nil.
+func (l *Layer) RowCache() *RowCache { return l.cache }
+
+// MaterializeRow writes row idx of table ti into dst (len == the table's
+// VecLen): hot-row cache first (a copy), table regeneration on miss
+// (filling the cache for the next lookup). Bounds are the caller's job —
+// ReduceInto and the core functional path validate before gathering,
+// and Table.Row panics on violation exactly like the uncached path.
+func (l *Layer) MaterializeRow(ti int, idx int64, dst []float32) {
+	if l.cache != nil && l.cached[ti] {
+		if l.cache.Get(ti, idx, dst) {
+			return
+		}
+		l.tables[ti].Row(idx, dst)
+		l.cache.Put(ti, idx, dst)
+		return
+	}
+	l.tables[ti].Row(idx, dst)
+}
+
+// Scratch is a per-caller arena for the zero-allocation reduce path: the
+// row gather buffer plus a growable flat arena that ReduceSampleInto
+// carves per-op output vectors from. One Scratch serves one goroutine;
+// its buffers are reused across calls, so steady-state serving performs
+// zero data-plane allocations.
+type Scratch struct {
+	row   []float32
+	arena []float32
+}
+
+// rowBuf returns the scratch gather buffer sized to n.
+func (s *Scratch) rowBuf(n int) []float32 {
+	if cap(s.row) < n {
+		s.row = make([]float32, n)
+	}
+	return s.row[:n]
+}
+
+// Arena returns a zeroed float32 arena of length n, reusing the backing
+// array across calls. The returned slice is only valid until the next
+// Arena call.
+func (s *Scratch) Arena(n int) []float32 {
+	if cap(s.arena) < n {
+		s.arena = make([]float32, n)
+	}
+	a := s.arena[:n]
+	kernels.Zero(a)
+	return a
+}
+
 // Reduce executes one embedding operation functionally: gather op.Indices
 // from the table and pool them under op.Kind. This is the reference the
-// NMP results must match.
+// NMP results must match. It allocates the result (and a gather buffer)
+// per call; the serving hot path uses ReduceInto with a reused Scratch
+// instead.
 func (l *Layer) Reduce(op trace.Op) ([]float32, error) {
 	if op.Table < 0 || op.Table >= len(l.tables) {
 		return nil, fmt.Errorf("embedding: table %d out of range", op.Table)
 	}
-	if op.Kind == trace.WeightedSum && len(op.Indices) != len(op.Weights) {
-		return nil, fmt.Errorf("embedding: %d indices but %d weights", len(op.Indices), len(op.Weights))
-	}
-	t := l.tables[op.Table]
-	out := make([]float32, t.VecLen())
-	row := make([]float32, t.VecLen())
-	for k, idx := range op.Indices {
-		if idx < 0 || idx >= t.Rows() {
-			return nil, fmt.Errorf("embedding: index %d out of [0,%d)", idx, t.Rows())
-		}
-		t.Row(idx, row)
-		switch op.Kind {
-		case trace.Sum:
-			for j := range out {
-				out[j] += row[j]
-			}
-		case trace.Max:
-			if k == 0 {
-				copy(out, row)
-			} else {
-				for j := range out {
-					if row[j] > out[j] {
-						out[j] = row[j]
-					}
-				}
-			}
-		case trace.WeightedSum:
-			w := op.Weights[k]
-			for j := range out {
-				out[j] += w * row[j]
-			}
-		default:
-			return nil, fmt.Errorf("embedding: unknown reduce kind %d", op.Kind)
-		}
+	out := make([]float32, l.tables[op.Table].VecLen())
+	var s Scratch
+	if err := l.ReduceInto(out, op, &s); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// ReduceInto executes one embedding operation into dst (len == the
+// table's VecLen), using s for gather scratch — the zero-allocation
+// variant of Reduce. dst is fully overwritten. The fused unrolled kernels
+// preserve the scalar reference's per-lane operation order exactly, so
+// the result is bit-identical to Reduce on the same op (the kernel
+// differential tests enforce this).
+func (l *Layer) ReduceInto(dst []float32, op trace.Op, s *Scratch) error {
+	if op.Table < 0 || op.Table >= len(l.tables) {
+		return fmt.Errorf("embedding: table %d out of range", op.Table)
+	}
+	if op.Kind == trace.WeightedSum && len(op.Indices) != len(op.Weights) {
+		return fmt.Errorf("embedding: %d indices but %d weights", len(op.Indices), len(op.Weights))
+	}
+	t := l.tables[op.Table]
+	if len(dst) != t.VecLen() {
+		return fmt.Errorf("embedding: dst length %d != %d", len(dst), t.VecLen())
+	}
+	switch op.Kind {
+	case trace.Sum, trace.Max, trace.WeightedSum:
+	default:
+		return fmt.Errorf("embedding: unknown reduce kind %d", op.Kind)
+	}
+	kernels.Zero(dst)
+	rows := t.Rows()
+	row := s.rowBuf(t.VecLen())
+	for k, idx := range op.Indices {
+		if idx < 0 || idx >= rows {
+			return fmt.Errorf("embedding: index %d out of [0,%d)", idx, rows)
+		}
+		l.MaterializeRow(op.Table, idx, row)
+		switch op.Kind {
+		case trace.Sum:
+			kernels.Add(dst, row)
+		case trace.Max:
+			if k == 0 {
+				copy(dst, row)
+			} else {
+				kernels.Max(dst, row)
+			}
+		default: // trace.WeightedSum
+			kernels.Axpy(dst, row, op.Weights[k])
+		}
+	}
+	return nil
+}
+
 // ReduceSample reduces every op of a sample, returning one vector per op.
 func (l *Layer) ReduceSample(s trace.Sample) ([][]float32, error) {
-	out := make([][]float32, len(s))
-	for i, op := range s {
-		v, err := l.Reduce(op)
-		if err != nil {
+	var scr Scratch
+	return l.reduceSample(s, &scr)
+}
+
+// ReduceSampleInto reduces every op of a sample using s for scratch. The
+// returned per-op vectors are carved from one freshly allocated flat
+// arena (two allocations total — the header slice and the arena — both
+// owned by the caller; s's buffers are only scratch and are reusable
+// immediately).
+func (l *Layer) ReduceSampleInto(smp trace.Sample, s *Scratch) ([][]float32, error) {
+	return l.reduceSample(smp, s)
+}
+
+func (l *Layer) reduceSample(smp trace.Sample, s *Scratch) ([][]float32, error) {
+	total := 0
+	for _, op := range smp {
+		if op.Table < 0 || op.Table >= len(l.tables) {
+			return nil, fmt.Errorf("embedding: table %d out of range", op.Table)
+		}
+		total += l.tables[op.Table].VecLen()
+	}
+	arena := make([]float32, total)
+	out := make([][]float32, len(smp))
+	off := 0
+	for i, op := range smp {
+		n := l.tables[op.Table].VecLen()
+		dst := arena[off : off+n : off+n]
+		if err := l.ReduceInto(dst, op, s); err != nil {
 			return nil, err
 		}
-		out[i] = v
+		out[i] = dst
+		off += n
 	}
 	return out, nil
 }

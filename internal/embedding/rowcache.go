@@ -1,0 +1,233 @@
+package embedding
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// RowCache is a sharded software cache of materialized embedding rows,
+// keyed (table, index). It exists because the default tables are
+// procedural: every lookup regenerates the whole row element-by-element
+// through splitmix hashing, so under the power-law access streams of
+// recommendation workloads the same hot head rows are re-hashed millions
+// of times. RecNMP (Ke et al.) makes memory-side caching of hot embedding
+// entries its highest-leverage optimization for exactly this reason; the
+// RowCache is the software data plane's version of that cache.
+//
+// Design:
+//
+//   - Sharding: keys hash across a power-of-two shard set (default 16),
+//     each shard with its own mutex, so concurrent serving goroutines
+//     touching different rows rarely contend.
+//   - Storage: each shard owns one flat float32 arena of slots*vecLen,
+//     so a fill copies into place and the cache performs zero per-entry
+//     allocations after construction.
+//   - Eviction: CLOCK (second chance). A hit sets the slot's reference
+//     bit; the shard's hand sweeps slots clearing reference bits until it
+//     finds a cold one to replace. CLOCK approximates LRU at a fraction
+//     of the bookkeeping and needs no per-access list surgery.
+//   - Admission: an optional frequency hint (SetAdmit) gates fills, fed
+//     from the adaptive layer's Space-Saving tracker when present, so a
+//     cold scan cannot flush the resident hot set. Lookups always probe
+//     regardless of the hint.
+//
+// Get copies the row out under the shard lock (a vecLen float32 copy is
+// far cheaper than re-hashing the row and keeps readers safe against a
+// concurrent eviction reusing the slot), so all methods are safe for
+// concurrent use.
+type RowCache struct {
+	shards  []rowShard
+	mask    uint64
+	vecLen  int
+	slots   int // per shard
+	capMask uint64
+
+	// admit is an optional frequency admission hint (atomic so the
+	// adaptive controller can install it after serving has started).
+	admit atomic.Pointer[func(table int, idx int64) bool]
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	entries   atomic.Int64
+}
+
+// rowShard is one lock domain: a power-of-two slot array with CLOCK state
+// and an open-addressed index from key to slot.
+type rowShard struct {
+	mu   sync.Mutex
+	keys []uint64 // slot -> key (0 = empty; keys are made non-zero)
+	ref  []uint8  // slot -> CLOCK reference bit
+	data []float32
+	idx  map[uint64]int32 // key -> slot
+	hand int
+	used int
+	_    [24]byte // soften false sharing between neighbouring shards
+}
+
+// rowCacheShards is the default shard count (power of two).
+const rowCacheShards = 16
+
+// NewRowCache builds a cache with a total budget of sizeBytes for rows of
+// vecLen float32 elements. The per-shard slot count is rounded down to a
+// power of two; sizeBytes must afford at least one slot per shard.
+func NewRowCache(sizeBytes int64, vecLen int) (*RowCache, error) {
+	if vecLen <= 0 {
+		return nil, fmt.Errorf("embedding: row cache vecLen %d <= 0", vecLen)
+	}
+	rowBytes := int64(vecLen) * 4
+	totalSlots := sizeBytes / rowBytes
+	perShard := totalSlots / rowCacheShards
+	// Round down to a power of two so CLOCK hands and future open-addressed
+	// probing stay mask-based.
+	slots := 1
+	for slots*2 <= int(perShard) {
+		slots *= 2
+	}
+	if perShard < 1 {
+		return nil, fmt.Errorf("embedding: row cache budget %d B affords no slots (%d B/row x %d shards)",
+			sizeBytes, rowBytes, rowCacheShards)
+	}
+	c := &RowCache{
+		shards: make([]rowShard, rowCacheShards),
+		mask:   rowCacheShards - 1,
+		vecLen: vecLen,
+		slots:  slots,
+	}
+	for i := range c.shards {
+		c.shards[i] = rowShard{
+			keys: make([]uint64, slots),
+			ref:  make([]uint8, slots),
+			data: make([]float32, slots*vecLen),
+			idx:  make(map[uint64]int32, slots),
+		}
+	}
+	return c, nil
+}
+
+// SetAdmit installs the frequency admission hint: fills for rows the hint
+// rejects are skipped (lookups still probe). A nil hint admits everything.
+// Safe to call while the cache is serving.
+func (c *RowCache) SetAdmit(admit func(table int, idx int64) bool) {
+	if admit == nil {
+		c.admit.Store(nil)
+		return
+	}
+	c.admit.Store(&admit)
+}
+
+// rowKey packs (table, idx) into one non-zero uint64: 23 bits of table,
+// 40 bits of row index (production caps at 40M rows), and a forced top
+// bit so 0 can mean "empty slot".
+func rowKey(table int, idx int64) uint64 {
+	return 1<<63 | uint64(table)<<40 | (uint64(idx) & (1<<40 - 1))
+}
+
+// shardOf mixes the key and selects a shard.
+func (c *RowCache) shardOf(key uint64) *rowShard {
+	return &c.shards[splitmix(key)&c.mask]
+}
+
+// Get probes for (table, idx) and on a hit copies the row into dst
+// (len >= vecLen) and returns true. A hit sets the slot's CLOCK bit.
+func (c *RowCache) Get(table int, idx int64, dst []float32) bool {
+	key := rowKey(table, idx)
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	slot, ok := sh.idx[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return false
+	}
+	sh.ref[slot] = 1
+	copy(dst[:c.vecLen], sh.data[int(slot)*c.vecLen:])
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return true
+}
+
+// Put fills (table, idx) with row (len >= vecLen), evicting via CLOCK if
+// the shard is full. Fills the admission hint rejects are dropped.
+func (c *RowCache) Put(table int, idx int64, row []float32) {
+	if p := c.admit.Load(); p != nil && !(*p)(table, idx) {
+		return
+	}
+	key := rowKey(table, idx)
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if slot, ok := sh.idx[key]; ok {
+		// Already resident (another goroutine raced the same miss);
+		// refresh the data and reference bit.
+		copy(sh.data[int(slot)*c.vecLen:(int(slot)+1)*c.vecLen], row)
+		sh.ref[slot] = 1
+		sh.mu.Unlock()
+		return
+	}
+	var slot int32
+	if sh.used < len(sh.keys) {
+		// Cold fill: take the next unused slot.
+		slot = int32(sh.used)
+		sh.used++
+		c.entries.Add(1)
+	} else {
+		// CLOCK sweep: clear reference bits until a cold slot appears.
+		// Bounded: after one full lap every bit is clear.
+		for {
+			if sh.ref[sh.hand] == 0 {
+				break
+			}
+			sh.ref[sh.hand] = 0
+			sh.hand = (sh.hand + 1) & (len(sh.keys) - 1)
+		}
+		slot = int32(sh.hand)
+		sh.hand = (sh.hand + 1) & (len(sh.keys) - 1)
+		delete(sh.idx, sh.keys[slot])
+		c.evictions.Add(1)
+	}
+	sh.keys[slot] = key
+	sh.ref[slot] = 1
+	sh.idx[key] = slot
+	copy(sh.data[int(slot)*c.vecLen:(int(slot)+1)*c.vecLen], row)
+	sh.mu.Unlock()
+}
+
+// VecLen returns the row width the cache was built for.
+func (c *RowCache) VecLen() int { return c.vecLen }
+
+// RowCacheStats is a point-in-time counter snapshot.
+type RowCacheStats struct {
+	// Hits and Misses count Get probes.
+	Hits, Misses int64
+	// Evictions counts CLOCK replacements of resident rows.
+	Evictions int64
+	// Entries is the resident row count; Bytes its footprint.
+	Entries int64
+	Bytes   int64
+	// CapBytes is the cache's row-data capacity.
+	CapBytes int64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any probe.
+func (s RowCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the counters.
+func (c *RowCache) Stats() RowCacheStats {
+	entries := c.entries.Load()
+	rowBytes := int64(c.vecLen) * 4
+	return RowCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+		Bytes:     entries * rowBytes,
+		CapBytes:  int64(c.slots) * rowCacheShards * rowBytes,
+	}
+}

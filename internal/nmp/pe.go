@@ -1,6 +1,10 @@
 package nmp
 
-import "fmt"
+import (
+	"fmt"
+
+	"recross/internal/kernels"
+)
 
 // Level identifies where in the DRAM tree a PE sits.
 type Level int
@@ -74,25 +78,17 @@ func (u *ComputeUnit) Accumulate(op Opcode, vec []float32, weight float32) error
 	}
 	switch op {
 	case OpSum:
-		for i, v := range vec {
-			u.acc[i] += v
-		}
+		kernels.Add(u.acc, vec)
 		u.stats.Adds += int64(len(vec))
 	case OpWeightedSum:
-		for i, v := range vec {
-			u.acc[i] += weight * v
-		}
+		kernels.Axpy(u.acc, vec, weight)
 		u.stats.Adds += int64(len(vec))
 		u.stats.Mults += int64(len(vec))
 	case OpMax:
 		if !u.dirty {
 			copy(u.acc, vec)
 		} else {
-			for i, v := range vec {
-				if v > u.acc[i] {
-					u.acc[i] = v
-				}
-			}
+			kernels.Max(u.acc, vec)
 		}
 		u.stats.Adds += int64(len(vec)) // comparators cost like adders
 	default:
@@ -102,36 +98,50 @@ func (u *ComputeUnit) Accumulate(op Opcode, vec []float32, weight float32) error
 	return nil
 }
 
-// AccumulatePsum folds an already-reduced partial result from a lower-level
+// FoldPartial folds an already-reduced partial result from a lower-level
 // PE: a plain element-wise add regardless of opcode (the weighting already
 // happened below), per §4.1.
-func (u *ComputeUnit) AccumulatePsum(op Opcode, psum []float32) error {
+func (u *ComputeUnit) FoldPartial(op Opcode, psum []float32) error {
 	if len(psum) != len(u.acc) {
 		return fmt.Errorf("nmp: psum length %d != accumulator %d", len(psum), len(u.acc))
 	}
 	if op == OpMax {
 		return u.Accumulate(OpMax, psum, 1)
 	}
-	for i, v := range psum {
-		u.acc[i] += v
-	}
+	kernels.Add(u.acc, psum)
 	u.stats.Adds += int64(len(psum))
 	u.dirty = true
 	return nil
 }
 
-// Result returns a copy of the accumulated vector.
+// AccumulatePsum is the original name of FoldPartial, kept for callers.
+func (u *ComputeUnit) AccumulatePsum(op Opcode, psum []float32) error {
+	return u.FoldPartial(op, psum)
+}
+
+// FoldUnit folds another unit's accumulator directly — the copy-free form
+// of FoldPartial(op, src.Result()).
+func (u *ComputeUnit) FoldUnit(op Opcode, src *ComputeUnit) error {
+	return u.FoldPartial(op, src.acc)
+}
+
+// ResultInto copies the accumulated vector into dst (len == VecLen) and
+// returns dst — the copy-free-signature form of Result for callers that
+// reuse buffers.
+func (u *ComputeUnit) ResultInto(dst []float32) []float32 {
+	copy(dst, u.acc)
+	return dst
+}
+
+// Result returns a copy of the accumulated vector. Thin compatibility
+// wrapper over ResultInto; hot paths should pass their own buffer.
 func (u *ComputeUnit) Result() []float32 {
-	out := make([]float32, len(u.acc))
-	copy(out, u.acc)
-	return out
+	return u.ResultInto(make([]float32, len(u.acc)))
 }
 
 // Reset clears the accumulator for the next embedding operation.
 func (u *ComputeUnit) Reset() {
-	for i := range u.acc {
-		u.acc[i] = 0
-	}
+	kernels.Zero(u.acc)
 	u.dirty = false
 }
 
@@ -180,7 +190,17 @@ func NewRankSummarizer(vecLen int) (*RankSummarizer, error) {
 
 // Fold accumulates a rank PE's partial result.
 func (r *RankSummarizer) Fold(op Opcode, psum []float32) error {
-	if err := r.unit.AccumulatePsum(op, psum); err != nil {
+	if err := r.unit.FoldPartial(op, psum); err != nil {
+		return err
+	}
+	r.psums++
+	return nil
+}
+
+// FoldUnit accumulates a rank PE's partial result straight from its
+// compute unit, without materializing a copy.
+func (r *RankSummarizer) FoldUnit(op Opcode, src *ComputeUnit) error {
+	if err := r.unit.FoldUnit(op, src); err != nil {
 		return err
 	}
 	r.psums++
@@ -193,6 +213,14 @@ func (r *RankSummarizer) Result() []float32 {
 	out := r.unit.Result()
 	r.unit.Reset()
 	return out
+}
+
+// ResultInto copies the summed vector into dst and resets the summarizer
+// for the next operation — the zero-allocation form of Result.
+func (r *RankSummarizer) ResultInto(dst []float32) []float32 {
+	r.unit.ResultInto(dst)
+	r.unit.Reset()
+	return dst
 }
 
 // Psums returns how many partial results were folded since construction.

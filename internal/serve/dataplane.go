@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"recross/internal/embedding"
+	"recross/internal/trace"
+)
+
+// The functional data plane of the server: every answered request's
+// result vectors come from embedding.Layer reductions. Two pieces keep
+// it off the allocator and off a single core:
+//
+//   - a reducerPool of persistent worker goroutines, each owning one
+//     embedding.Scratch, reducing independent samples of a batch
+//     concurrently (ops are independent; per-op association order is
+//     untouched, so results stay bit-identical to the scalar reference
+//     — TestParallelReduceBitIdentical enforces it);
+//   - the layer's optional sharded hot-row cache (Options.RowCacheBytes),
+//     whose hit/miss/eviction/bytes counters ride /metrics as the
+//     recross_dataplane_* series.
+//
+// The timing simulators keep their documented single-goroutine ownership:
+// only the functional layer — immutable tables plus the internally locked
+// row cache — is touched from multiple goroutines.
+
+// reduceJob is one sample's reduction, fanned to the pool by a replica
+// worker (per batch) or a degraded-path caller (single sample).
+type reduceJob struct {
+	sample trace.Sample
+	out    *[][]float32
+	err    *error
+	wg     *sync.WaitGroup
+}
+
+// reducerPool is the small persistent pool of data-plane reduction
+// workers. Workers never block on anything but their own reductions, so
+// submissions cannot deadlock; the pool is shared by every replica
+// worker and the degraded answer paths.
+type reducerPool struct {
+	layer *embedding.Layer
+	jobs  chan reduceJob
+	wg    sync.WaitGroup
+}
+
+// defaultReduceWorkers sizes the pool when Options.ReduceWorkers is 0:
+// a few workers saturate the data plane long before they contend on the
+// row-cache shards, and the timing simulators want the remaining cores.
+func defaultReduceWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func newReducerPool(layer *embedding.Layer, workers int) *reducerPool {
+	p := &reducerPool{layer: layer, jobs: make(chan reduceJob, 2*workers)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// worker owns one Scratch for its lifetime, so steady-state reductions
+// allocate only each sample's result arena (owned by the caller).
+func (p *reducerPool) worker() {
+	defer p.wg.Done()
+	var scratch embedding.Scratch
+	for j := range p.jobs {
+		*j.out, *j.err = p.layer.ReduceSampleInto(j.sample, &scratch)
+		j.wg.Done()
+	}
+}
+
+// reduceOne reduces a single sample through the pool — the degraded
+// answer path, callable from any goroutine.
+func (p *reducerPool) reduceOne(sample trace.Sample) ([][]float32, error) {
+	var out [][]float32
+	var err error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	p.jobs <- reduceJob{sample: sample, out: &out, err: &err, wg: &wg}
+	wg.Wait()
+	return out, err
+}
+
+// close drains the pool; no submissions may follow.
+func (p *reducerPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// initDataplane builds the server's reducer pool and, when configured,
+// the layer's hot-row cache. Called once from New.
+func (s *Server) initDataplane() error {
+	if s.opts.RowCacheBytes > 0 && s.opts.Layer.RowCache() == nil {
+		c, err := embedding.NewRowCache(s.opts.RowCacheBytes, s.opts.Layer.Table(0).VecLen())
+		if err != nil {
+			return err
+		}
+		if err := s.opts.Layer.AttachRowCache(c); err != nil {
+			return err
+		}
+	}
+	s.rowCache = s.opts.Layer.RowCache()
+	workers := s.opts.ReduceWorkers
+	if workers == 0 {
+		workers = defaultReduceWorkers()
+	}
+	s.reducers = newReducerPool(s.opts.Layer, workers)
+	return nil
+}
+
+// RowCache returns the layer's hot-row cache, or nil when disabled.
+func (s *Server) RowCache() *embedding.RowCache { return s.rowCache }
+
+// dataplaneExpo renders the data-plane series in Prometheus text
+// exposition format. The row-cache series are emitted even when the
+// cache is disabled (as zeros) so scrapes see a stable schema.
+func (s *Server) dataplaneExpo() string {
+	var st embedding.RowCacheStats
+	if s.rowCache != nil {
+		st = s.rowCache.Stats()
+	}
+	var b []byte
+	counter := func(name string, v int64) {
+		b = append(b, fmt.Sprintf("# TYPE %s counter\n%s %d\n", name, name, v)...)
+	}
+	gauge := func(name string, v float64) {
+		b = append(b, fmt.Sprintf("# TYPE %s gauge\n%s %g\n", name, name, v)...)
+	}
+	counter("recross_dataplane_row_cache_hits_total", st.Hits)
+	counter("recross_dataplane_row_cache_misses_total", st.Misses)
+	counter("recross_dataplane_row_cache_evictions_total", st.Evictions)
+	gauge("recross_dataplane_row_cache_bytes", float64(st.Bytes))
+	gauge("recross_dataplane_row_cache_capacity_bytes", float64(st.CapBytes))
+	gauge("recross_dataplane_row_cache_hit_rate", st.HitRate())
+	return string(b)
+}

@@ -180,6 +180,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprint(w, s.metrics.Snapshot().Expo())
 	fmt.Fprint(w, s.Health().Expo())
+	fmt.Fprint(w, s.dataplaneExpo())
 	s.expoMu.RLock()
 	fns := s.expoFns
 	s.expoMu.RUnlock()

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -68,6 +69,11 @@ type replica struct {
 	// update is a staged SystemUpdate (see StageUpdate); the worker swaps
 	// it out and applies it between batches, when it owns sys.
 	update atomic.Pointer[SystemUpdate]
+
+	// Data-plane demux scratch, reused across batches (serve runs on the
+	// single worker goroutine that owns this replica).
+	redVecs [][][]float32
+	redErrs []error
 }
 
 func newReplica(id int, sys arch.System) *replica {
@@ -198,9 +204,25 @@ func (rep *replica) serve(s *Server, batch []*request) bool {
 	s.metrics.BatchSamples.Add(int64(len(batch)))
 	s.metrics.ServiceCycles.Record(int64(rr.st.Cycles))
 
-	for _, r := range batch {
-		vecs, err := s.opts.Layer.ReduceSample(r.sample)
-		if err != nil {
+	// Fan the batch's functional reductions across the persistent
+	// data-plane pool: samples are independent, per-op association order
+	// is unchanged, so the vectors are bit-identical to reducing them
+	// here one by one.
+	if cap(rep.redVecs) < len(batch) {
+		rep.redVecs = make([][][]float32, len(batch))
+		rep.redErrs = make([]error, len(batch))
+	}
+	vecs := rep.redVecs[:len(batch)]
+	rerrs := rep.redErrs[:len(batch)]
+	var rwg sync.WaitGroup
+	rwg.Add(len(batch))
+	for i, r := range batch {
+		s.reducers.jobs <- reduceJob{sample: r.sample, out: &vecs[i], err: &rerrs[i], wg: &rwg}
+	}
+	rwg.Wait()
+
+	for i, r := range batch {
+		if err := rerrs[i]; err != nil {
 			if r.complete(outcome{err: err}) {
 				s.metrics.Failed.Add(1)
 			}
@@ -208,7 +230,7 @@ func (rep *replica) serve(s *Server, batch []*request) bool {
 		}
 		now := time.Now()
 		res := &Result{
-			Vectors:       vecs,
+			Vectors:       vecs[i],
 			BatchSize:     len(batch),
 			ServiceCycles: rr.st.Cycles,
 			Replica:       rep.id,

@@ -201,6 +201,19 @@ type Options struct {
 	// the caller's goroutine inside Lookup, so it must be cheap and safe
 	// for concurrent use (adapt.Tracker.Observe is both).
 	Observer func(trace.Sample)
+
+	// RowCacheBytes, when positive, attaches a sharded hot-row cache of
+	// this budget to Layer (unless the caller already attached one), so
+	// hot procedural rows are materialized once instead of re-hashed per
+	// lookup. Its counters ride /metrics as recross_dataplane_row_cache_*
+	// (0 = no cache). Requires at least one procedural table.
+	RowCacheBytes int64
+	// ReduceWorkers sizes the persistent data-plane reduction pool that
+	// answers batches' functional results in parallel (default
+	// min(4, GOMAXPROCS); 1 serializes reductions). Results are
+	// bit-identical to the single-goroutine reference regardless: samples
+	// are reduced independently and per-op association order is fixed.
+	ReduceWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -310,6 +323,11 @@ type Server struct {
 
 	expoMu  sync.RWMutex
 	expoFns []func() string // extra /metrics sections (RegisterExpo)
+
+	// Functional data plane: the persistent reduction pool answering
+	// result vectors, and the layer's hot-row cache when configured.
+	reducers *reducerPool
+	rowCache *embedding.RowCache
 }
 
 // New builds and starts a server: one dispatcher goroutine, one
@@ -337,6 +355,12 @@ func New(opts Options) (*Server, error) {
 	if opts.MaxRetries < 0 {
 		return nil, fmt.Errorf("serve: MaxRetries %d < 0", opts.MaxRetries)
 	}
+	if opts.RowCacheBytes < 0 {
+		return nil, fmt.Errorf("serve: RowCacheBytes %d < 0", opts.RowCacheBytes)
+	}
+	if opts.ReduceWorkers < 0 {
+		return nil, fmt.Errorf("serve: ReduceWorkers %d < 0", opts.ReduceWorkers)
+	}
 	s := &Server{
 		opts:           opts,
 		metrics:        NewMetrics(),
@@ -345,6 +369,9 @@ func New(opts Options) (*Server, error) {
 		supervisorStop: make(chan struct{}),
 		supervisorDone: make(chan struct{}),
 		dispatcherDone: make(chan struct{}),
+	}
+	if err := s.initDataplane(); err != nil {
+		return nil, err
 	}
 	for i, sys := range opts.Systems {
 		rep := newReplica(i, sys)
@@ -512,5 +539,9 @@ func (s *Server) Close() error {
 			})
 		}
 	}
+
+	// Every answer path (worker demux, degraded sweeps) has completed;
+	// the data-plane reduction pool has no producers left.
+	s.reducers.close()
 	return nil
 }

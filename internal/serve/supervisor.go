@@ -162,7 +162,7 @@ func (s *Server) sendWork(rep *replica, batch []*request, block bool) bool {
 // correct vectors, no timing model, Result.Degraded set. It is the
 // last-resort path — quorum loss, exhausted retry budget, or drain.
 func (s *Server) serveDegraded(r *request) {
-	vecs, err := s.opts.Layer.ReduceSample(r.sample)
+	vecs, err := s.reducers.reduceOne(r.sample)
 	if err != nil {
 		if r.complete(outcome{err: err}) {
 			s.metrics.Failed.Add(1)

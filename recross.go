@@ -521,6 +521,13 @@ func NewAdaptiveServer(a Arch, cfg Config, n int, sopts ServeOptions, aopts Adap
 		return nil, nil, err
 	}
 	srv.RegisterExpo(ctrl.Expo)
+	// The controller's Space-Saving sketches double as the hot-row cache's
+	// admission filter: once live traffic accumulates, only rows the
+	// tracker ranks as heavy hitters earn cache slots, so a cold scan
+	// cannot wash the resident hot set out (lookups still always probe).
+	if rc := srv.RowCache(); rc != nil {
+		rc.SetAdmit(ctrl.Tracker().Hot)
+	}
 	return srv, ctrl, nil
 }
 
