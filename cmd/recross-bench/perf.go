@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"recross/internal/arch"
+	"recross/internal/coldstore"
 	"recross/internal/core"
 	"recross/internal/dram"
 	"recross/internal/embedding"
@@ -166,6 +167,12 @@ func runPerf(path string) error {
 		func() (perfEntry, error) { return perfServeDataplane(0, "serve_dataplane_nocache") },
 		func() (perfEntry, error) { return perfRecrossE2E(true) },
 		func() (perfEntry, error) { return perfRecrossE2E(false) },
+		func() (perfEntry, error) { return perfColdPageRead(true) },
+		func() (perfEntry, error) { return perfColdPageRead(false) },
+		func() (perfEntry, error) { return perfColdReduce(true) },
+		func() (perfEntry, error) { return perfColdReduce(false) },
+		func() (perfEntry, error) { return perfColdE2E(false, "recross_e2e_nocold") },
+		func() (perfEntry, error) { return perfColdE2E(true, "recross_e2e_cold") },
 	}
 	for _, f := range suite {
 		e, err := f()
@@ -322,6 +329,168 @@ func perfServeDataplane(cacheBytes int64, name string) (perfEntry, error) {
 		}
 	})
 	return mkEntry(name, r, 0), nil
+}
+
+// ---- PR6: flash-backed cold tier benchmarks ----
+
+// perfColdStore opens a cold store over a one-table functional layer
+// (200k rows x 64 FP32, ~51 MB) in a temp dir. The caller must Close the
+// store (which also removes the backing file); the temp dir is cleaned up
+// by the returned func.
+func perfColdStore(cacheBytes int64) (*coldstore.Store, func(), error) {
+	spec := trace.ModelSpec{Name: "perf-cold", Tables: []trace.TableSpec{
+		{Name: "t0", Rows: 200000, VecLen: 64, Pooling: 80, Prob: 1, Skew: 1.2},
+	}}
+	layer, err := embedding.NewLayer(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	dir, err := os.MkdirTemp("", "recross-bench-cold")
+	if err != nil {
+		return nil, nil, err
+	}
+	store, err := coldstore.Open(coldstore.Config{Dir: dir, CacheBytes: cacheBytes}, []coldstore.RowSource{layer.Table(0)})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	cleanup := func() {
+		store.Close()
+		os.RemoveAll(dir)
+	}
+	return store, cleanup, nil
+}
+
+// perfColdPageRead benchmarks the store's row-read path: cached walks a
+// page-cache-resident stride (host-cache hit path), uncached walks the
+// whole table with a minimal cache so nearly every read is a device page
+// read of an already-populated file.
+func perfColdPageRead(cached bool) (perfEntry, error) {
+	cacheBytes := int64(1) // one page: force device reads
+	name := "coldstore_page_read"
+	if cached {
+		cacheBytes = 64 << 20 // whole table cacheable: hit path
+		name = "coldstore_read_cached"
+	}
+	store, cleanup, err := perfColdStore(cacheBytes)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	defer cleanup()
+	dst := make([]float32, store.VecLen())
+	rows := int64(200000)
+	// Populate every page once so the benchmark measures reads, not the
+	// one-time lazy generation.
+	for i := int64(0); i < rows; i += int64(store.RowsPerPage()) {
+		store.ReadRow(0, i, dst)
+	}
+	stride := int64(store.RowsPerPage()) // one read per page: no free hits
+	if cached {
+		stride = 7
+	}
+	var idx int64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			store.ReadRow(0, idx%rows, dst)
+			idx += stride
+		}
+	})
+	return mkEntry(name, r, 0), nil
+}
+
+// perfColdReduce compares the in-storage reduction entry point against the
+// equivalent host-side loop over ReadRow for one 512-gather weighted-sum op
+// (both functionally identical; this measures the data-plane cost of
+// keeping the reduction next to the device buffer vs round-tripping rows).
+func perfColdReduce(inStorage bool) (perfEntry, error) {
+	store, cleanup, err := perfColdStore(16 << 20)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	defer cleanup()
+	rng := rand.New(rand.NewSource(3))
+	z := rand.NewZipf(rng, 1.2, 8, 199999)
+	idx := make([]int64, 512)
+	w := make([]float32, len(idx))
+	for i := range idx {
+		idx[i] = int64(z.Uint64())
+		w[i] = rng.Float32()
+	}
+	dst := make([]float32, store.VecLen())
+	row := make([]float32, store.VecLen())
+	if err := store.ReduceInto(dst, 0, idx, w, 0); err != nil { // warm pages
+		return perfEntry{}, err
+	}
+	name := "coldstore_reduce_host"
+	if inStorage {
+		name = "coldstore_reduce_isr"
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if inStorage {
+				if err := store.ReduceInto(dst, 0, idx, w, 0); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			for j := range dst {
+				dst[j] = 0
+			}
+			for k, ix := range idx {
+				store.ReadRow(0, ix, row)
+				wk := w[k]
+				for j := range dst {
+					dst[j] += wk * row[j]
+				}
+			}
+			perfSink = dst[0]
+		}
+	})
+	return mkEntry(name, r, 0), nil
+}
+
+// perfColdE2E benchmarks the ReCross timing Run with and without the cold
+// tier on a table set 4x its DRAM residency budget; the cold entry's
+// cycles include the flash page reads and link transfer the cold-placed
+// gathers cost, so the pair records the simulated price of spilling.
+func perfColdE2E(cold bool, name string) (perfEntry, error) {
+	spec := trace.ModelSpec{Name: "perf-cold-e2e", Tables: []trace.TableSpec{
+		{Name: "a", Rows: 60000, VecLen: 64, Pooling: 48, Prob: 1, Skew: 1.3},
+		{Name: "b", Rows: 30000, VecLen: 64, Pooling: 32, Prob: 1, Skew: 1.2},
+	}}
+	cfg := core.DefaultConfig(spec)
+	cfg.ProfileSamples = 500
+	if cold {
+		cfg.ColdTier = &coldstore.TierSpec{
+			CapBytes:            64 << 20,
+			ResidentBudgetBytes: 5 << 20,
+			InStorageReduce:     true,
+		}
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	gen, err := trace.NewGenerator(spec, 7)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	batch := gen.Batch(32)
+	rs, err := sys.Run(batch)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Run(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return mkEntry(name, r, int64(rs.Cycles)), nil
 }
 
 // perfRecrossE2E benchmarks the full end-to-end batch answer at sim

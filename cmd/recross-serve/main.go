@@ -50,6 +50,18 @@
 //
 // Watch /metrics for recross_adapt_drift_score,
 // recross_adapt_repartitions_total and recross_adapt_realized_gain.
+//
+// Cold-tier mode (-cold, arch recross only) adds the flash-backed fourth
+// placement level: -cold-budget-mb clamps DRAM residency so the cold tail
+// of the tables spills to a file-backed store with frequency-based page
+// mapping, and -cold-isr enables RecSSD-style in-storage reduction in the
+// timing model. Pair with -tail-mass to aim load at the cold rows:
+//
+//	recross-serve -loadgen -replicas 2 -duration 30s \
+//	  -cold -cold-budget-mb 8 -cold-isr -tail-mass 0.2
+//
+// Watch /metrics for the recross_coldstore_* series and, with -adapt,
+// recross_adapt_cold_promoted_rows_total / _demoted_rows_total.
 package main
 
 import (
@@ -105,6 +117,15 @@ func main() {
 	adaptCooldown := flag.Duration("adapt-cooldown", 30*time.Second, "adapt: minimum time between adopted repartitions")
 	adaptMinGain := flag.Float64("adapt-min-gain", 0.05, "adapt: minimum predicted speedup a plan must clear")
 
+	coldOn := flag.Bool("cold", false, "enable the flash-backed cold tier (arch recross only); watch recross_coldstore_* on /metrics")
+	coldCapMB := flag.Int64("cold-cap-mb", 1024, "cold: tier capacity in MiB offered to the partitioner")
+	coldBudgetMB := flag.Int64("cold-budget-mb", 0, "cold: DRAM residency budget in MiB (0 = geometric capacity); table mass beyond it spills to flash")
+	coldPageKB := flag.Int("cold-page-kb", 16, "cold: device page size in KiB")
+	coldISR := flag.Bool("cold-isr", false, "cold: in-storage reduction (one partial sum per op crosses the link)")
+	coldCacheMB := flag.Int64("cold-cache-mb", 1, "cold: host page-cache budget in MiB")
+	coldMmap := flag.Bool("cold-mmap", false, "cold: mmap the backing file instead of pread")
+	coldDir := flag.String("cold-dir", "", "cold: backing-file directory (default: system temp dir)")
+
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	loadgen := flag.Bool("loadgen", false, "run the closed-loop load generator instead of serving HTTP")
@@ -114,6 +135,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "loadgen: per-request deadline (0 = none)")
 	shiftAt := flag.Duration("shift-at", 0, "loadgen: permute the Zipf hot set after this much of the run (0 = never)")
 	shiftSalt := flag.Int64("shift-salt", 1, "loadgen: hot-set permutation salt")
+	tailMass := flag.Float64("tail-mass", 0, "loadgen: fraction of index draws redirected to the cold half of the rank space (0 = pure Zipf)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -138,6 +160,17 @@ func main() {
 	cfg := recross.Config{
 		Spec: spec, Ranks: *ranks, Channels: *channels,
 		Batch: *maxBatch, ProfileSamples: *profSamples,
+	}
+	if *coldOn {
+		cfg.Cold = &recross.ColdTierConfig{
+			CapBytes:            *coldCapMB << 20,
+			ResidentBudgetBytes: *coldBudgetMB << 20,
+			PageBytes:           *coldPageKB << 10,
+			InStorageReduce:     *coldISR,
+			CacheBytes:          *coldCacheMB << 20,
+			Mmap:                *coldMmap,
+			Dir:                 *coldDir,
+		}
 	}
 
 	fmt.Fprintf(os.Stderr, "recross-serve: building %d %s replica(s) over %s (%d tables)...\n",
@@ -197,6 +230,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "recross-serve: ADAPT ON (interval %v, threshold %.3g, topk %d, windows %d, cooldown %v, min-gain %.3g)\n",
 			*adaptInterval, *adaptThreshold, *adaptTopK, *adaptWindows, *adaptCooldown, *adaptMinGain)
 	}
+	if cfg.Cold != nil {
+		fmt.Fprintf(os.Stderr, "recross-serve: COLD TIER ON (cap %d MiB, DRAM budget %d MiB, page %d KiB, isr %v, mmap %v)\n",
+			*coldCapMB, *coldBudgetMB, *coldPageKB, *coldISR, *coldMmap)
+	}
 	if inj != nil {
 		// Wedged batches block their abandoned goroutines until released;
 		// do so at exit so a soak run terminates cleanly.
@@ -208,17 +245,20 @@ func main() {
 		time.Since(t0).Round(time.Millisecond), *maxBatch, *maxDelay, *queueDepth, pol, *reqTimeout, *quorum)
 
 	if *loadgen {
-		runLoadgen(srv, ctrl, spec, *clients, *duration, *seed, *timeout, *shiftAt, *shiftSalt)
+		runLoadgen(srv, ctrl, spec, *clients, *duration, *seed, *timeout, *shiftAt, *shiftSalt, *tailMass)
 		return
 	}
 	serveHTTP(srv, *addr)
 }
 
 func runLoadgen(srv *recross.Server, ctrl *recross.AdaptController, spec recross.ModelSpec,
-	clients int, duration time.Duration, seed int64, timeout, shiftAt time.Duration, shiftSalt int64) {
+	clients int, duration time.Duration, seed int64, timeout, shiftAt time.Duration, shiftSalt int64, tailMass float64) {
 	fmt.Fprintf(os.Stderr, "recross-serve: loadgen %d clients for %v...\n", clients, duration)
 	if shiftAt > 0 {
 		fmt.Fprintf(os.Stderr, "recross-serve: hot-set shift at %v (salt %d)\n", shiftAt, shiftSalt)
+	}
+	if tailMass > 0 {
+		fmt.Fprintf(os.Stderr, "recross-serve: tail mass %.3g (cold-half index draws)\n", tailMass)
 	}
 	rep, err := recross.Loadgen(srv, recross.LoadgenOptions{
 		Spec:      spec,
@@ -228,6 +268,7 @@ func runLoadgen(srv *recross.Server, ctrl *recross.AdaptController, spec recross
 		Timeout:   timeout,
 		ShiftAt:   shiftAt,
 		ShiftSalt: shiftSalt,
+		TailMass:  tailMass,
 	})
 	if err != nil {
 		fail(err)

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"recross/internal/nmp"
 	"recross/internal/partition"
 	"recross/internal/trace"
 )
@@ -316,6 +317,23 @@ func (c *Controller) replan(res StepResult, snaps []TableSnapshot, winMean float
 	c.metrics.Adoptions++
 	c.metrics.RowsMigrated += plan.RowsMoved
 	c.metrics.BytesMigrated += plan.BytesMoved
+	// With a cold tier in play, diff the placements to count rows
+	// crossing the DRAM/cold boundary — row-fraction deltas cannot see a
+	// permutation that swaps whole populations across it.
+	if hasColdRegion(next.Regions) {
+		oldProf := c.adoptedProfile
+		if oldProf == nil {
+			oldProf = c.opts.Baseline
+		}
+		oldPl, err1 := partition.Build(oldProf, c.current)
+		newPl, err2 := partition.Build(prof, next)
+		if err1 == nil && err2 == nil {
+			promoted, demoted := partition.DiffCold(oldPl, newPl)
+			plan.ColdPromotedRows, plan.ColdDemotedRows = promoted, demoted
+			c.metrics.ColdPromotedRows += promoted
+			c.metrics.ColdDemotedRows += demoted
+		}
+	}
 	c.metrics.EstimatedGain = plan.Speedup
 	c.lastAdopt = time.Now()
 	c.preAdoptMean = winMean
@@ -333,6 +351,16 @@ func (c *Controller) replan(res StepResult, snaps []TableSnapshot, winMean float
 	c.adoptedProfile = prof
 	c.current = next
 	return res
+}
+
+// hasColdRegion reports whether any region is the flash cold tier.
+func hasColdRegion(regions []partition.Region) bool {
+	for _, r := range regions {
+		if r.Level == nmp.LevelCold {
+			return true
+		}
+	}
+	return false
 }
 
 // serviceWindowMean differences the serving layer's cumulative service
@@ -372,6 +400,10 @@ type Metrics struct {
 	// RowsMigrated and BytesMigrated accumulate adopted plans' volumes.
 	RowsMigrated  int64
 	BytesMigrated int64
+	// ColdPromotedRows and ColdDemotedRows accumulate adopted plans' rows
+	// crossing the DRAM/cold boundary (zero without a cold tier).
+	ColdPromotedRows int64
+	ColdDemotedRows  int64
 	// DriftScore and DriftKS are the latest window's values.
 	DriftScore float64
 	DriftKS    float64
@@ -418,6 +450,8 @@ func (c *Controller) Expo() string {
 	counter("recross_adapt_errors_total", m.Errors)
 	counter("recross_adapt_rows_migrated_total", m.RowsMigrated)
 	counter("recross_adapt_bytes_migrated_total", m.BytesMigrated)
+	counter("recross_adapt_cold_promoted_rows_total", m.ColdPromotedRows)
+	counter("recross_adapt_cold_demoted_rows_total", m.ColdDemotedRows)
 	gauge("recross_adapt_drift_score", m.DriftScore)
 	gauge("recross_adapt_drift_ks", m.DriftKS)
 	gauge("recross_adapt_last_speedup", m.LastSpeedup)

@@ -3,6 +3,7 @@ package adapt
 import (
 	"fmt"
 
+	"recross/internal/nmp"
 	"recross/internal/partition"
 )
 
@@ -22,8 +23,16 @@ type Plan struct {
 	// moved bytes pushed through the regions' combined internal
 	// bandwidth. Migration rides the same buses as serving, so this is
 	// the bandwidth-seconds (in cycle units) the move steals from
-	// traffic.
+	// traffic. Bytes crossing the DRAM/cold boundary are priced at the
+	// flash tier's (far lower) bandwidth in both directions — a demotion
+	// writes flash pages, a promotion reads them — so cold churn weighs
+	// on the hysteresis gate proportionally to how slow it really is.
 	MigCycles float64
+	// ColdPromotedRows and ColdDemotedRows count ranked rows crossing the
+	// DRAM/cold boundary (cold->DRAM and DRAM->cold respectively), filled
+	// by the controller from the placement diff on adoption. Zero without
+	// a cold tier or when the plan was not adopted.
+	ColdPromotedRows, ColdDemotedRows int64
 	// OldT and NewT are the estimated per-batch latency bounds of the
 	// incumbent and proposed decisions under the live profile.
 	OldT, NewT float64
@@ -46,27 +55,50 @@ func PlanMigration(p *partition.Profile, old, next *partition.Decision, batch in
 			len(old.RowFrac), len(next.RowFrac), len(p.Spec.Tables))
 	}
 	pl := &Plan{}
+	cold := make([]bool, len(next.Regions))
+	for j, r := range next.Regions {
+		cold[j] = r.Level == nmp.LevelCold
+	}
+	// Bytes copied in per destination region, plus bytes leaving cold
+	// regions (a promotion reads flash before it writes DRAM).
+	inBytes := make([]float64, len(next.Regions))
+	var coldOutBytes float64
 	for i, t := range p.Spec.Tables {
 		if len(old.RowFrac[i]) != len(next.RowFrac[i]) {
 			return nil, fmt.Errorf("adapt: table %d region counts differ (%d vs %d)",
 				i, len(old.RowFrac[i]), len(next.RowFrac[i]))
 		}
 		var movedFrac float64
+		tblBytes := float64(t.Rows) * float64(t.VecLen) * 4
 		for j := range old.RowFrac[i] {
-			if d := next.RowFrac[i][j] - old.RowFrac[i][j]; d > 0 {
+			d := next.RowFrac[i][j] - old.RowFrac[i][j]
+			if d > 0 {
 				movedFrac += d
+				inBytes[j] += d * tblBytes
+			} else if cold[j] {
+				coldOutBytes += -d * tblBytes
 			}
 		}
 		rows := int64(movedFrac * float64(t.Rows))
 		pl.RowsMoved += rows
 		pl.BytesMoved += rows * int64(t.VecLen) * 4
 	}
-	var totalBW float64
-	for _, r := range next.Regions {
-		totalBW += r.BW
+	var dramBW, coldBW, dramBytes, coldBytes float64
+	for j, r := range next.Regions {
+		if cold[j] {
+			coldBW += r.BW
+			coldBytes += inBytes[j]
+		} else {
+			dramBW += r.BW
+			dramBytes += inBytes[j]
+		}
 	}
-	if totalBW > 0 {
-		pl.MigCycles = float64(pl.BytesMoved) / totalBW
+	coldBytes += coldOutBytes
+	if dramBW > 0 {
+		pl.MigCycles += dramBytes / dramBW
+	}
+	if coldBW > 0 {
+		pl.MigCycles += coldBytes / coldBW
 	}
 	var oldT float64
 	var err error

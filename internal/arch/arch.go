@@ -46,6 +46,13 @@ type RunStats struct {
 	OpP50, OpP99 sim.Cycle
 	// Energy is the priced run.
 	Energy energy.Breakdown
+	// ColdLookups counts gathers served by the flash cold tier (zero on
+	// systems without one); ColdPageReads/ColdPageHits are the tier's
+	// device page-buffer counters and ColdCycles its batch latency
+	// component (overlapped with the DRAM phase, so Cycles is the max of
+	// the two, not the sum).
+	ColdLookups, ColdPageReads, ColdPageHits int64
+	ColdCycles                               sim.Cycle
 }
 
 // OpPercentiles extracts the P50/P99 op latencies from a drain result.

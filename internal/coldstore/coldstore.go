@@ -1,0 +1,605 @@
+// Package coldstore implements the flash-backed cold tier: a fourth
+// placement level below ReCross's R-, G- and B-regions for embedding mass
+// that cannot (or should not) live in DRAM. It combines the two storage-side
+// ideas of the related work:
+//
+//   - RecSSD-style in-storage reduction: the device can return pre-reduced
+//     partial sums instead of raw rows, shrinking the host link transfer to
+//     one vector per op (a timing-model property; the functional result is
+//     bit-identical either way because the reduction order is preserved);
+//   - RecFlash-style frequency-based data mapping: rows are packed into
+//     pages hottest-first using sketch-derived access counts, so the pages
+//     that do get read carry as many of the warm rows as possible and the
+//     page cache's working set stays small.
+//
+// The store is file-backed (pread or mmap) with page-granular layout and
+// lazy page population: pages are generated from the procedural source
+// tables on first access and written back, so the file always holds the
+// exact bytes of the reference rows — any read path (page cache, file,
+// regeneration) returns identical bits. A small CLOCK page cache and an
+// asynchronous prefetch queue sit in front of the device.
+//
+// Concurrency: the functional read path (ReadRow, ReduceInto, Prefetch) is
+// safe for arbitrary concurrent use — it is part of the serving data plane.
+// The timing model (Sim) follows the simulator's single-goroutine contract:
+// one Sim per replica, owned by its worker.
+package coldstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// RowSource supplies reference rows for lazy page population. It matches
+// embedding.Table, but is declared here so the package has no dependency
+// on the embedding layer (embedding depends on coldstore's consumers, not
+// the other way around).
+type RowSource interface {
+	Rows() int64
+	VecLen() int
+	Row(i int64, dst []float32) []float32
+}
+
+// RowCount is one row's sketch-derived access count, the input of the
+// frequency-based page mapping.
+type RowCount struct {
+	Row   int64
+	Count int64
+}
+
+// Config configures Open.
+type Config struct {
+	// Dir is the directory holding the backing file (required; a temp dir
+	// in tests). The file is created (or truncated) by Open and removed by
+	// Close.
+	Dir string
+	// PageBytes is the device page size (default 16 KiB). Must hold at
+	// least one vector; rows never straddle pages.
+	PageBytes int
+	// CacheBytes is the host-side page-cache budget (default 64 pages).
+	CacheBytes int64
+	// Prefetch is the async prefetch queue depth (default 64; 0 disables
+	// the prefetcher).
+	Prefetch int
+	// Mmap maps the backing file instead of using pread. Population still
+	// goes through pwrite; reads come from the mapping.
+	Mmap bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageBytes == 0 {
+		c.PageBytes = 16 << 10
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 * int64(c.PageBytes)
+	}
+	if c.Prefetch == 0 {
+		c.Prefetch = 64
+	}
+	return c
+}
+
+// page population states.
+const (
+	pageEmpty uint32 = iota
+	pageReady
+)
+
+// tableMap is one table's frequency-based row->device-slot mapping.
+// Counted rows occupy slots [0, hot) in descending count order; the
+// uncounted tail follows in index order. Both directions are O(log hot):
+// row->slot via the hash map or a rank among non-hot indices, slot->row via
+// the hotRows array or a binary search for the k-th non-hot index.
+type tableMap struct {
+	rows    int64
+	hotSlot map[int64]int64 // row -> slot, counted rows only
+	hotRows []int64         // slot -> row, counted rows only
+	sorted  []int64         // counted rows ascending, for rank queries
+}
+
+// slotOf maps a row index to its device slot.
+func (m *tableMap) slotOf(row int64) int64 {
+	if s, ok := m.hotSlot[row]; ok {
+		return s
+	}
+	return int64(len(m.hotRows)) + row - m.hotBelow(row)
+}
+
+// rowOf inverts slotOf: the row occupying a device slot.
+func (m *tableMap) rowOf(slot int64) int64 {
+	if slot < int64(len(m.hotRows)) {
+		return m.hotRows[slot]
+	}
+	// The k-th non-hot row index: the smallest r with k+1 non-hot indices
+	// in [0, r]. If that r were hot the count could not have just risen,
+	// so the result is always a tail row.
+	k := slot - int64(len(m.hotRows))
+	return int64(sort.Search(int(m.rows), func(i int) bool {
+		r := int64(i)
+		return r+1-m.hotBelow(r+1) >= k+1
+	}))
+}
+
+// hotBelow counts counted rows with index < row.
+func (m *tableMap) hotBelow(row int64) int64 {
+	return int64(sort.Search(len(m.sorted), func(i int) bool { return m.sorted[i] >= row }))
+}
+
+// newTableMap builds a table's mapping from access counts (nil or empty
+// counts yield the identity layout: every row in index order).
+func newTableMap(rows int64, counts []RowCount) *tableMap {
+	m := &tableMap{rows: rows, hotSlot: map[int64]int64{}}
+	if len(counts) == 0 {
+		return m
+	}
+	cs := make([]RowCount, 0, len(counts))
+	seen := map[int64]bool{}
+	for _, c := range counts {
+		if c.Row < 0 || c.Row >= rows || c.Count <= 0 || seen[c.Row] {
+			continue
+		}
+		seen[c.Row] = true
+		cs = append(cs, c)
+	}
+	// Descending count; ties broken by row index for determinism.
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Count != cs[j].Count {
+			return cs[i].Count > cs[j].Count
+		}
+		return cs[i].Row < cs[j].Row
+	})
+	m.hotRows = make([]int64, len(cs))
+	m.sorted = make([]int64, len(cs))
+	for slot, c := range cs {
+		m.hotRows[slot] = c.Row
+		m.hotSlot[c.Row] = int64(slot)
+		m.sorted[slot] = c.Row
+	}
+	sort.Slice(m.sorted, func(i, j int) bool { return m.sorted[i] < m.sorted[j] })
+	return m
+}
+
+// Stats is the store's counter snapshot.
+type Stats struct {
+	// RowReads counts functional row reads served by the store.
+	RowReads int64
+	// PageHits and PageMisses count host page-cache probes.
+	PageHits, PageMisses int64
+	// PageReads counts device page reads (cache misses and prefetches).
+	PageReads int64
+	// Populated counts pages generated and written on first access.
+	Populated int64
+	// Evictions counts page-cache CLOCK evictions.
+	Evictions int64
+	// Prefetches and PrefetchDrops count async prefetch requests issued
+	// and dropped on a full queue.
+	Prefetches, PrefetchDrops int64
+	// Reduces counts in-storage ReduceInto operations.
+	Reduces int64
+	// Remaps counts frequency-mapping rebuilds.
+	Remaps int64
+	// Pages and PageBytes describe the layout.
+	Pages     int64
+	PageBytes int64
+	// CachePages is the host page-cache capacity in pages.
+	CachePages int64
+}
+
+// HitRate returns the host page-cache hit fraction.
+func (s Stats) HitRate() float64 {
+	if s.PageHits+s.PageMisses == 0 {
+		return 0
+	}
+	return float64(s.PageHits) / float64(s.PageHits+s.PageMisses)
+}
+
+// Store is the flash-backed cold tier. Create with Open.
+type Store struct {
+	cfg      Config
+	tables   []RowSource
+	vecLen   int
+	vecBytes int
+	rpp      int // rows per page
+	pageBase []int64
+	nPages   int64
+
+	file *os.File
+	mm   []byte // non-nil when mmapped
+
+	// mu guards the frequency mapping and the page-population states
+	// against Remap; the read path holds it shared.
+	mu    sync.RWMutex
+	maps  []*tableMap
+	state []atomic.Uint32 // per-page population state
+	// popMu stripes page population so one goroutine generates a page.
+	popMu [64]sync.Mutex
+
+	cache *pageCache
+
+	prefetchCh   chan int64
+	prefetchStop chan struct{}
+	prefetchDone chan struct{}
+
+	bufs sync.Pool // page-sized []byte scratch
+
+	rowReads, populated       atomic.Int64
+	prefetches, prefetchDrops atomic.Int64
+	reduces, remaps           atomic.Int64
+}
+
+// Open creates the backing file and store for the given source tables. All
+// tables must share one vector length. The initial mapping is the identity
+// (index order); call Remap with sketch counts for frequency packing.
+func Open(cfg Config, tables []RowSource) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("coldstore: no tables")
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("coldstore: backing directory required")
+	}
+	vecLen := tables[0].VecLen()
+	for i, t := range tables {
+		if t.VecLen() != vecLen {
+			return nil, fmt.Errorf("coldstore: table %d vecLen %d != %d", i, t.VecLen(), vecLen)
+		}
+		if t.Rows() <= 0 {
+			return nil, fmt.Errorf("coldstore: table %d has no rows", i)
+		}
+	}
+	vecBytes := vecLen * 4
+	if cfg.PageBytes < vecBytes {
+		return nil, fmt.Errorf("coldstore: page %d B below vector %d B", cfg.PageBytes, vecBytes)
+	}
+	s := &Store{
+		cfg:      cfg,
+		tables:   tables,
+		vecLen:   vecLen,
+		vecBytes: vecBytes,
+		rpp:      cfg.PageBytes / vecBytes,
+		pageBase: make([]int64, len(tables)),
+		maps:     make([]*tableMap, len(tables)),
+	}
+	for i, t := range tables {
+		s.pageBase[i] = s.nPages
+		s.nPages += (t.Rows() + int64(s.rpp) - 1) / int64(s.rpp)
+		s.maps[i] = newTableMap(t.Rows(), nil)
+	}
+	s.state = make([]atomic.Uint32, s.nPages)
+	cachePages := int(cfg.CacheBytes / int64(cfg.PageBytes))
+	if cachePages < 1 {
+		cachePages = 1
+	}
+	s.cache = newPageCache(cachePages, s.rpp*vecLen)
+	s.bufs.New = func() any { b := make([]byte, cfg.PageBytes); return &b }
+
+	f, err := os.CreateTemp(cfg.Dir, "coldstore-*.dat")
+	if err != nil {
+		return nil, fmt.Errorf("coldstore: backing file: %w", err)
+	}
+	if err := f.Truncate(s.nPages * int64(cfg.PageBytes)); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, fmt.Errorf("coldstore: truncate: %w", err)
+	}
+	s.file = f
+	if cfg.Mmap {
+		if err := s.mapFile(); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return nil, err
+		}
+	}
+	if cfg.Prefetch > 0 {
+		s.prefetchCh = make(chan int64, cfg.Prefetch)
+		s.prefetchStop = make(chan struct{})
+		s.prefetchDone = make(chan struct{})
+		go s.prefetcher()
+	}
+	return s, nil
+}
+
+// Path returns the backing file's path.
+func (s *Store) Path() string { return s.file.Name() }
+
+// VecLen returns the uniform vector length.
+func (s *Store) VecLen() int { return s.vecLen }
+
+// RowsPerPage returns the page layout's row capacity.
+func (s *Store) RowsPerPage() int { return s.rpp }
+
+// Pages returns the total device page count.
+func (s *Store) Pages() int64 { return s.nPages }
+
+// Close stops the prefetcher and removes the backing file.
+func (s *Store) Close() error {
+	if s.prefetchStop != nil {
+		close(s.prefetchStop)
+		<-s.prefetchDone
+		s.prefetchStop = nil
+	}
+	var err error
+	if s.mm != nil {
+		err = s.unmapFile()
+		s.mm = nil
+	}
+	name := s.file.Name()
+	if e := s.file.Close(); err == nil {
+		err = e
+	}
+	if e := os.Remove(name); err == nil && !os.IsNotExist(e) {
+		err = e
+	}
+	return err
+}
+
+// ReadRow writes row idx of table into dst (len == VecLen) and reports
+// whether the store holds that row (false only for out-of-range input; the
+// caller then falls back to direct materialization). The returned bits are
+// identical to RowSource.Row — the page was populated from it.
+func (s *Store) ReadRow(table int, idx int64, dst []float32) bool {
+	if table < 0 || table >= len(s.tables) {
+		return false
+	}
+	if idx < 0 || idx >= s.tables[table].Rows() {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	slot := s.maps[table].slotOf(idx)
+	page := s.pageBase[table] + slot/int64(s.rpp)
+	off := int(slot%int64(s.rpp)) * s.vecLen
+	if s.cache.get(page, off, dst) {
+		s.rowReads.Add(1)
+		return true
+	}
+	vals := s.readPage(page)
+	copy(dst, vals[off:off+s.vecLen])
+	s.cache.put(page, vals)
+	s.rowReads.Add(1)
+	return true
+}
+
+// ReduceInto performs a device-side ("in-storage") reduction: gather the
+// given rows of one table and pool them in index order into dst, exactly
+// as the host kernels would — the partial sum that crosses the link is
+// bit-identical to host-side reduction. kind follows trace.ReduceKind
+// numbering (0 weighted-sum, 1 sum, 2 max); weights may be nil for kinds
+// that ignore them.
+func (s *Store) ReduceInto(dst []float32, table int, indices []int64, weights []float32, kind uint8) error {
+	if len(dst) != s.vecLen {
+		return fmt.Errorf("coldstore: dst length %d != %d", len(dst), s.vecLen)
+	}
+	if kind == 0 && len(weights) != len(indices) {
+		return fmt.Errorf("coldstore: %d weights for %d indices", len(weights), len(indices))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	row := make([]float32, s.vecLen)
+	for k, idx := range indices {
+		if !s.ReadRow(table, idx, row) {
+			return fmt.Errorf("coldstore: row %d of table %d out of range", idx, table)
+		}
+		switch kind {
+		case 1: // sum
+			for i := range dst {
+				dst[i] += row[i]
+			}
+		case 2: // max
+			if k == 0 {
+				copy(dst, row)
+			} else {
+				for i := range dst {
+					if row[i] > dst[i] {
+						dst[i] = row[i]
+					}
+				}
+			}
+		default: // weighted sum
+			w := weights[k]
+			for i := range dst {
+				dst[i] += w * row[i]
+			}
+		}
+	}
+	s.reduces.Add(1)
+	return nil
+}
+
+// Prefetch hints that a row will be read soon: its page is queued for the
+// async reader (dropped when the queue is full — a hint, not a promise).
+func (s *Store) Prefetch(table int, idx int64) {
+	if s.prefetchCh == nil || table < 0 || table >= len(s.tables) {
+		return
+	}
+	if idx < 0 || idx >= s.tables[table].Rows() {
+		return
+	}
+	s.mu.RLock()
+	page := s.pageBase[table] + s.maps[table].slotOf(idx)/int64(s.rpp)
+	s.mu.RUnlock()
+	select {
+	case s.prefetchCh <- page:
+		s.prefetches.Add(1)
+	default:
+		s.prefetchDrops.Add(1)
+	}
+}
+
+// prefetcher is the async read goroutine: it pulls page hints and warms
+// the page cache in the background.
+func (s *Store) prefetcher() {
+	defer close(s.prefetchDone)
+	for {
+		select {
+		case <-s.prefetchStop:
+			return
+		case page := <-s.prefetchCh:
+			s.mu.RLock()
+			if !s.cache.contains(page) {
+				vals := s.readPage(page)
+				s.cache.put(page, vals)
+			}
+			s.mu.RUnlock()
+		}
+	}
+}
+
+// Remap rebuilds the frequency-based page mapping from fresh access
+// counts (one slice per table; nil keeps that table's current mapping).
+// The page cache and population states are invalidated: the file is
+// repacked lazily as pages are next touched. Serving may continue
+// concurrently — a reader either sees the old mapping or the new one, and
+// both return reference bits.
+func (s *Store) Remap(counts [][]RowCount) error {
+	if len(counts) != len(s.tables) {
+		return fmt.Errorf("coldstore: %d count sets for %d tables", len(counts), len(s.tables))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, cs := range counts {
+		if cs == nil {
+			continue
+		}
+		s.maps[i] = newTableMap(s.tables[i].Rows(), cs)
+	}
+	for i := range s.state {
+		s.state[i].Store(pageEmpty)
+	}
+	s.cache.reset()
+	s.remaps.Add(1)
+	return nil
+}
+
+// HotRows returns table ti's counted-row count — how many rows the current
+// mapping packs into the hot head of its pages.
+func (s *Store) HotRows(ti int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.maps[ti].hotRows)
+}
+
+// readPage returns page's float32 contents, populating the file on first
+// access. Caller holds s.mu shared.
+func (s *Store) readPage(page int64) []float32 {
+	if s.state[page].Load() != pageReady {
+		s.populate(page)
+	}
+	bp := s.bufs.Get().(*[]byte)
+	buf := *bp
+	if s.mm != nil {
+		copy(buf, s.mm[page*int64(s.cfg.PageBytes):(page+1)*int64(s.cfg.PageBytes)])
+	} else {
+		if _, err := s.file.ReadAt(buf, page*int64(s.cfg.PageBytes)); err != nil {
+			// A short read of the pre-sized file cannot happen; fail hard
+			// rather than serve wrong bits.
+			panic(fmt.Sprintf("coldstore: page %d read: %v", page, err))
+		}
+	}
+	vals := make([]float32, s.rpp*s.vecLen)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	s.bufs.Put(bp)
+	s.cache.pageReads.Add(1)
+	return vals
+}
+
+// populate generates page's rows from the source table and writes them
+// back. Striped locking serializes population of one page; the state check
+// inside the lock makes it exactly-once per mapping generation.
+func (s *Store) populate(page int64) {
+	mu := &s.popMu[page%int64(len(s.popMu))]
+	mu.Lock()
+	defer mu.Unlock()
+	if s.state[page].Load() == pageReady {
+		return
+	}
+	ti := s.tableOfPage(page)
+	m := s.maps[ti]
+	local := page - s.pageBase[ti]
+	bp := s.bufs.Get().(*[]byte)
+	buf := *bp
+	for i := range buf {
+		buf[i] = 0
+	}
+	row := make([]float32, s.vecLen)
+	first := local * int64(s.rpp)
+	for k := 0; k < s.rpp; k++ {
+		slot := first + int64(k)
+		if slot >= m.rows {
+			break
+		}
+		s.tables[ti].Row(m.rowOf(slot), row)
+		for j, v := range row {
+			binary.LittleEndian.PutUint32(buf[(k*s.vecLen+j)*4:], math.Float32bits(v))
+		}
+	}
+	if _, err := s.file.WriteAt(buf, page*int64(s.cfg.PageBytes)); err != nil {
+		panic(fmt.Sprintf("coldstore: page %d write: %v", page, err))
+	}
+	s.bufs.Put(bp)
+	s.populated.Add(1)
+	s.state[page].Store(pageReady)
+}
+
+// tableOfPage finds the table owning a global page id.
+func (s *Store) tableOfPage(page int64) int {
+	i := sort.Search(len(s.pageBase), func(i int) bool { return s.pageBase[i] > page })
+	return i - 1
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	cs := s.cache.stats()
+	return Stats{
+		RowReads:      s.rowReads.Load(),
+		PageHits:      cs.hits,
+		PageMisses:    cs.misses,
+		PageReads:     cs.reads,
+		Populated:     s.populated.Load(),
+		Evictions:     cs.evictions,
+		Prefetches:    s.prefetches.Load(),
+		PrefetchDrops: s.prefetchDrops.Load(),
+		Reduces:       s.reduces.Load(),
+		Remaps:        s.remaps.Load(),
+		Pages:         s.nPages,
+		PageBytes:     int64(s.cfg.PageBytes),
+		CachePages:    int64(s.cache.cap()),
+	}
+}
+
+// Expo renders the recross_coldstore_* series in Prometheus text
+// exposition format; the serving layer appends it to /metrics via
+// serve.Server.RegisterExpo.
+func (s *Store) Expo() string {
+	st := s.Stats()
+	var b []byte
+	counter := func(name string, v int64) {
+		b = append(b, fmt.Sprintf("# TYPE %s counter\n%s %d\n", name, name, v)...)
+	}
+	gauge := func(name string, v float64) {
+		b = append(b, fmt.Sprintf("# TYPE %s gauge\n%s %g\n", name, name, v)...)
+	}
+	counter("recross_coldstore_row_reads_total", st.RowReads)
+	counter("recross_coldstore_page_hits_total", st.PageHits)
+	counter("recross_coldstore_page_misses_total", st.PageMisses)
+	counter("recross_coldstore_page_reads_total", st.PageReads)
+	counter("recross_coldstore_pages_populated_total", st.Populated)
+	counter("recross_coldstore_evictions_total", st.Evictions)
+	counter("recross_coldstore_prefetches_total", st.Prefetches)
+	counter("recross_coldstore_prefetch_drops_total", st.PrefetchDrops)
+	counter("recross_coldstore_reduces_total", st.Reduces)
+	counter("recross_coldstore_remaps_total", st.Remaps)
+	gauge("recross_coldstore_pages", float64(st.Pages))
+	gauge("recross_coldstore_page_bytes", float64(st.PageBytes))
+	gauge("recross_coldstore_cache_pages", float64(st.CachePages))
+	gauge("recross_coldstore_page_hit_rate", st.HitRate())
+	return string(b)
+}

@@ -1,0 +1,387 @@
+package coldstore
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testSource is a deterministic RowSource: element (id, row, j) is a fixed
+// function of its coordinates, so any two materializations of a row are
+// bit-identical — the property the store must preserve through its file.
+type testSource struct {
+	id     uint64
+	rows   int64
+	vecLen int
+}
+
+func (t *testSource) Rows() int64 { return t.rows }
+
+func (t *testSource) VecLen() int { return t.vecLen }
+
+func (t *testSource) Row(i int64, dst []float32) []float32 {
+	x := t.id*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9
+	for j := range dst {
+		x ^= x >> 29
+		x *= 0x94D049BB133111EB
+		dst[j] = float32(x>>40)/float32(1<<23) - 1
+	}
+	return dst
+}
+
+func newTestStore(t *testing.T, cfg Config, rows ...int64) (*Store, []RowSource) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	srcs := make([]RowSource, len(rows))
+	for i, n := range rows {
+		srcs[i] = &testSource{id: uint64(i) + 1, rows: n, vecLen: 16}
+	}
+	s, err := Open(cfg, srcs)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, srcs
+}
+
+// TestReadRowBitIdentical checks every row of every table round-trips the
+// file bit-for-bit, for both the pread and mmap backends.
+func TestReadRowBitIdentical(t *testing.T) {
+	for _, mmap := range []bool{false, true} {
+		name := "pread"
+		if mmap {
+			name = "mmap"
+		}
+		t.Run(name, func(t *testing.T) {
+			s, srcs := newTestStore(t, Config{PageBytes: 256, CacheBytes: 1024, Mmap: mmap}, 37, 101)
+			got := make([]float32, 16)
+			want := make([]float32, 16)
+			for ti, src := range srcs {
+				for i := int64(0); i < src.Rows(); i++ {
+					if !s.ReadRow(ti, i, got) {
+						t.Fatalf("table %d row %d not held", ti, i)
+					}
+					src.Row(i, want)
+					for j := range want {
+						if got[j] != want[j] {
+							t.Fatalf("table %d row %d elem %d: %v != %v", ti, i, j, got[j], want[j])
+						}
+					}
+				}
+			}
+			if s.Stats().RowReads == 0 {
+				t.Fatal("no row reads counted")
+			}
+		})
+	}
+}
+
+// TestReadRowOutOfRange checks bad coordinates report "not held" instead
+// of serving wrong bits.
+func TestReadRowOutOfRange(t *testing.T) {
+	s, _ := newTestStore(t, Config{}, 10)
+	dst := make([]float32, 16)
+	for _, c := range []struct {
+		ti  int
+		idx int64
+	}{{-1, 0}, {1, 0}, {0, -1}, {0, 10}} {
+		if s.ReadRow(c.ti, c.idx, dst) {
+			t.Fatalf("ReadRow(%d, %d) claimed success", c.ti, c.idx)
+		}
+	}
+}
+
+// TestTableMapBijection checks slotOf/rowOf are mutually inverse
+// bijections under random count sets.
+func TestTableMapBijection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		rows := int64(rng.Intn(200) + 1)
+		var counts []RowCount
+		for r := int64(0); r < rows; r++ {
+			if rng.Intn(3) == 0 {
+				counts = append(counts, RowCount{Row: r, Count: int64(rng.Intn(100) + 1)})
+			}
+		}
+		m := newTableMap(rows, counts)
+		seen := map[int64]bool{}
+		for r := int64(0); r < rows; r++ {
+			slot := m.slotOf(r)
+			if slot < 0 || slot >= rows {
+				t.Fatalf("trial %d: row %d -> slot %d out of [0,%d)", trial, r, slot, rows)
+			}
+			if seen[slot] {
+				t.Fatalf("trial %d: slot %d assigned twice", trial, slot)
+			}
+			seen[slot] = true
+			if back := m.rowOf(slot); back != r {
+				t.Fatalf("trial %d: rowOf(slotOf(%d)) = %d", trial, r, back)
+			}
+		}
+	}
+}
+
+// TestFrequencyPacking checks Remap packs the counted rows into the head
+// slots in descending count order, and reads remain bit-identical after
+// the repack.
+func TestFrequencyPacking(t *testing.T) {
+	s, srcs := newTestStore(t, Config{PageBytes: 256}, 64)
+	// Touch everything once under the identity mapping.
+	buf := make([]float32, 16)
+	for i := int64(0); i < 64; i++ {
+		s.ReadRow(0, i, buf)
+	}
+	counts := []RowCount{{Row: 40, Count: 100}, {Row: 7, Count: 50}, {Row: 63, Count: 10}}
+	if err := s.Remap([][]RowCount{counts}); err != nil {
+		t.Fatalf("Remap: %v", err)
+	}
+	if got := s.HotRows(0); got != 3 {
+		t.Fatalf("HotRows = %d, want 3", got)
+	}
+	m := s.maps[0]
+	for slot, want := range []int64{40, 7, 63} {
+		if m.hotRows[slot] != want {
+			t.Fatalf("slot %d holds row %d, want %d", slot, m.hotRows[slot], want)
+		}
+	}
+	want := make([]float32, 16)
+	for i := int64(0); i < 64; i++ {
+		if !s.ReadRow(0, i, buf) {
+			t.Fatalf("row %d lost after remap", i)
+		}
+		srcs[0].Row(i, want)
+		for j := range want {
+			if buf[j] != want[j] {
+				t.Fatalf("row %d elem %d after remap: %v != %v", i, j, buf[j], want[j])
+			}
+		}
+	}
+	if s.Stats().Remaps != 1 {
+		t.Fatalf("Remaps = %d", s.Stats().Remaps)
+	}
+}
+
+// TestPageCacheCounters checks hit/miss/eviction accounting through a
+// cache sized to two pages.
+func TestPageCacheCounters(t *testing.T) {
+	// 4 rows per page (16 floats * 4 B = 64 B vectors, 256 B pages),
+	// cache of exactly 2 pages.
+	s, _ := newTestStore(t, Config{PageBytes: 256, CacheBytes: 512}, 64)
+	buf := make([]float32, 16)
+	s.ReadRow(0, 0, buf) // page 0 miss
+	s.ReadRow(0, 1, buf) // page 0 hit
+	s.ReadRow(0, 4, buf) // page 1 miss
+	st := s.Stats()
+	if st.PageMisses != 2 || st.PageHits != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/2", st.PageHits, st.PageMisses)
+	}
+	// Stream the rest: must evict.
+	for i := int64(8); i < 64; i += 4 {
+		s.ReadRow(0, i, buf)
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatalf("no evictions after streaming %d pages through 2 frames", 64/4)
+	}
+}
+
+// TestPrefetchWarmsCache checks an async prefetch turns the next read
+// into a page hit.
+func TestPrefetchWarmsCache(t *testing.T) {
+	s, _ := newTestStore(t, Config{PageBytes: 256, Prefetch: 8}, 64)
+	s.Prefetch(0, 12)
+	// The prefetcher is async: wait for the page to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.cacheContains(0, 12) {
+		if time.Now().After(deadline) {
+			t.Fatalf("prefetched page never landed: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	buf := make([]float32, 16)
+	s.ReadRow(0, 12, buf)
+	if st := s.Stats(); st.PageHits == 0 {
+		t.Fatalf("prefetched read missed: %+v", st)
+	}
+}
+
+// cacheContains reports whether the page holding (table, idx) is cached.
+func (s *Store) cacheContains(table int, idx int64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	page := s.pageBase[table] + s.maps[table].slotOf(idx)/int64(s.rpp)
+	return s.cache.contains(page)
+}
+
+// TestReduceIntoMatchesHostOrder checks the in-storage reduction returns
+// the same bits as an index-order host reduction over store reads.
+func TestReduceIntoMatchesHostOrder(t *testing.T) {
+	s, _ := newTestStore(t, Config{PageBytes: 256}, 128)
+	indices := []int64{3, 77, 3, 120, 55}
+	weights := []float32{0.5, 1.25, 2, 0.75, 1}
+	got := make([]float32, 16)
+	if err := s.ReduceInto(got, 0, indices, weights, 0); err != nil {
+		t.Fatalf("ReduceInto: %v", err)
+	}
+	want := make([]float32, 16)
+	row := make([]float32, 16)
+	for k, idx := range indices {
+		s.ReadRow(0, idx, row)
+		for j := range want {
+			want[j] += weights[k] * row[j]
+		}
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("elem %d: %v != %v", j, got[j], want[j])
+		}
+	}
+}
+
+// TestConcurrentReadsAndRemap hammers concurrent readers, prefetchers and
+// remaps; under -race this is the cold tier's thread-safety proof. Every
+// read must return reference bits no matter which mapping generation
+// serves it.
+func TestConcurrentReadsAndRemap(t *testing.T) {
+	s, srcs := newTestStore(t, Config{PageBytes: 256, CacheBytes: 1024, Prefetch: 16}, 256)
+	const readers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			got := make([]float32, 16)
+			want := make([]float32, 16)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := int64(rng.Intn(256))
+				if rng.Intn(4) == 0 {
+					s.Prefetch(0, idx)
+					continue
+				}
+				if !s.ReadRow(0, idx, got) {
+					t.Errorf("row %d not held", idx)
+					return
+				}
+				srcs[0].Row(idx, want)
+				for j := range want {
+					if got[j] != want[j] {
+						t.Errorf("row %d elem %d: %v != %v", idx, j, got[j], want[j])
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	rng := rand.New(rand.NewSource(99))
+	for r := 0; r < 20; r++ {
+		var counts []RowCount
+		for n := 0; n < 32; n++ {
+			counts = append(counts, RowCount{Row: int64(rng.Intn(256)), Count: int64(rng.Intn(50) + 1)})
+		}
+		if err := s.Remap([][]RowCount{counts}); err != nil {
+			t.Fatalf("Remap: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSimDeterministicAndISR checks the replica timing model: identical
+// slot streams price identically, repeated pages hit the device buffer,
+// and in-storage reduction cuts the link transfer for pooled gathers.
+func TestSimDeterministicAndISR(t *testing.T) {
+	spec := TierSpec{PageBytes: 256}
+	vecBytes := 64
+	slots := make([]int64, 0, 128)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 128; i++ {
+		slots = append(slots, int64(rng.Intn(1024)))
+	}
+	a, b := NewSim(spec, vecBytes), NewSim(spec, vecBytes)
+	ca, ra, ha := a.Batch(slots, 4)
+	cb, rb, hb := b.Batch(slots, 4)
+	if ca != cb || ra != rb || ha != hb {
+		t.Fatalf("same stream priced differently: (%d,%d,%d) vs (%d,%d,%d)", ca, ra, ha, cb, rb, hb)
+	}
+	if ra == 0 {
+		t.Fatal("no page reads priced")
+	}
+	// Rerunning the same batch must mostly hit the device buffer.
+	_, r2, h2 := a.Batch(slots, 4)
+	if h2 <= ha || r2 >= ra {
+		t.Fatalf("no buffer reuse on rerun: reads %d->%d hits %d->%d", ra, r2, ha, h2)
+	}
+
+	// A link-bound stream (every slot in one cached page) must get faster
+	// with in-storage reduction: the link carries ops, not rows.
+	isr := TierSpec{PageBytes: 256, InStorageReduce: true}
+	hot := make([]int64, 512)
+	host, dev := NewSim(spec, vecBytes), NewSim(isr, vecBytes)
+	host.Batch(hot[:1], 1) // warm the single page in both buffers
+	dev.Batch(hot[:1], 1)
+	ch, _, _ := host.Batch(hot, 8)
+	cd, _, _ := dev.Batch(hot, 8)
+	if cd >= ch {
+		t.Fatalf("in-storage reduce not faster on link-bound stream: %d >= %d", cd, ch)
+	}
+}
+
+// TestEffectiveBWOrdersBelowDRAM pins the LP pricing property the fourth
+// region depends on: cold bandwidth is far below any DRAM region's.
+func TestEffectiveBWOrdersBelowDRAM(t *testing.T) {
+	m := DefaultModel()
+	bw := m.EffectiveBW(256, false)
+	if bw <= 0 || bw > 1 {
+		t.Fatalf("cold EffectiveBW = %v, want (0, 1] bytes/cycle", bw)
+	}
+	if isr := m.EffectiveBW(256, true); isr <= 0 {
+		t.Fatalf("ISR EffectiveBW = %v", isr)
+	}
+}
+
+// TestExpoSchema checks the metrics rendering carries the full
+// recross_coldstore_* schema.
+func TestExpoSchema(t *testing.T) {
+	s, _ := newTestStore(t, Config{}, 8)
+	buf := make([]float32, 16)
+	s.ReadRow(0, 3, buf)
+	expo := s.Expo()
+	for _, name := range []string{
+		"recross_coldstore_row_reads_total",
+		"recross_coldstore_page_hits_total",
+		"recross_coldstore_page_misses_total",
+		"recross_coldstore_page_reads_total",
+		"recross_coldstore_pages_populated_total",
+		"recross_coldstore_evictions_total",
+		"recross_coldstore_prefetches_total",
+		"recross_coldstore_prefetch_drops_total",
+		"recross_coldstore_reduces_total",
+		"recross_coldstore_remaps_total",
+		"recross_coldstore_pages",
+		"recross_coldstore_page_bytes",
+		"recross_coldstore_cache_pages",
+		"recross_coldstore_page_hit_rate",
+	} {
+		if !contains(expo, name) {
+			t.Fatalf("expo missing %s:\n%s", name, expo)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

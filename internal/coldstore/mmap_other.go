@@ -1,0 +1,13 @@
+//go:build !unix
+
+package coldstore
+
+import "fmt"
+
+// mapFile is unavailable off POSIX platforms; Config.Mmap there is an
+// error rather than a silent pread fallback.
+func (s *Store) mapFile() error {
+	return fmt.Errorf("coldstore: mmap unsupported on this platform")
+}
+
+func (s *Store) unmapFile() error { return nil }

@@ -1,0 +1,26 @@
+//go:build unix
+
+package coldstore
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// mapFile maps the backing file read-only. Population writes go through
+// the file descriptor (pwrite); MAP_SHARED keeps the mapping coherent with
+// them on every POSIX system.
+func (s *Store) mapFile() error {
+	size := int(s.nPages * int64(s.cfg.PageBytes))
+	mm, err := syscall.Mmap(int(s.file.Fd()), 0, size,
+		syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return fmt.Errorf("coldstore: mmap: %w", err)
+	}
+	s.mm = mm
+	return nil
+}
+
+func (s *Store) unmapFile() error {
+	return syscall.Munmap(s.mm)
+}

@@ -1,0 +1,231 @@
+package coldstore
+
+import "recross/internal/sim"
+
+// Model is the cold tier's latency/bandwidth timing model, in DRAM cycles
+// (the simulator's single clock). Defaults approximate a modern NVMe flash
+// device against a ~1.5 GHz DRAM command clock: a ~25 us page read is tens
+// of thousands of DRAM cycles, so the LP prices the cold region two to
+// three orders of magnitude below the DRAM regions and sends only
+// essentially-unaccessed mass there.
+type Model struct {
+	// SeekCycles is the per-page-read command overhead (channel
+	// arbitration, die addressing).
+	SeekCycles float64
+	// PageReadCycles is the cell-to-buffer sensing time per page.
+	PageReadCycles float64
+	// Channels is the number of independent flash channels reading pages
+	// in parallel.
+	Channels int
+	// LinkBytesPerCycle is the host link bandwidth (bytes per DRAM cycle).
+	LinkBytesPerCycle float64
+	// ReduceCyclesPerRow is the in-storage accumulator's per-row cost when
+	// in-storage reduction is on.
+	ReduceCyclesPerRow float64
+	// ISRTransferGain is the modeled link-transfer compression of
+	// in-storage reduction: instead of every gathered row, one partial
+	// sum per op crosses the link, so the effective link bandwidth for LP
+	// pricing scales by the expected gather-to-transfer ratio.
+	ISRTransferGain float64
+	// CachePages is the per-replica device page-buffer capacity the
+	// timing Sim models (a deterministic CLOCK set, independent of the
+	// shared functional Store's host cache).
+	CachePages int
+}
+
+// DefaultModel returns the reference cold-device model.
+func DefaultModel() Model {
+	return Model{
+		SeekCycles:         4_000,
+		PageReadCycles:     36_000,
+		Channels:           8,
+		LinkBytesPerCycle:  4,
+		ReduceCyclesPerRow: 64,
+		ISRTransferGain:    8,
+		CachePages:         64,
+	}
+}
+
+func (m Model) withDefaults() Model {
+	d := DefaultModel()
+	if m.SeekCycles == 0 {
+		m.SeekCycles = d.SeekCycles
+	}
+	if m.PageReadCycles == 0 {
+		m.PageReadCycles = d.PageReadCycles
+	}
+	if m.Channels == 0 {
+		m.Channels = d.Channels
+	}
+	if m.LinkBytesPerCycle == 0 {
+		m.LinkBytesPerCycle = d.LinkBytesPerCycle
+	}
+	if m.ReduceCyclesPerRow == 0 {
+		m.ReduceCyclesPerRow = d.ReduceCyclesPerRow
+	}
+	if m.ISRTransferGain == 0 {
+		m.ISRTransferGain = d.ISRTransferGain
+	}
+	if m.CachePages == 0 {
+		m.CachePages = d.CachePages
+	}
+	return m
+}
+
+// EffectiveBW estimates the cold region's sustainable gather bandwidth in
+// bytes per DRAM cycle for LP pricing: the worst-case (one wanted vector
+// per page read) device rate across the parallel channels, capped by the
+// host link. In-storage reduction adds the device accumulate cost but
+// multiplies the effective link rate by the transfer gain.
+func (m Model) EffectiveBW(vecBytes int, inStorageReduce bool) float64 {
+	m = m.withDefaults()
+	perRow := m.SeekCycles + m.PageReadCycles
+	if inStorageReduce {
+		perRow += m.ReduceCyclesPerRow
+	}
+	dev := float64(m.Channels) * float64(vecBytes) / perRow
+	link := m.LinkBytesPerCycle
+	if inStorageReduce {
+		link *= m.ISRTransferGain
+	}
+	if dev < link {
+		return dev
+	}
+	return link
+}
+
+// TierSpec configures a ReCross instance's cold tier (core.Config.ColdTier).
+type TierSpec struct {
+	// CapBytes is the cold region's capacity offered to the partitioner.
+	CapBytes int64
+	// ResidentBudgetBytes, when positive, clamps the summed DRAM region
+	// capacity to this budget (regions shrink proportionally), forcing
+	// the tail of an oversized table set onto the cold tier. Zero leaves
+	// the DRAM regions at their geometric capacity.
+	ResidentBudgetBytes int64
+	// PageBytes is the device page size (default 16 KiB).
+	PageBytes int
+	// InStorageReduce enables RecSSD-style device-side pooling: the link
+	// carries one partial sum per op instead of every gathered row.
+	InStorageReduce bool
+	// Model overrides the timing model (zero fields take defaults).
+	Model Model
+}
+
+// WithDefaults resolves the spec's zero values.
+func (t TierSpec) WithDefaults() TierSpec {
+	if t.PageBytes == 0 {
+		t.PageBytes = 16 << 10
+	}
+	t.Model = t.Model.withDefaults()
+	return t
+}
+
+// Sim is the per-replica cold-tier timing model: a deterministic CLOCK
+// page-buffer over placement slots plus the seek/read/link accounting.
+// Like every timing simulator in the tree it is single-goroutine — one Sim
+// per ReCross replica, owned by that replica's worker.
+type Sim struct {
+	m        Model
+	vecBytes int
+	rpp      int // rows (vector slots) per page
+	isr      bool
+
+	// CLOCK page buffer keyed by page id.
+	frames []int64
+	ref    []bool
+	index  map[int64]int
+	hand   int
+
+	// batch scratch: distinct miss pages counted via the buffer probe.
+	pageReads, pageHits int64
+}
+
+// NewSim builds a replica's cold timing model.
+func NewSim(spec TierSpec, vecBytes int) *Sim {
+	spec = spec.WithDefaults()
+	rpp := spec.PageBytes / vecBytes
+	if rpp < 1 {
+		rpp = 1
+	}
+	n := spec.Model.CachePages
+	s := &Sim{
+		m:        spec.Model,
+		vecBytes: vecBytes,
+		rpp:      rpp,
+		isr:      spec.InStorageReduce,
+		frames:   make([]int64, n),
+		ref:      make([]bool, n),
+		index:    make(map[int64]int, n),
+	}
+	for i := range s.frames {
+		s.frames[i] = -1
+	}
+	return s
+}
+
+// touch probes the page buffer, installing on miss; reports a hit.
+func (s *Sim) touch(page int64) bool {
+	if f, ok := s.index[page]; ok {
+		s.ref[f] = true
+		return true
+	}
+	var f int
+	for {
+		f = s.hand
+		s.hand = (s.hand + 1) % len(s.frames)
+		if s.frames[f] == -1 {
+			break
+		}
+		if !s.ref[f] {
+			delete(s.index, s.frames[f])
+			break
+		}
+		s.ref[f] = false
+	}
+	s.frames[f] = page
+	s.ref[f] = true
+	s.index[page] = f
+	return false
+}
+
+// Batch prices one batch's cold gathers: slots are the placement vector
+// slots of every cold lookup, ops the number of embedding operations that
+// touched the cold tier. The returned latency overlaps the DRAM phase
+// (cold reads start with the batch); device time across the channels and
+// link transfer overlap each other, so the bound is their max.
+func (s *Sim) Batch(slots []int64, ops int) (cycles sim.Cycle, pageReads, pageHits int64) {
+	if len(slots) == 0 {
+		return 0, 0, 0
+	}
+	var misses int64
+	for _, slot := range slots {
+		if s.touch(slot / int64(s.rpp)) {
+			pageHits++
+		} else {
+			misses++
+		}
+	}
+	pageReads = misses
+	s.pageReads += pageReads
+	s.pageHits += pageHits
+
+	device := float64(misses) * (s.m.SeekCycles + s.m.PageReadCycles)
+	transferRows := len(slots)
+	if s.isr {
+		device += float64(len(slots)) * s.m.ReduceCyclesPerRow
+		transferRows = ops
+	}
+	device /= float64(s.m.Channels)
+	link := float64(transferRows*s.vecBytes) / s.m.LinkBytesPerCycle
+	t := device
+	if link > t {
+		t = link
+	}
+	return sim.Cycle(t), pageReads, pageHits
+}
+
+// Totals returns the Sim's cumulative page-read/hit counters.
+func (s *Sim) Totals() (pageReads, pageHits int64) {
+	return s.pageReads, s.pageHits
+}

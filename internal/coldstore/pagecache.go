@@ -1,0 +1,120 @@
+package coldstore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pageCache is a small CLOCK cache of device pages in front of the backing
+// file — the host-side page buffer of the cold tier. One mutex guards the
+// whole cache: probes are page-granular (a hit copies one vector out), so
+// contention is far below the row-cache tier's and sharding would buy
+// nothing.
+type pageCache struct {
+	mu       sync.Mutex
+	index    map[int64]int // page id -> frame
+	pages    []int64       // frame -> page id (-1 empty)
+	vals     []float32     // frame arenas, frameLen each
+	ref      []bool        // CLOCK reference bits
+	hand     int
+	frameLen int
+
+	hits, misses, evictions atomic.Int64
+	pageReads               atomic.Int64
+}
+
+func newPageCache(frames, frameLen int) *pageCache {
+	c := &pageCache{
+		index:    make(map[int64]int, frames),
+		pages:    make([]int64, frames),
+		vals:     make([]float32, frames*frameLen),
+		ref:      make([]bool, frames),
+		frameLen: frameLen,
+	}
+	for i := range c.pages {
+		c.pages[i] = -1
+	}
+	return c
+}
+
+func (c *pageCache) cap() int { return len(c.pages) }
+
+// get copies vector [off, off+len(dst)) of the cached page into dst.
+func (c *pageCache) get(page int64, off int, dst []float32) bool {
+	c.mu.Lock()
+	f, ok := c.index[page]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return false
+	}
+	base := f * c.frameLen
+	copy(dst, c.vals[base+off:base+off+len(dst)])
+	c.ref[f] = true
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return true
+}
+
+// contains probes without copying or counting (the prefetcher's check).
+func (c *pageCache) contains(page int64) bool {
+	c.mu.Lock()
+	_, ok := c.index[page]
+	c.mu.Unlock()
+	return ok
+}
+
+// put installs a page's contents, evicting by CLOCK when full. A racing
+// double-install of the same page is harmless (the values are identical by
+// construction) and keeps the first frame.
+func (c *pageCache) put(page int64, vals []float32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.index[page]; ok {
+		return
+	}
+	// CLOCK sweep for a victim frame.
+	var f int
+	for {
+		f = c.hand
+		c.hand = (c.hand + 1) % len(c.pages)
+		if c.pages[f] == -1 {
+			break
+		}
+		if !c.ref[f] {
+			delete(c.index, c.pages[f])
+			c.evictions.Add(1)
+			break
+		}
+		c.ref[f] = false
+	}
+	c.pages[f] = page
+	c.ref[f] = true
+	c.index[page] = f
+	copy(c.vals[f*c.frameLen:(f+1)*c.frameLen], vals)
+}
+
+// reset drops every cached page (Remap invalidation).
+func (c *pageCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.pages {
+		c.pages[i] = -1
+		c.ref[i] = false
+	}
+	c.index = make(map[int64]int, len(c.pages))
+	c.hand = 0
+}
+
+type pageCacheStats struct {
+	hits, misses, evictions, reads int64
+}
+
+func (c *pageCache) stats() pageCacheStats {
+	return pageCacheStats{
+		hits:      c.hits.Load(),
+		misses:    c.misses.Load(),
+		evictions: c.evictions.Load(),
+		reads:     c.pageReads.Load(),
+	}
+}

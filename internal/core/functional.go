@@ -79,18 +79,25 @@ func (r *ReCross) reduceOp(layer *embedding.Layer, op trace.Op, row []float32) (
 			return nil, fmt.Errorf("core: index %d out of [0,%d)", idx, tab.Rows())
 		}
 		region, slot := r.pl.Locate(op.Table, idx)
-		loc, err := arch.Stripe(geo, r.regionBanks[region], slot, r.bursts)
-		if err != nil {
-			return nil, err
-		}
 		var key nodeKey
-		switch region {
-		case RegionR:
-			key = nodeKey{RegionR, loc.Rank}
-		case RegionG:
-			key = nodeKey{RegionG, geo.FlatBG(loc)}
-		default:
-			key = nodeKey{RegionB, geo.FlatBank(loc)}
+		if region == RegionCold {
+			// Flash rows accumulate in the device's (or host's, without
+			// in-storage reduction) single accumulator; its partial sum
+			// merges at the summarizer like another rank's.
+			key = nodeKey{RegionCold, 0}
+		} else {
+			loc, err := arch.Stripe(geo, r.regionBanks[region], slot, r.bursts)
+			if err != nil {
+				return nil, err
+			}
+			switch region {
+			case RegionR:
+				key = nodeKey{RegionR, loc.Rank}
+			case RegionG:
+				key = nodeKey{RegionG, geo.FlatBG(loc)}
+			default:
+				key = nodeKey{RegionB, geo.FlatBank(loc)}
+			}
 		}
 		u, err := unitFor(key)
 		if err != nil {
@@ -183,6 +190,15 @@ func (r *ReCross) reduceOp(layer *embedding.Layer, op trace.Op, row []float32) (
 		return nil, err
 	}
 	for _, u := range rankUnits {
+		if err := summ.FoldUnit(opc, u); err != nil {
+			return nil, err
+		}
+	}
+	// The cold tier's partial sum crosses the flash link and merges last.
+	for k, u := range units {
+		if k.region != RegionCold {
+			continue
+		}
 		if err := summ.FoldUnit(opc, u); err != nil {
 			return nil, err
 		}

@@ -67,13 +67,14 @@ func (r *ReCross) Adopt(prof *partition.Profile, dec *partition.Decision) error 
 	if err := r.checkProfile(prof); err != nil {
 		return err
 	}
-	if len(dec.Regions) != 3 {
-		return fmt.Errorf("core: decision has %d regions, want 3", len(dec.Regions))
+	want := r.Regions()
+	if len(dec.Regions) != len(want) {
+		return fmt.Errorf("core: decision has %d regions, want %d", len(dec.Regions), len(want))
 	}
-	for j, want := range r.Regions() {
-		if dec.Regions[j].CapBytes != want.CapBytes {
+	for j := range want {
+		if dec.Regions[j].CapBytes != want[j].CapBytes {
 			return fmt.Errorf("core: decision region %q capacity %d != instance %d",
-				dec.Regions[j].Name, dec.Regions[j].CapBytes, want.CapBytes)
+				dec.Regions[j].Name, dec.Regions[j].CapBytes, want[j].CapBytes)
 		}
 	}
 	pl, err := partition.Build(prof, dec)
@@ -120,13 +121,26 @@ func (r *ReCross) RunTraining(b trace.Batch) (*arch.RunStats, error) {
 	}
 	clear(scr.touchedRows)
 	touched := scr.touchedRows
+	// Cold rows gather (and write back) over the flash link, not the
+	// channel; their slots are priced by the flash Sim after the drain.
+	coldSlots := scr.coldSlots[:0]
+	var coldOps int64
 	for _, s := range b {
 		for _, op := range s {
 			op = r.dedup.Dedup(op)
+			opCold := false
 			for _, idx := range op.Indices {
 				lookups++
 				touched[trainKey{op.Table, idx}] = true
 				region, slot := r.pl.Locate(op.Table, idx)
+				if region == RegionCold {
+					if r.coldSim == nil {
+						return nil, fmt.Errorf("core: cold placement without a cold tier")
+					}
+					coldSlots = append(coldSlots, slot)
+					opCold = true
+					continue
+				}
 				loc, err := arch.Stripe(geo, r.regionBanks[region], slot, r.bursts)
 				if err != nil {
 					return nil, err
@@ -138,6 +152,9 @@ func (r *ReCross) RunTraining(b trace.Batch) (*arch.RunStats, error) {
 				})
 				seq++
 			}
+			if opCold {
+				coldOps++
+			}
 			opID++
 		}
 	}
@@ -148,6 +165,12 @@ func (r *ReCross) RunTraining(b trace.Batch) (*arch.RunStats, error) {
 	writes := int64(0)
 	for k := range touched {
 		region, slot := r.pl.Locate(k.table, k.row)
+		if region == RegionCold {
+			// Update writes to flash rows ride the same page path as the
+			// gathers; charge them as another slot touch.
+			coldSlots = append(coldSlots, slot)
+			continue
+		}
 		loc, err := arch.Stripe(geo, r.regionBanks[region], slot, r.bursts)
 		if err != nil {
 			return nil, err
@@ -158,6 +181,7 @@ func (r *ReCross) RunTraining(b trace.Batch) (*arch.RunStats, error) {
 		})
 		writes++
 	}
+	scr.coldSlots = coldSlots
 	// Map iteration order is random; restore the op-order invariant the
 	// controller requires (all writes share one op id, so sorting is not
 	// needed — they are appended after every read op).
@@ -167,14 +191,26 @@ func (r *ReCross) RunTraining(b trace.Batch) (*arch.RunStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	var coldCycles sim.Cycle
+	var coldReads, coldHits int64
+	if len(coldSlots) > 0 {
+		coldCycles, coldReads, coldHits = r.coldSim.Batch(coldSlots, int(coldOps))
+		if coldCycles > finish {
+			finish = coldCycles
+		}
+	}
 	opsStats := arch.ReduceOps(lookups, ops*int64(geo.Ranks), r.vecLen)
 	rs := &arch.RunStats{
-		Cycles:    finish,
-		DRAM:      st,
-		Ops:       opsStats,
-		RowHits:   res.RowHits,
-		RowMisses: res.RowMisses,
-		Lookups:   lookups,
+		Cycles:        finish,
+		DRAM:          st,
+		Ops:           opsStats,
+		RowHits:       res.RowHits,
+		RowMisses:     res.RowMisses,
+		Lookups:       lookups,
+		ColdLookups:   int64(len(coldSlots)),
+		ColdPageReads: coldReads,
+		ColdPageHits:  coldHits,
+		ColdCycles:    coldCycles,
 	}
 	rs.Imbalance = 1
 	rs.Energy = energy.Account(r.cfg.Energy, st, opsStats, finish, geo.Ranks, geo.BurstBytes)

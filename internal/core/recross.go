@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"recross/internal/arch"
+	"recross/internal/coldstore"
 	"recross/internal/dram"
 	"recross/internal/energy"
 	"recross/internal/memctrl"
@@ -64,6 +65,12 @@ type Config struct {
 	// benchmarking the arbiter end to end. Results are bit-identical (the
 	// memctrl differential fuzzer enforces it).
 	RefScheduler bool
+	// ColdTier, when non-nil, adds a fourth flash-backed placement region
+	// behind the DRAM tree (RegionCold). The partitioner prices it with
+	// the tier's timing model, and when ResidentBudgetBytes is set the
+	// DRAM regions' capacities are clamped to the budget so the table
+	// tail overflows onto flash instead of failing to fit.
+	ColdTier *coldstore.TierSpec
 }
 
 // DefaultConfig returns the paper's ReCross-d: 1 rank PE, 4 bank-group PEs
@@ -112,15 +119,22 @@ func (c Config) Validate() error {
 	case c.Subarrays < 0 || (c.Subarrays > 0 && geo.RowsPerBank()%c.Subarrays != 0):
 		return fmt.Errorf("core: subarray count %d must divide the %d rows per bank",
 			c.Subarrays, geo.RowsPerBank())
+	case c.ColdTier != nil && c.ColdTier.CapBytes <= 0:
+		return fmt.Errorf("core: cold tier needs positive capacity, got %d", c.ColdTier.CapBytes)
+	case c.ColdTier != nil && c.ColdTier.ResidentBudgetBytes < 0:
+		return fmt.Errorf("core: negative resident budget %d", c.ColdTier.ResidentBudgetBytes)
 	}
 	return c.Spec.Validate()
 }
 
 // Region indices within a ReCross placement, ordered coarse to fine.
+// RegionCold exists only when Config.ColdTier is set; it has no banks in
+// the DRAM tree — its gathers route to the flash timing model instead.
 const (
-	RegionR = 0
-	RegionG = 1
-	RegionB = 2
+	RegionR    = 0
+	RegionG    = 1
+	RegionB    = 2
+	RegionCold = 3
 )
 
 // ReCross is a configured instance: profile, partitioning decision,
@@ -136,6 +150,9 @@ type ReCross struct {
 	bursts      int
 	vecLen      int
 	consumers   [3]dram.Consumer
+	// coldSim is the flash tier's per-replica timing model (nil without a
+	// cold tier); like the channel sim it is owned by the Run goroutine.
+	coldSim *coldstore.Sim
 
 	// Run scratch, reused across batches under the single-goroutine
 	// System contract: the channel+scheduler pair (reset in place per
@@ -149,6 +166,7 @@ type ReCross struct {
 // runScratch holds Run's and RunTraining's reusable buffers.
 type runScratch struct {
 	reqs           []memctrl.Request
+	coldSlots      []int64
 	rankLoad       []int64
 	bgLoad         []int64
 	bankLoad       []int64
@@ -214,6 +232,9 @@ func New(cfg Config) (*ReCross, error) {
 		consumers: [3]dram.Consumer{dram.ToRankPE, dram.ToBankGroupPE, dram.ToBankPE},
 	}
 	r.assignBanks()
+	if cfg.ColdTier != nil {
+		r.coldSim = coldstore.NewSim(*cfg.ColdTier, r.vecLen*4)
+	}
 
 	prof := cfg.Profile
 	if prof == nil {
@@ -362,11 +383,37 @@ func (r *ReCross) Regions() []partition.Region {
 	}
 
 	capOf := func(banks []int) int64 { return int64(len(banks)) * geo.BankBytes() }
-	return []partition.Region{
+	regions := []partition.Region{
 		{Name: "R", Level: nmp.LevelRank, CapBytes: capOf(r.regionBanks[RegionR]), BW: rBW, FixedCycles: fixedR},
 		{Name: "G", Level: nmp.LevelBankGroup, CapBytes: capOf(r.regionBanks[RegionG]), BW: gBW, FixedCycles: fixedG},
 		{Name: "B", Level: nmp.LevelBank, CapBytes: capOf(r.regionBanks[RegionB]), BW: bBW},
 	}
+	if r.cfg.ColdTier == nil {
+		return regions
+	}
+	// Fourth tier: clamp DRAM to the resident budget (proportionally, so
+	// the R:G:B shape survives), then append the flash region priced by
+	// the cold timing model. It is last on purpose — the placement's fill
+	// order sends only a segment's coldest slice there.
+	spec := r.cfg.ColdTier.WithDefaults()
+	if budget := spec.ResidentBudgetBytes; budget > 0 {
+		var total int64
+		for _, reg := range regions {
+			total += reg.CapBytes
+		}
+		if total > budget {
+			f := float64(budget) / float64(total)
+			for j := range regions {
+				regions[j].CapBytes = int64(f * float64(regions[j].CapBytes))
+			}
+		}
+	}
+	return append(regions, partition.Region{
+		Name:     "C",
+		Level:    nmp.LevelCold,
+		CapBytes: spec.CapBytes,
+		BW:       spec.Model.EffectiveBW(r.vecLen*4, spec.InStorageReduce),
+	})
 }
 
 func minInt(a, b int) int {
@@ -406,7 +453,7 @@ func (r *ReCross) Run(b trace.Batch) (*arch.RunStats, error) {
 	geo := r.geo
 	scr := &r.scr
 	reqs := scr.reqs[:0]
-	var lookups, ops int64
+	var lookups, ops, dramOps int64
 	var opID int32
 	var seq int64
 	instr := arch.InstrCycles(dram.NMPTwoStage, r.bursts)
@@ -424,6 +471,11 @@ func (r *ReCross) Run(b trace.Batch) (*arch.RunStats, error) {
 	bankPsumBursts := resetI64(&scr.bankPsumBursts, geo.Ranks*geo.BankGroups) // per gating
 	bgPsumBursts := resetI64(&scr.bgPsumBursts, geo.Ranks)                    // per chip DQ
 
+	// Cold-tier gathers bypass the DRAM channel entirely: their placement
+	// slots collect here and are priced by the flash Sim after the drain.
+	coldSlots := scr.coldSlots[:0]
+	var coldOps int64
+
 	for _, s := range b {
 		for _, op := range s {
 			op = r.dedup.Dedup(op)
@@ -433,9 +485,19 @@ func (r *ReCross) Run(b trace.Batch) (*arch.RunStats, error) {
 			for i := range touchedBG {
 				touchedBG[i] = false
 			}
+			opCold, opDRAM := false, false
 			for _, idx := range op.Indices {
 				lookups++
 				region, slot := r.pl.Locate(op.Table, idx)
+				if region == RegionCold {
+					if r.coldSim == nil {
+						return nil, fmt.Errorf("core: cold placement without a cold tier")
+					}
+					coldSlots = append(coldSlots, slot)
+					opCold = true
+					continue
+				}
+				opDRAM = true
 				loc, err := arch.Stripe(geo, r.regionBanks[region], slot, r.bursts)
 				if err != nil {
 					return nil, fmt.Errorf("core: region %d: %w", region, err)
@@ -470,14 +532,23 @@ func (r *ReCross) Run(b trace.Batch) (*arch.RunStats, error) {
 					bgPsumBursts[fbg/geo.BankGroups] += int64(r.bursts)
 				}
 			}
+			if opCold {
+				coldOps++
+			}
+			if opDRAM {
+				dramOps++
+			}
 			ops++
 			opID++
 		}
 	}
 	scr.reqs = reqs
+	scr.coldSlots = coldSlots
 
-	// The rank summarizer returns one vector per op to the host.
-	finish, st, res, err := r.runChannel(reqs, int(ops)*r.bursts)
+	// The rank summarizer returns one vector per op to the host — only for
+	// ops that touched DRAM at all; fully-cold ops return over the flash
+	// link, which the cold Sim prices.
+	finish, st, res, err := r.runChannel(reqs, int(dramOps)*r.bursts)
 	if err != nil {
 		return nil, err
 	}
@@ -495,6 +566,18 @@ func (r *ReCross) Run(b trace.Batch) (*arch.RunStats, error) {
 		dqBusy[rank] = rankLoad[rank] + bgPsumBursts[rank]
 	}
 	finish = arch.PsumFloor(r.cfg.Tm, finish, gatingBusy, dqBusy)
+
+	// The flash phase overlaps the DRAM phase (cold reads issue with the
+	// batch and partial sums merge host-side), so the batch finishes at
+	// the slower of the two.
+	var coldCycles sim.Cycle
+	var coldReads, coldHits int64
+	if len(coldSlots) > 0 {
+		coldCycles, coldReads, coldHits = r.coldSim.Batch(coldSlots, int(coldOps))
+		if coldCycles > finish {
+			finish = coldCycles
+		}
+	}
 
 	// Imbalance across all PEs, each node's load expressed as busy cycles
 	// at its own data cadence.
@@ -516,17 +599,21 @@ func (r *ReCross) Run(b trace.Batch) (*arch.RunStats, error) {
 	ops2 := arch.ReduceOps(lookups, psums, r.vecLen)
 	p50, p99 := arch.OpPercentiles(res)
 	return &arch.RunStats{
-		OpP50:     p50,
-		OpP99:     p99,
-		Cycles:    finish,
-		DRAM:      st,
-		Ops:       ops2,
-		RowHits:   res.RowHits,
-		RowMisses: res.RowMisses,
-		Lookups:   lookups,
-		NodeLoads: nodeLoads,
-		Imbalance: arch.LoadsToImbalance(nodeLoads),
-		Energy:    energy.Account(r.cfg.Energy, st, ops2, finish, geo.Ranks, geo.BurstBytes),
+		OpP50:         p50,
+		OpP99:         p99,
+		Cycles:        finish,
+		DRAM:          st,
+		Ops:           ops2,
+		RowHits:       res.RowHits,
+		RowMisses:     res.RowMisses,
+		Lookups:       lookups,
+		NodeLoads:     nodeLoads,
+		Imbalance:     arch.LoadsToImbalance(nodeLoads),
+		Energy:        energy.Account(r.cfg.Energy, st, ops2, finish, geo.Ranks, geo.BurstBytes),
+		ColdLookups:   int64(len(coldSlots)),
+		ColdPageReads: coldReads,
+		ColdPageHits:  coldHits,
+		ColdCycles:    coldCycles,
 	}, nil
 }
 

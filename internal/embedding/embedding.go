@@ -13,6 +13,7 @@ package embedding
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"recross/internal/kernels"
 	"recross/internal/trace"
@@ -111,6 +112,22 @@ func (t *Dense) SetRow(i int64, v []float32) error {
 	return nil
 }
 
+// ColdReader serves rows placed on the flash cold tier (implemented by
+// coldstore.Store via a thin adapter in the facade). A reader must return
+// bits identical to the table's own Row for every row it holds.
+type ColdReader interface {
+	// ReadColdRow fills dst with row idx of table ti, reporting whether
+	// the cold tier holds (and served) the row.
+	ReadColdRow(ti int, idx int64, dst []float32) bool
+}
+
+// coldRoute pairs a cold-placement predicate with the reader serving those
+// rows. Swapped atomically when an adoption changes the placement.
+type coldRoute struct {
+	isCold func(ti int, idx int64) bool
+	reader ColdReader
+}
+
 // Layer is the embedding layer of one model: one table per sparse feature.
 type Layer struct {
 	tables []Table
@@ -120,6 +137,10 @@ type Layer struct {
 	// cached[ti] marks tables whose rows are worth caching (procedural
 	// regeneration; a Dense table's Row is already just a copy).
 	cached []bool
+	// cold, when set, routes cold-placed rows through the flash store
+	// (RowCache still probes first). Atomic: adoption swaps the route
+	// while serving goroutines read it.
+	cold atomic.Pointer[coldRoute]
 }
 
 // NewLayer builds a layer of procedural tables matching spec.
@@ -186,21 +207,42 @@ func (l *Layer) AttachRowCache(c *RowCache) error {
 // RowCache returns the attached cache, or nil.
 func (l *Layer) RowCache() *RowCache { return l.cache }
 
+// SetColdRoute installs (or, with nil arguments, removes) the cold-tier
+// route: rows for which isCold reports true materialize through reader
+// instead of the table. The reader must be bit-identical to the tables
+// (coldstore.Store is, by construction — its file holds the exact bits the
+// tables generate). Safe to call while serving; readers see either the
+// old route or the new one.
+func (l *Layer) SetColdRoute(isCold func(ti int, idx int64) bool, reader ColdReader) {
+	if isCold == nil || reader == nil {
+		l.cold.Store(nil)
+		return
+	}
+	l.cold.Store(&coldRoute{isCold: isCold, reader: reader})
+}
+
 // MaterializeRow writes row idx of table ti into dst (len == the table's
-// VecLen): hot-row cache first (a copy), table regeneration on miss
-// (filling the cache for the next lookup). Bounds are the caller's job —
-// ReduceInto and the core functional path validate before gathering,
-// and Table.Row panics on violation exactly like the uncached path.
+// VecLen): hot-row cache first (a copy), then the cold tier for rows the
+// placement put on flash, table regeneration otherwise — every path
+// bit-identical. A cold or regenerated row fills the cache for the next
+// lookup. Bounds are the caller's job — ReduceInto and the core
+// functional path validate before gathering, and Table.Row panics on
+// violation exactly like the uncached path.
 func (l *Layer) MaterializeRow(ti int, idx int64, dst []float32) {
-	if l.cache != nil && l.cached[ti] {
-		if l.cache.Get(ti, idx, dst) {
-			return
+	cached := l.cache != nil && l.cached[ti]
+	if cached && l.cache.Get(ti, idx, dst) {
+		return
+	}
+	if cr := l.cold.Load(); cr != nil && cr.isCold(ti, idx) && cr.reader.ReadColdRow(ti, idx, dst) {
+		if cached {
+			l.cache.Put(ti, idx, dst)
 		}
-		l.tables[ti].Row(idx, dst)
-		l.cache.Put(ti, idx, dst)
 		return
 	}
 	l.tables[ti].Row(idx, dst)
+	if cached {
+		l.cache.Put(ti, idx, dst)
+	}
 }
 
 // Scratch is a per-caller arena for the zero-allocation reduce path: the

@@ -21,6 +21,11 @@ const (
 	LevelBank
 	// LevelHost means no NMP: data is reduced on the CPU.
 	LevelHost
+	// LevelCold marks a region backed by the flash cold tier
+	// (internal/coldstore) rather than DRAM: gathers are served by page
+	// reads from the in-storage device, optionally pre-reduced there
+	// (RecSSD-style in-storage reduction).
+	LevelCold
 )
 
 func (l Level) String() string {
@@ -33,6 +38,8 @@ func (l Level) String() string {
 		return "bank"
 	case LevelHost:
 		return "host"
+	case LevelCold:
+		return "cold"
 	default:
 		return fmt.Sprintf("level(%d)", int(l))
 	}

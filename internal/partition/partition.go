@@ -302,13 +302,24 @@ func SolveLP(p *Profile, regions []Region, batch int) (*Decision, error) {
 	obj := make([]float64, nVars)
 	obj[0] = 1
 	// Tie-break: among equal-t optima, prefer pushing access-heavy
-	// segments toward the finer (higher-index) regions, where row-buffer
-	// reuse and subarray parallelism pay off. The perturbation is scaled
-	// well below the t term so it never trades real balance away.
+	// segments toward the finer (higher-index) DRAM regions, where
+	// row-buffer reuse and subarray parallelism pay off. Cold (flash)
+	// regions are excluded from that preference and instead carry a tiny
+	// per-byte cost, so the LP fills DRAM first and overflows to the cold
+	// tier only when DRAM capacity binds. Both perturbations are scaled
+	// well below the t term so they never trade real balance away.
 	minBW := 0.0
 	for _, r := range regions {
 		if r.BW > 0 && (minBW == 0 || r.BW < minBW) {
 			minBW = r.BW
+		}
+	}
+	cold := make([]bool, nR)
+	nDRAM := 0
+	for j, r := range regions {
+		cold[j] = r.Level == nmp.LevelCold
+		if !cold[j] {
+			nDRAM++
 		}
 	}
 	if minBW > 0 {
@@ -317,10 +328,20 @@ func SolveLP(p *Profile, regions []Region, batch int) (*Decision, error) {
 			totalVol += p.tableAccessBytes(i, batch)
 		}
 		eps := 1e-6 * totalVol / minBW / float64(nT)
+		totalBytes := float64(p.Spec.TotalBytes())
 		for i := 0; i < nT; i++ {
 			for s, sg := range segs[i] {
+				rank := 0
 				for j := 0; j < nR; j++ {
-					obj[idx[i][s]+j] += eps * sg.accessShare * float64(nR-1-j)
+					if cold[j] {
+						// Worse than any DRAM region for accessed mass,
+						// and costs a sliver per byte so idle mass also
+						// prefers DRAM while it fits.
+						obj[idx[i][s]+j] += eps * (float64(nR)*sg.accessShare + sg.bytes/totalBytes)
+						continue
+					}
+					obj[idx[i][s]+j] += eps * sg.accessShare * float64(nDRAM-1-rank)
+					rank++
 				}
 			}
 		}
@@ -410,7 +431,9 @@ func SolveLP(p *Profile, regions []Region, batch int) (*Decision, error) {
 // Greedy is the crude partitioner of the Fig. 12 ablation (ReCross-Base):
 // it pours data hottest-first into the lowest (highest-parallelism) region
 // until each region's capacity is exhausted, ignoring bandwidth balance.
-// Regions must be ordered R, G, B; filling proceeds B, G, R.
+// DRAM regions must be ordered R, G, B; filling proceeds B, G, R. Cold
+// (flash) regions, wherever they appear, fill only after every DRAM
+// region is exhausted — the crude partitioner still knows flash is slow.
 func Greedy(p *Profile, regions []Region, batch int) (*Decision, error) {
 	if err := validateInput(p, regions, batch); err != nil {
 		return nil, err
@@ -421,6 +444,18 @@ func Greedy(p *Profile, regions []Region, batch int) (*Decision, error) {
 	for j, r := range regions {
 		free[j] = float64(r.CapBytes)
 	}
+	// Fill order: DRAM regions from the last backwards, then cold regions.
+	order := make([]int, 0, nR)
+	for j := nR - 1; j >= 0; j-- {
+		if regions[j].Level != nmp.LevelCold {
+			order = append(order, j)
+		}
+	}
+	for j := 0; j < nR; j++ {
+		if regions[j].Level == nmp.LevelCold {
+			order = append(order, j)
+		}
+	}
 	d := &Decision{Regions: regions, SegFrac: make([][][]float64, nT)}
 	for i := 0; i < nT; i++ {
 		segs := p.segmentsOf(i)
@@ -428,8 +463,10 @@ func Greedy(p *Profile, regions []Region, batch int) (*Decision, error) {
 		for s, sg := range segs {
 			d.SegFrac[i][s] = make([]float64, nR)
 			remaining := sg.bytes
-			// Fill from the last region (B) backwards to the first (R).
-			for j := nR - 1; j >= 0 && remaining > 1e-9; j-- {
+			for _, j := range order {
+				if remaining <= 1e-9 {
+					break
+				}
 				take := remaining
 				if take > free[j] {
 					take = free[j]

@@ -1,6 +1,10 @@
 package partition
 
-import "fmt"
+import (
+	"fmt"
+
+	"recross/internal/nmp"
+)
 
 // Placement realises a Decision: it assigns every embedding row of every
 // table a (region, slot) pair, hot rows individually (via the per-table
@@ -19,6 +23,11 @@ type Placement struct {
 	used []int64
 	// capSlots[j] is region j's capacity in vector slots.
 	capSlots []int64
+	// fillOrder lists region indices in placement-preference order for a
+	// segment's fractional split: DRAM regions from the last (finest)
+	// backwards, then cold regions. Hotter sub-slices take earlier entries,
+	// so the cold tier always receives the coldest slice of a segment.
+	fillOrder []int
 }
 
 type tablePlace struct {
@@ -55,6 +64,16 @@ func Build(p *Profile, d *Decision) (*Placement, error) {
 	}
 	for j, r := range d.Regions {
 		pl.capSlots[j] = r.CapBytes / vecBytes
+	}
+	for j := len(d.Regions) - 1; j >= 0; j-- {
+		if d.Regions[j].Level != nmp.LevelCold {
+			pl.fillOrder = append(pl.fillOrder, j)
+		}
+	}
+	for j := range d.Regions {
+		if d.Regions[j].Level == nmp.LevelCold {
+			pl.fillOrder = append(pl.fillOrder, j)
+		}
 	}
 
 	// Pass 1: observed (hot) rows, hottest region first within a segment.
@@ -165,8 +184,10 @@ func Build(p *Profile, d *Decision) (*Placement, error) {
 }
 
 // regionFor picks the region of a row at row-fraction frac, walking the
-// segment's fractional split from the highest-parallelism region (last)
-// down — hotter sub-slices land lower in the tree.
+// segment's fractional split in fillOrder — DRAM regions from the
+// highest-parallelism (last) down, cold regions after all of them — so
+// hotter sub-slices land lower in the tree and the cold tier gets only a
+// segment's coldest slice.
 func (pl *Placement) regionFor(segFrac [][]float64, segs []segment, frac float64) int {
 	for s, sg := range segs {
 		if frac >= sg.hiFrac && s != len(segs)-1 {
@@ -184,13 +205,13 @@ func (pl *Placement) regionFor(segFrac [][]float64, segs []segment, frac float64
 			pos = 0.999999
 		}
 		cum := 0.0
-		for j := len(segFrac[s]) - 1; j >= 0; j-- {
+		for _, j := range pl.fillOrder {
 			cum += segFrac[s][j]
 			if pos < cum {
 				return j
 			}
 		}
-		return 0
+		return pl.fillOrder[len(pl.fillOrder)-1]
 	}
 	return 0
 }
@@ -263,6 +284,60 @@ func (pl *Placement) MappingBits() int64 {
 		rows += pl.tables[i].rows
 	}
 	return rows * 34
+}
+
+// ColdRegions reports, per region index, whether the region is cold-tier
+// (Level == nmp.LevelCold).
+func (pl *Placement) ColdRegions() []bool {
+	out := make([]bool, len(pl.regions))
+	for j, r := range pl.regions {
+		out[j] = r.Level == nmp.LevelCold
+	}
+	return out
+}
+
+// DiffCold counts ranked rows that cross the DRAM/cold boundary between
+// two placements of the same model: promoted (cold in old, DRAM in next)
+// and demoted (DRAM in old, cold in next). Row-fraction deltas cannot see
+// these moves — a hot-set permutation leaves every RowFrac untouched while
+// swapping whole row populations across the boundary — so the adaptive
+// controller diffs the placements directly. Rows ranked in neither
+// placement (the never-observed tail, hash-placed into reserved ranges)
+// are not counted; by construction they carry no measured traffic.
+func DiffCold(old, next *Placement) (promoted, demoted int64) {
+	if old == nil || next == nil || len(old.tables) != len(next.tables) {
+		return 0, 0
+	}
+	oldCold := old.ColdRegions()
+	nextCold := next.ColdRegions()
+	isCold := func(cold []bool, region int) bool {
+		return region >= 0 && region < len(cold) && cold[region]
+	}
+	for ti := range old.tables {
+		if old.tables[ti].rows != next.tables[ti].rows {
+			continue
+		}
+		count := func(row int64) {
+			or, _ := old.Locate(ti, row)
+			nr, _ := next.Locate(ti, row)
+			wasCold, isNow := isCold(oldCold, or), isCold(nextCold, nr)
+			switch {
+			case wasCold && !isNow:
+				promoted++
+			case !wasCold && isNow:
+				demoted++
+			}
+		}
+		for row := range old.tables[ti].rank {
+			count(row)
+		}
+		for row := range next.tables[ti].rank {
+			if _, ok := old.tables[ti].rank[row]; !ok {
+				count(row)
+			}
+		}
+	}
+	return promoted, demoted
 }
 
 func hash64(x uint64) uint64 {

@@ -121,6 +121,10 @@ func (s *Server) initDataplane() error {
 // RowCache returns the layer's hot-row cache, or nil when disabled.
 func (s *Server) RowCache() *embedding.RowCache { return s.rowCache }
 
+// Layer returns the shared functional embedding layer the server answers
+// from — the facade re-routes its cold tier through it on adoption.
+func (s *Server) Layer() *embedding.Layer { return s.opts.Layer }
+
 // dataplaneExpo renders the data-plane series in Prometheus text
 // exposition format. The row-cache series are emitted even when the
 // cache is disabled (as zeros) so scrapes see a stable schema.

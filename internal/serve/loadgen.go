@@ -37,6 +37,10 @@ type LoadgenOptions struct {
 	// ShiftSalt selects the post-shift permutation (default 1, so setting
 	// only ShiftAt still changes the hot set).
 	ShiftSalt int64
+	// TailMass, in [0,1], redirects this fraction of every client's index
+	// draws to a uniform pick from the cold half of the rank space
+	// (trace.Generator.SetTailMass) — shifting load toward cold-tier rows.
+	TailMass float64
 }
 
 func (o LoadgenOptions) withDefaults() LoadgenOptions {
@@ -127,6 +131,11 @@ func Loadgen(s *Server, opts LoadgenOptions) (*Report, error) {
 		gen, err := trace.NewGenerator(opts.Spec, opts.Seed+int64(c))
 		if err != nil {
 			return nil, err
+		}
+		if opts.TailMass > 0 {
+			if err := gen.SetTailMass(opts.TailMass); err != nil {
+				return nil, err
+			}
 		}
 		wg.Add(1)
 		go func(c int, gen *trace.Generator) {

@@ -214,6 +214,12 @@ type Options struct {
 	// bit-identical to the single-goroutine reference regardless: samples
 	// are reduced independently and per-op association order is fixed.
 	ReduceWorkers int
+
+	// OnClose, when non-nil, runs at the end of Close after every worker
+	// and answer path has finished — the hook that releases resources the
+	// server serves from but does not own the lifecycle of otherwise
+	// (e.g. the cold tier's backing store).
+	OnClose func()
 }
 
 func (o Options) withDefaults() Options {
@@ -543,5 +549,8 @@ func (s *Server) Close() error {
 	// Every answer path (worker demux, degraded sweeps) has completed;
 	// the data-plane reduction pool has no producers left.
 	s.reducers.close()
+	if s.opts.OnClose != nil {
+		s.opts.OnClose()
+	}
 	return nil
 }

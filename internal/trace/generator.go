@@ -69,6 +69,11 @@ type Generator struct {
 	zipfs []*Zipf
 	scats []*Scatter
 	hists []*stats.Histogram // per-table access histograms, always maintained
+	// tailMass, when positive, redirects this probability of every index
+	// draw to a uniform pick from the cold half of the rank space —
+	// flattening the trace toward rows the Zipf head never touches (the
+	// cold tier's stress knob).
+	tailMass float64
 }
 
 // NewGenerator builds a generator for spec, seeded with seed.
@@ -120,10 +125,31 @@ func scatterSeed(table string) int64 {
 	return int64(h & (1<<62 - 1))
 }
 
+// SetTailMass redirects fraction f of every index draw (0 <= f <= 1) to a
+// uniform pick from the cold half of the rank space — ranks the Zipf head
+// essentially never reaches — shifting trace mass toward cold-placed rows.
+// f = 0 (the default) restores the pure Zipf draw. Deterministic: the
+// redirect burns the same RNG stream the Zipf draw would have, so two
+// generators with equal seeds and tail mass emit identical traces.
+func (g *Generator) SetTailMass(f float64) error {
+	if f < 0 || f > 1 {
+		return fmt.Errorf("trace: tail mass %v out of [0,1]", f)
+	}
+	g.tailMass = f
+	return nil
+}
+
 // Index draws one embedding row index for table ti: a Zipf rank scattered
-// pseudorandomly through the index space.
+// pseudorandomly through the index space, or — with probability tailMass —
+// a uniform cold-half rank.
 func (g *Generator) Index(ti int) int64 {
-	rank := g.zipfs[ti].Rank(g.rng)
+	var rank int64
+	if g.tailMass > 0 && g.rng.Float64() < g.tailMass {
+		n := g.spec.Tables[ti].Rows
+		rank = n/2 + g.rng.Int63n(n-n/2)
+	} else {
+		rank = g.zipfs[ti].Rank(g.rng)
+	}
 	idx := g.scats[ti].Map(rank)
 	g.hists[ti].Add(idx)
 	return idx

@@ -31,12 +31,14 @@ package recross
 
 import (
 	"fmt"
+	"os"
 	"sync/atomic"
 
 	"recross/internal/adapt"
 	"recross/internal/arch"
 	"recross/internal/baseline"
 	"recross/internal/chaos"
+	"recross/internal/coldstore"
 	"recross/internal/core"
 	"recross/internal/dram"
 	"recross/internal/embedding"
@@ -86,6 +88,20 @@ type (
 	ReCrossConfig = core.Config
 	// Profile carries the offline access statistics the partitioners use.
 	Profile = partition.Profile
+
+	// ColdStore is the flash-backed cold tier's functional store: a
+	// file/mmap-backed, page-granular embedding store with frequency-based
+	// row->page mapping, a CLOCK page cache and an async prefetcher.
+	ColdStore = coldstore.Store
+	// ColdStoreStats is the store's counter snapshot (page hits/misses,
+	// device reads, populations, evictions, prefetches, remaps).
+	ColdStoreStats = coldstore.Stats
+	// ColdModel is the cold device's latency/bandwidth timing model in
+	// DRAM cycles (zero fields take NVMe-flash-like defaults).
+	ColdModel = coldstore.Model
+	// ColdRowCount is one row's sketch-derived access count, the input of
+	// the frequency-based page mapping.
+	ColdRowCount = coldstore.RowCount
 
 	// Server is the embedding-inference serving front-end: dynamic
 	// batching over a sharded, self-healing replica pool with admission
@@ -270,6 +286,59 @@ type Config struct {
 	ProfileSeedSet bool
 	// Profile, when non-nil, is reused instead of profiling afresh.
 	Profile *Profile
+	// Cold, when non-nil, enables the flash-backed cold tier: a fourth
+	// placement level below the DRAM regions, priced by the cold device's
+	// timing model in the partitioner LP. ReCross only — NewSystem wires
+	// the timing side into every replica, and NewServer/NewAdaptiveServer
+	// additionally open the functional backing store and route cold-placed
+	// row reads through it.
+	Cold *ColdTierConfig
+}
+
+// ColdTierConfig configures the flash-backed cold tier (Config.Cold): the
+// capacity and timing model the partitioner prices the fourth placement
+// level with, the DRAM-residency budget that forces the tail of an
+// oversized table set onto flash, and the functional backing store's
+// layout knobs.
+type ColdTierConfig struct {
+	// CapBytes is the cold region's capacity offered to the partitioner
+	// (required; size it to hold whatever the DRAM budget displaces).
+	CapBytes int64
+	// ResidentBudgetBytes, when positive, clamps the summed DRAM region
+	// capacity to this budget — regions shrink proportionally — so table
+	// sets larger than DRAM spill their cold mass onto flash instead of
+	// failing to fit.
+	ResidentBudgetBytes int64
+	// PageBytes is the device page size (default 16 KiB).
+	PageBytes int
+	// InStorageReduce enables RecSSD-style device-side pooling: one
+	// partial sum per op crosses the host link instead of every gathered
+	// row, raising the effective link bandwidth the LP prices cold
+	// placements with.
+	InStorageReduce bool
+	// Model overrides the cold device timing model (zero fields take
+	// NVMe-flash-like defaults).
+	Model ColdModel
+	// Dir is the backing file's directory (default os.TempDir()); the file
+	// is created on server construction and removed on Server.Close.
+	Dir string
+	// CacheBytes is the host-side page-cache budget (default 64 pages).
+	CacheBytes int64
+	// Mmap maps the backing file instead of using pread.
+	Mmap bool
+	// Prefetch is the async prefetch queue depth (default 64).
+	Prefetch int
+}
+
+// tierSpec converts the facade config into the core/timing-side spec.
+func (c *ColdTierConfig) tierSpec() *coldstore.TierSpec {
+	return &coldstore.TierSpec{
+		CapBytes:            c.CapBytes,
+		ResidentBudgetBytes: c.ResidentBudgetBytes,
+		PageBytes:           c.PageBytes,
+		InStorageReduce:     c.InStorageReduce,
+		Model:               c.Model,
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -293,6 +362,9 @@ func NewSystem(a Arch, cfg Config) (System, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Spec.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Cold != nil && a != ReCross {
+		return nil, fmt.Errorf("recross: the cold tier requires the %q architecture (it owns the partitioner), got %q", ReCross, a)
 	}
 	if cfg.Channels > 1 {
 		spec := cfg.Spec
@@ -332,6 +404,9 @@ func NewSystem(a Arch, cfg Config) (System, error) {
 		rcfg.ProfileSamples = cfg.ProfileSamples
 		rcfg.Seed = cfg.ProfileSeed
 		rcfg.Profile = cfg.Profile
+		if cfg.Cold != nil {
+			rcfg.ColdTier = cfg.Cold.tierSpec()
+		}
 		return core.New(rcfg)
 	default:
 		return nil, fmt.Errorf("recross: unknown architecture %q", a)
@@ -383,6 +458,67 @@ func (c Config) profiled(a Arch) (Config, error) {
 	return c, nil
 }
 
+// coldReader adapts the store to the embedding layer's ColdReader.
+type coldReader struct{ s *coldstore.Store }
+
+func (r coldReader) ReadColdRow(ti int, idx int64, dst []float32) bool {
+	return r.s.ReadRow(ti, idx, dst)
+}
+
+// openColdStore builds the functional backing store over the layer's
+// tables (the store lazily materializes their exact bits into pages, so
+// every read path stays bit-identical to the procedural reference).
+func openColdStore(cold *ColdTierConfig, layer *Layer) (*coldstore.Store, error) {
+	dir := cold.Dir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	srcs := make([]coldstore.RowSource, layer.Tables())
+	for i := range srcs {
+		srcs[i] = layer.Table(i)
+	}
+	return coldstore.Open(coldstore.Config{
+		Dir:        dir,
+		PageBytes:  cold.PageBytes,
+		CacheBytes: cold.CacheBytes,
+		Prefetch:   cold.Prefetch,
+		Mmap:       cold.Mmap,
+	}, srcs)
+}
+
+// routeCold points the layer's cold route at the store for every row the
+// placement holds in the cold region. Swapping is atomic, so adoption can
+// re-route a live data plane.
+func routeCold(layer *Layer, store *coldstore.Store, pl *partition.Placement) {
+	layer.SetColdRoute(func(ti int, idx int64) bool {
+		region, _ := pl.Locate(ti, idx)
+		return region == core.RegionCold
+	}, coldReader{store})
+}
+
+// coldCounts converts the tracker's per-table heavy-hitter snapshots into
+// the store's Remap input, keeping only rows the new placement holds cold
+// — the warm-but-cold-placed rows frequency-based packing exists for. A
+// table with no counted cold rows keeps its current mapping.
+func coldCounts(tr *FreqTracker, pl *partition.Placement, tables int) [][]ColdRowCount {
+	snaps := tr.Snapshot()
+	counts := make([][]ColdRowCount, tables)
+	for ti := range counts {
+		if ti >= len(snaps) {
+			break
+		}
+		snap := snaps[ti]
+		var cs []ColdRowCount
+		for k, row := range snap.Keys {
+			if region, _ := pl.Locate(ti, row); region == core.RegionCold {
+				cs = append(cs, ColdRowCount{Row: row, Count: snap.Counts[k]})
+			}
+		}
+		counts[ti] = cs
+	}
+	return counts
+}
+
 // NewServer builds the embedding-inference serving front-end: n replica
 // systems of architecture a over cfg (profiled once, via
 // Config.ReplicaSystems), the functional embedding layer for result
@@ -391,6 +527,11 @@ func (c Config) profiled(a Arch) (Config, error) {
 // caller supplies one, opts.Rebuild is wired to rebuild a failed replica
 // from the same architecture and shared profile, so the self-healing
 // supervisor restores full pool capacity without re-profiling.
+//
+// With Config.Cold set, the flash-backed cold tier's functional store is
+// opened over the layer's tables, cold-placed row reads route through it
+// (behind the hot-row cache), its recross_coldstore_* series ride
+// /metrics, and Server.Close releases its backing file.
 func NewServer(a Arch, cfg Config, n int, opts ServeOptions) (*Server, error) {
 	cfg, err := cfg.profiled(a)
 	if err != nil {
@@ -404,13 +545,42 @@ func NewServer(a Arch, cfg Config, n int, opts ServeOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var store *coldstore.Store
+	if cfg.Cold != nil {
+		rc, ok := systems[0].(*core.ReCross)
+		if !ok {
+			return nil, fmt.Errorf("recross: %q replicas do not expose a cold placement", a)
+		}
+		store, err = openColdStore(cfg.Cold, layer)
+		if err != nil {
+			return nil, err
+		}
+		routeCold(layer, store, rc.Placement())
+		prev := opts.OnClose
+		opts.OnClose = func() {
+			store.Close()
+			if prev != nil {
+				prev()
+			}
+		}
+	}
 	opts.Systems = systems
 	opts.Layer = layer
 	if opts.Rebuild == nil {
 		rebuildCfg := cfg
 		opts.Rebuild = func(int) (System, error) { return NewSystem(a, rebuildCfg) }
 	}
-	return serve.New(opts)
+	srv, err := serve.New(opts)
+	if err != nil {
+		if store != nil {
+			store.Close()
+		}
+		return nil, err
+	}
+	if store != nil {
+		srv.RegisterExpo(store.Expo)
+	}
+	return srv, nil
 }
 
 // NewAdaptiveServer builds a serving front-end with the online adaptive
@@ -448,10 +618,27 @@ func NewAdaptiveServer(a Arch, cfg Config, n int, sopts ServeOptions, aopts Adap
 	}
 	origDec := rc.Decision()
 
+	var store *coldstore.Store
+	if cfg.Cold != nil {
+		store, err = openColdStore(cfg.Cold, layer)
+		if err != nil {
+			return nil, nil, err
+		}
+		routeCold(layer, store, rc.Placement())
+		prev := sopts.OnClose
+		sopts.OnClose = func() {
+			store.Close()
+			if prev != nil {
+				prev()
+			}
+		}
+	}
+
 	// The controller and server reference each other (Observer feeds the
 	// controller; adoption stages updates on the server), so the adoption
-	// closure captures the server variable filled in below.
+	// closure captures the server and controller variables filled in below.
 	var srv *Server
+	var ctrl *AdaptController
 	aopts.Spec = cfg.Spec
 	aopts.Baseline = rc.Profile()
 	aopts.Decision = origDec
@@ -476,6 +663,28 @@ func NewAdaptiveServer(a Arch, cfg Config, n int, sopts ServeOptions, aopts Adap
 			return nil
 		}
 	}
+	if store != nil {
+		// Adoption also moves the cold boundary: re-route the data plane's
+		// cold predicate to the adopted placement and repack the store's
+		// pages from the sketch counts (RecFlash-style frequency mapping) —
+		// promoted rows stop routing to flash, demoted ones start, and the
+		// warm cold-placed rows pack hottest-first.
+		inner := aopts.Adopt
+		aopts.Adopt = func(prof *Profile, dec *partition.Decision) error {
+			if err := inner(prof, dec); err != nil {
+				return err
+			}
+			pl, err := partition.Build(prof, dec)
+			if err != nil {
+				return err
+			}
+			routeCold(layer, store, pl)
+			if ctrl != nil {
+				return store.Remap(coldCounts(ctrl.Tracker(), pl, layer.Tables()))
+			}
+			return nil
+		}
+	}
 	if aopts.ServiceCycles == nil {
 		aopts.ServiceCycles = func() (int64, float64) {
 			if srv == nil {
@@ -485,8 +694,11 @@ func NewAdaptiveServer(a Arch, cfg Config, n int, sopts ServeOptions, aopts Adap
 			return h.Count, h.Mean * float64(h.Count)
 		}
 	}
-	ctrl, err := adapt.NewController(aopts)
+	ctrl, err = adapt.NewController(aopts)
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return nil, nil, err
 	}
 
@@ -518,9 +730,15 @@ func NewAdaptiveServer(a Arch, cfg Config, n int, sopts ServeOptions, aopts Adap
 	}
 	srv, err = serve.New(sopts)
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return nil, nil, err
 	}
 	srv.RegisterExpo(ctrl.Expo)
+	if store != nil {
+		srv.RegisterExpo(store.Expo)
+	}
 	// The controller's Space-Saving sketches double as the hot-row cache's
 	// admission filter: once live traffic accumulates, only rows the
 	// tracker ranks as heavy hitters earn cache slots, so a cold scan
