@@ -167,8 +167,9 @@ func runPerf(path string) error {
 		func() (perfEntry, error) { return perfServeDataplane(0, "serve_dataplane_nocache") },
 		func() (perfEntry, error) { return perfRecrossE2E(true) },
 		func() (perfEntry, error) { return perfRecrossE2E(false) },
-		func() (perfEntry, error) { return perfColdPageRead(true) },
-		func() (perfEntry, error) { return perfColdPageRead(false) },
+		func() (perfEntry, error) { return perfColdPageRead(true, true) },
+		func() (perfEntry, error) { return perfColdPageRead(false, true) },
+		func() (perfEntry, error) { return perfColdPageRead(false, false) },
 		func() (perfEntry, error) { return perfColdReduce(true) },
 		func() (perfEntry, error) { return perfColdReduce(false) },
 		func() (perfEntry, error) { return perfColdE2E(false, "recross_e2e_nocold") },
@@ -337,7 +338,7 @@ func perfServeDataplane(cacheBytes int64, name string) (perfEntry, error) {
 // (200k rows x 64 FP32, ~51 MB) in a temp dir. The caller must Close the
 // store (which also removes the backing file); the temp dir is cleaned up
 // by the returned func.
-func perfColdStore(cacheBytes int64) (*coldstore.Store, func(), error) {
+func perfColdStore(cacheBytes int64, disableChecksum bool) (*coldstore.Store, func(), error) {
 	spec := trace.ModelSpec{Name: "perf-cold", Tables: []trace.TableSpec{
 		{Name: "t0", Rows: 200000, VecLen: 64, Pooling: 80, Prob: 1, Skew: 1.2},
 	}}
@@ -349,7 +350,7 @@ func perfColdStore(cacheBytes int64) (*coldstore.Store, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	store, err := coldstore.Open(coldstore.Config{Dir: dir, CacheBytes: cacheBytes}, []coldstore.RowSource{layer.Table(0)})
+	store, err := coldstore.Open(coldstore.Config{Dir: dir, CacheBytes: cacheBytes, DisableChecksum: disableChecksum}, []coldstore.RowSource{layer.Table(0)})
 	if err != nil {
 		os.RemoveAll(dir)
 		return nil, nil, err
@@ -365,14 +366,20 @@ func perfColdStore(cacheBytes int64) (*coldstore.Store, func(), error) {
 // page-cache-resident stride (host-cache hit path), uncached walks the
 // whole table with a minimal cache so nearly every read is a device page
 // read of an already-populated file.
-func perfColdPageRead(cached bool) (perfEntry, error) {
+func perfColdPageRead(cached, checksum bool) (perfEntry, error) {
 	cacheBytes := int64(1) // one page: force device reads
 	name := "coldstore_page_read"
+	if !checksum {
+		// Verification-off baseline: the delta against coldstore_page_read
+		// is the per-page CRC32C cost on the device-read path (PR7's <=5%
+		// overhead budget; see BENCH_PR7.json).
+		name = "coldstore_page_read_nochecksum"
+	}
 	if cached {
 		cacheBytes = 64 << 20 // whole table cacheable: hit path
 		name = "coldstore_read_cached"
 	}
-	store, cleanup, err := perfColdStore(cacheBytes)
+	store, cleanup, err := perfColdStore(cacheBytes, !checksum)
 	if err != nil {
 		return perfEntry{}, err
 	}
@@ -404,7 +411,7 @@ func perfColdPageRead(cached bool) (perfEntry, error) {
 // (both functionally identical; this measures the data-plane cost of
 // keeping the reduction next to the device buffer vs round-tripping rows).
 func perfColdReduce(inStorage bool) (perfEntry, error) {
-	store, cleanup, err := perfColdStore(16 << 20)
+	store, cleanup, err := perfColdStore(16<<20, false)
 	if err != nil {
 		return perfEntry{}, err
 	}

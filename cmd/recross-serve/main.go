@@ -62,6 +62,22 @@
 //
 // Watch /metrics for the recross_coldstore_* series and, with -adapt,
 // recross_adapt_cold_promoted_rows_total / _demoted_rows_total.
+//
+// Storage chaos (-chaos-cold-*, needs -cold) injects device faults under
+// the cold store — transient read errors, stalls, corrupt page payloads
+// and torn writes — to soak the storage fault-tolerance path: CRC32C
+// page verification repairs corruption bit-exactly, bounded retries and
+// the circuit breaker absorb device failures, and sustained outages flip
+// the route to direct materialization (cold-degraded mode, still
+// bit-exact). Pair with -cold-scrub so the background scrubber verifies
+// pages and re-closes the breaker after an outage:
+//
+//	recross-serve -loadgen -replicas 2 -duration 30s \
+//	  -cold -cold-budget-mb 8 -tail-mass 0.2 -cold-scrub 50ms \
+//	  -chaos-cold-read-err 0.02 -chaos-cold-corrupt 0.01 -chaos-cold-stall-p 0.05
+//
+// Watch /metrics for recross_coldstore_checksum_failures_total,
+// _repairs_total, _breaker_state and recross_requests_cold_degraded_total.
 package main
 
 import (
@@ -125,6 +141,19 @@ func main() {
 	coldCacheMB := flag.Int64("cold-cache-mb", 1, "cold: host page-cache budget in MiB")
 	coldMmap := flag.Bool("cold-mmap", false, "cold: mmap the backing file instead of pread")
 	coldDir := flag.String("cold-dir", "", "cold: backing-file directory (default: system temp dir)")
+	coldNoChecksum := flag.Bool("cold-no-checksum", false, "cold: disable per-page CRC32C verification (benchmarking only)")
+	coldRetries := flag.Int("cold-retries", 2, "cold: device-read retries before the page read fails (-1 disables)")
+	coldDeadline := flag.Duration("cold-read-deadline", 0, "cold: per-page-read deadline; slower reads are abandoned and fail (0 = none)")
+	coldScrub := flag.Duration("cold-scrub", 0, "cold: background scrubber page-verify interval (0 disables); also the breaker's recovery probe")
+	coldBrkThreshold := flag.Int("cold-breaker-threshold", 4, "cold: consecutive device failures that open the circuit breaker")
+	coldBrkCooldown := flag.Duration("cold-breaker-cooldown", 50*time.Millisecond, "cold: breaker open->half-open cooldown")
+	coldBrkProbes := flag.Int("cold-breaker-probes", 2, "cold: successful half-open probes that re-close the breaker")
+
+	chaosColdReadErr := flag.Float64("chaos-cold-read-err", 0, "chaos: per-page-read transient device error probability (needs -cold)")
+	chaosColdStallP := flag.Float64("chaos-cold-stall-p", 0, "chaos: per-page-read injected stall probability (needs -cold)")
+	chaosColdCorrupt := flag.Float64("chaos-cold-corrupt", 0, "chaos: per-page-read corrupted payload probability (needs -cold)")
+	chaosColdTorn := flag.Float64("chaos-cold-torn", 0, "chaos: per-page-write torn (half-persisted) write probability (needs -cold)")
+	chaosColdStall := flag.Duration("chaos-cold-stall", 2*time.Millisecond, "chaos: injected cold device stall duration")
 
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
@@ -161,6 +190,8 @@ func main() {
 		Spec: spec, Ranks: *ranks, Channels: *channels,
 		Batch: *maxBatch, ProfileSamples: *profSamples,
 	}
+	coldChaosOn := *chaosColdReadErr > 0 || *chaosColdStallP > 0 || *chaosColdCorrupt > 0 || *chaosColdTorn > 0
+	var coldDev *recross.FaultyColdDevice
 	if *coldOn {
 		cfg.Cold = &recross.ColdTierConfig{
 			CapBytes:            *coldCapMB << 20,
@@ -170,7 +201,32 @@ func main() {
 			CacheBytes:          *coldCacheMB << 20,
 			Mmap:                *coldMmap,
 			Dir:                 *coldDir,
+			DisableChecksum:     *coldNoChecksum,
+			Retries:             *coldRetries,
+			ReadDeadline:        *coldDeadline,
+			ScrubInterval:       *coldScrub,
+			BreakerThreshold:    *coldBrkThreshold,
+			BreakerCooldown:     *coldBrkCooldown,
+			BreakerProbes:       *coldBrkProbes,
 		}
+		if coldChaosOn {
+			cfc := recross.ColdFaultConfig{
+				Rates: recross.ColdFaultRates{
+					ReadErr:     *chaosColdReadErr,
+					Stall:       *chaosColdStallP,
+					CorruptPage: *chaosColdCorrupt,
+					TornWrite:   *chaosColdTorn,
+				},
+				Stall: *chaosColdStall,
+				Seed:  *chaosSeed,
+			}
+			cfg.Cold.WrapDevice = func(d recross.ColdDevice) recross.ColdDevice {
+				coldDev = recross.WrapColdDevice(d, cfc, nil)
+				return coldDev
+			}
+		}
+	} else if coldChaosOn {
+		fail(errors.New("-chaos-cold-* flags require -cold"))
 	}
 
 	fmt.Fprintf(os.Stderr, "recross-serve: building %d %s replica(s) over %s (%d tables)...\n",
@@ -231,8 +287,12 @@ func main() {
 			*adaptInterval, *adaptThreshold, *adaptTopK, *adaptWindows, *adaptCooldown, *adaptMinGain)
 	}
 	if cfg.Cold != nil {
-		fmt.Fprintf(os.Stderr, "recross-serve: COLD TIER ON (cap %d MiB, DRAM budget %d MiB, page %d KiB, isr %v, mmap %v)\n",
-			*coldCapMB, *coldBudgetMB, *coldPageKB, *coldISR, *coldMmap)
+		fmt.Fprintf(os.Stderr, "recross-serve: COLD TIER ON (cap %d MiB, DRAM budget %d MiB, page %d KiB, isr %v, mmap %v, checksum %v, scrub %v)\n",
+			*coldCapMB, *coldBudgetMB, *coldPageKB, *coldISR, *coldMmap, !*coldNoChecksum, *coldScrub)
+	}
+	if coldDev != nil {
+		fmt.Fprintf(os.Stderr, "recross-serve: CHAOS COLD ON (read-err %.3g, stall-p %.3g, corrupt %.3g, torn %.3g, stall %v, seed %d)\n",
+			*chaosColdReadErr, *chaosColdStallP, *chaosColdCorrupt, *chaosColdTorn, *chaosColdStall, *chaosSeed)
 	}
 	if inj != nil {
 		// Wedged batches block their abandoned goroutines until released;
@@ -286,6 +346,10 @@ func runLoadgen(srv *recross.Server, ctrl *recross.AdaptController, spec recross
 		fmt.Printf("  healing    %d faults (panic %d, wedge %d, corrupt %d, error %d), %d retries, %d restarts, %d degraded answers\n",
 			faults, snap.FaultPanics, snap.FaultWedges, snap.FaultCorrupt, snap.FaultErrors,
 			snap.Retries, snap.Restarts, snap.Degraded)
+	}
+	if snap.DegradedCold > 0 {
+		fmt.Printf("  storage    %d answers completed in cold-degraded mode (direct materialization fallback)\n",
+			snap.DegradedCold)
 	}
 	if ctrl != nil {
 		am := ctrl.Metrics()

@@ -61,6 +61,12 @@ type Options struct {
 	// controller differences consecutive windows to report the realized
 	// (as opposed to estimated) gain of an adoption.
 	ServiceCycles func() (count int64, sum float64)
+	// ColdHealthy, when non-nil, probes the storage tier's health before
+	// a plan that demotes DRAM rows to the cold tier is adopted: while it
+	// reports false the demotion is paused (rejected with ColdPaused
+	// counted) so hot rows are not migrated onto a degraded device.
+	// Promotion-only and DRAM-only plans adopt regardless.
+	ColdHealthy func() bool
 }
 
 func (o Options) withDefaults() Options {
@@ -308,6 +314,32 @@ func (c *Controller) replan(res StepResult, snaps []TableSnapshot, winMean float
 		c.metrics.Rejected++
 		return res
 	}
+	// With a cold tier in play, diff the placements to count rows
+	// crossing the DRAM/cold boundary — row-fraction deltas cannot see a
+	// permutation that swaps whole populations across it. Diffed before
+	// adoption so the demotion count can gate it: while the storage tier
+	// is degraded, demoting DRAM-resident rows onto the failing device
+	// would convert today's slow path into tomorrow's failure path, so
+	// such plans wait for the scrubber to declare the device healthy.
+	var coldPromoted, coldDemoted int64
+	coldDiffed := false
+	if hasColdRegion(next.Regions) {
+		oldProf := c.adoptedProfile
+		if oldProf == nil {
+			oldProf = c.opts.Baseline
+		}
+		oldPl, err1 := partition.Build(oldProf, c.current)
+		newPl, err2 := partition.Build(prof, next)
+		if err1 == nil && err2 == nil {
+			coldPromoted, coldDemoted = partition.DiffCold(oldPl, newPl)
+			coldDiffed = true
+		}
+		if coldDiffed && coldDemoted > 0 && c.opts.ColdHealthy != nil && !c.opts.ColdHealthy() {
+			c.metrics.ColdPaused++
+			c.metrics.Rejected++
+			return res
+		}
+	}
 	if err := c.opts.Adopt(prof, next); err != nil {
 		res.Err = fmt.Errorf("adapt: adoption: %w", err)
 		c.metrics.Errors++
@@ -317,22 +349,10 @@ func (c *Controller) replan(res StepResult, snaps []TableSnapshot, winMean float
 	c.metrics.Adoptions++
 	c.metrics.RowsMigrated += plan.RowsMoved
 	c.metrics.BytesMigrated += plan.BytesMoved
-	// With a cold tier in play, diff the placements to count rows
-	// crossing the DRAM/cold boundary — row-fraction deltas cannot see a
-	// permutation that swaps whole populations across it.
-	if hasColdRegion(next.Regions) {
-		oldProf := c.adoptedProfile
-		if oldProf == nil {
-			oldProf = c.opts.Baseline
-		}
-		oldPl, err1 := partition.Build(oldProf, c.current)
-		newPl, err2 := partition.Build(prof, next)
-		if err1 == nil && err2 == nil {
-			promoted, demoted := partition.DiffCold(oldPl, newPl)
-			plan.ColdPromotedRows, plan.ColdDemotedRows = promoted, demoted
-			c.metrics.ColdPromotedRows += promoted
-			c.metrics.ColdDemotedRows += demoted
-		}
+	if coldDiffed {
+		plan.ColdPromotedRows, plan.ColdDemotedRows = coldPromoted, coldDemoted
+		c.metrics.ColdPromotedRows += coldPromoted
+		c.metrics.ColdDemotedRows += coldDemoted
 	}
 	c.metrics.EstimatedGain = plan.Speedup
 	c.lastAdopt = time.Now()
@@ -404,6 +424,9 @@ type Metrics struct {
 	// crossing the DRAM/cold boundary (zero without a cold tier).
 	ColdPromotedRows int64
 	ColdDemotedRows  int64
+	// ColdPaused counts demoting plans rejected because the storage tier
+	// was degraded when they came up for adoption (also in Rejected).
+	ColdPaused int64
 	// DriftScore and DriftKS are the latest window's values.
 	DriftScore float64
 	DriftKS    float64
@@ -452,6 +475,7 @@ func (c *Controller) Expo() string {
 	counter("recross_adapt_bytes_migrated_total", m.BytesMigrated)
 	counter("recross_adapt_cold_promoted_rows_total", m.ColdPromotedRows)
 	counter("recross_adapt_cold_demoted_rows_total", m.ColdDemotedRows)
+	counter("recross_adapt_cold_paused_total", m.ColdPaused)
 	gauge("recross_adapt_drift_score", m.DriftScore)
 	gauge("recross_adapt_drift_ks", m.DriftKS)
 	gauge("recross_adapt_last_speedup", m.LastSpeedup)

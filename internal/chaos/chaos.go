@@ -41,6 +41,22 @@ const (
 	// discard rather than serve.
 	Corrupt
 
+	// Storage-tier kinds, injected by FaultyColdStore at the coldstore
+	// Device seam rather than per replica batch.
+
+	// ReadErr fails a device page read with an I/O error (a media read
+	// error; the store retries, then trips its breaker).
+	ReadErr
+	// Stall sleeps a device page read for the configured stall — a
+	// latency outlier the per-read deadline must bound.
+	Stall
+	// CorruptPage flips bits in a page read's payload — silent media
+	// corruption the checksum must catch and repair.
+	CorruptPage
+	// TornWrite persists only a prefix of a page write and reports
+	// success — a torn write the next verified read must detect.
+	TornWrite
+
 	numKinds
 )
 
@@ -54,6 +70,14 @@ func (k Kind) String() string {
 		return "wedge"
 	case Corrupt:
 		return "corrupt"
+	case ReadErr:
+		return "read-err"
+	case Stall:
+		return "stall"
+	case CorruptPage:
+		return "corrupt-page"
+	case TornWrite:
+		return "torn-write"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -1,0 +1,36 @@
+package coldstore
+
+import (
+	"testing"
+)
+
+// benchPageRead measures the uncached row-read path — device page read,
+// integrity verification (when enabled), decode and cache install — with a
+// one-frame cache so every operation goes to the device. The checksum-on /
+// checksum-off pair bounds the verification overhead the PR budgets at
+// <5%: block-granular sums mean a fill checks ~4 KiB, not the whole page.
+func benchPageRead(b *testing.B, checksum bool) {
+	cfg := Config{Dir: b.TempDir(), PageBytes: 16 << 10, CacheBytes: 1, DisableChecksum: !checksum}
+	src := &testSource{id: 1, rows: 200000, vecLen: 64}
+	s, err := Open(cfg, []RowSource{src})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	dst := make([]float32, 64)
+	rows := int64(200000)
+	for i := int64(0); i < rows; i += int64(s.RowsPerPage()) {
+		s.ReadRow(0, i, dst)
+	}
+	stride := int64(s.RowsPerPage())
+	var idx int64
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ReadRow(0, idx%rows, dst)
+		idx += stride
+	}
+}
+
+func BenchmarkPageReadChecksum(b *testing.B)   { benchPageRead(b, true) }
+func BenchmarkPageReadNoChecksum(b *testing.B) { benchPageRead(b, false) }

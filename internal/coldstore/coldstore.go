@@ -33,6 +33,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // RowSource supplies reference rows for lazy page population. It matches
@@ -69,6 +70,39 @@ type Config struct {
 	// Mmap maps the backing file instead of using pread. Population still
 	// goes through pwrite; reads come from the mapping.
 	Mmap bool
+	// DisableChecksum turns off per-page CRC32C verification and repair —
+	// the checksum-off benchmark baseline. Keep it on in production.
+	DisableChecksum bool
+	// Retries is how many times a failed device page read is retried
+	// (with backoff) before the read counts as a failure (default 2;
+	// negative disables retries).
+	Retries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt (default 100µs).
+	RetryBackoff time.Duration
+	// ReadDeadline bounds one device page read: past it the read is
+	// abandoned (the device goroutine finishes into its own buffer and is
+	// drained by Close) and counted as a failure. 0 disables (default) —
+	// the in-process devices cannot hang, and the deadline path costs a
+	// goroutine per device read.
+	ReadDeadline time.Duration
+	// BreakerThreshold consecutive failed device reads open the circuit
+	// breaker (default 4). While open, cold reads fail fast and the
+	// caller falls back to direct RowSource materialization.
+	BreakerThreshold int
+	// BreakerCooldown is the open->half-open delay (default 50ms).
+	BreakerCooldown time.Duration
+	// BreakerProbes consecutive successful half-open reads close the
+	// circuit again (default 2).
+	BreakerProbes int
+	// ScrubInterval is the background scrubber's cadence: every interval
+	// one resident page is read back from the device and verified against
+	// its checksum, repairing on mismatch. 0 disables the scrubber
+	// (default).
+	ScrubInterval time.Duration
+	// WrapDevice, when set, interposes on the store's page I/O — the
+	// fault-injection seam (chaos.FaultyColdStore wraps here).
+	WrapDevice func(Device) Device
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +114,23 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Prefetch == 0 {
 		c.Prefetch = 64
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 100 * time.Microsecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 4
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 50 * time.Millisecond
+	}
+	if c.BreakerProbes == 0 {
+		c.BreakerProbes = 2
 	}
 	return c
 }
@@ -183,6 +234,30 @@ type Stats struct {
 	Reduces int64
 	// Remaps counts frequency-mapping rebuilds.
 	Remaps int64
+	// ChecksumFailures counts page reads whose CRC32C did not match the
+	// stored sum; each triggers a repair.
+	ChecksumFailures int64
+	// Repairs counts pages regenerated bit-exactly from the RowSource
+	// after a checksum mismatch.
+	Repairs int64
+	// ScrubPages counts pages the background scrubber has verified.
+	ScrubPages int64
+	// Retries counts device read retry attempts.
+	Retries int64
+	// ReadFailures counts device reads that failed after all retries.
+	ReadFailures int64
+	// WriteFailures counts failed device write-backs.
+	WriteFailures int64
+	// ReadTimeouts counts device reads abandoned past ReadDeadline.
+	ReadTimeouts int64
+	// BreakerRejects counts reads failed fast by the open circuit.
+	BreakerRejects int64
+	// BreakerState is the circuit state (0 closed, 1 half-open, 2 open);
+	// BreakerOpens/HalfOpens/Closes count cumulative transitions.
+	BreakerState                                  int64
+	BreakerOpens, BreakerHalfOpens, BreakerCloses int64
+	// Degraded mirrors Store.Degraded: the breaker is not closed.
+	Degraded bool
 	// Pages and PageBytes describe the layout.
 	Pages     int64
 	PageBytes int64
@@ -200,36 +275,60 @@ func (s Stats) HitRate() float64 {
 
 // Store is the flash-backed cold tier. Create with Open.
 type Store struct {
-	cfg      Config
-	tables   []RowSource
-	vecLen   int
-	vecBytes int
-	rpp      int // rows per page
-	pageBase []int64
-	nPages   int64
+	cfg       Config
+	tables    []RowSource
+	vecLen    int
+	vecBytes  int
+	rpp       int // rows per page
+	blockRows int // rows per checksum block (~4 KiB of row bytes)
+	bpp       int // checksum blocks per page
+	pageBase  []int64
+	nPages    int64
 
 	file *os.File
 	mm   []byte // non-nil when mmapped
+	dev  Device // page I/O seam (file, mmap, or a fault wrapper)
 
 	// mu guards the frequency mapping and the page-population states
-	// against Remap; the read path holds it shared.
+	// against Remap and Close; the read path holds it shared.
 	mu    sync.RWMutex
 	maps  []*tableMap
 	state []atomic.Uint32 // per-page population state
+	// sums holds one CRC32C per ~4 KiB checksum block (bpp per page,
+	// indexed page*bpp+block), valid while the page's state is ready.
+	// Block granularity keeps verification off the fill path's critical
+	// ns: a fill checks only the block it serves and the rest verify on
+	// first serve from the cache or under the scrubber.
+	sums []atomic.Uint32
 	// popMu stripes page population so one goroutine generates a page.
 	popMu [64]sync.Mutex
 
 	cache *pageCache
 
+	breaker *breaker
+
+	// closed flips once in Close; readers check it under mu and bail.
+	// ioWG tracks abandoned deadline reads so Close can drain them
+	// before unmapping.
+	closed atomic.Bool
+	ioWG   sync.WaitGroup
+
 	prefetchCh   chan int64
 	prefetchStop chan struct{}
 	prefetchDone chan struct{}
 
+	scrubStop chan struct{}
+	scrubDone chan struct{}
+
 	bufs sync.Pool // page-sized []byte scratch
 
-	rowReads, populated       atomic.Int64
-	prefetches, prefetchDrops atomic.Int64
-	reduces, remaps           atomic.Int64
+	rowReads, populated         atomic.Int64
+	prefetches, prefetchDrops   atomic.Int64
+	reduces, remaps             atomic.Int64
+	checksumFailures, repairs   atomic.Int64
+	scrubPages, retries         atomic.Int64
+	readFailures, writeFailures atomic.Int64
+	timeouts, breakerRejects    atomic.Int64
 }
 
 // Open creates the backing file and store for the given source tables. All
@@ -265,17 +364,35 @@ func Open(cfg Config, tables []RowSource) (*Store, error) {
 		pageBase: make([]int64, len(tables)),
 		maps:     make([]*tableMap, len(tables)),
 	}
+	// Checksum blocks target ~4 KiB of row bytes: small enough that the
+	// verify on the fill path is a fraction of the device read, large
+	// enough for the hardware CRC's multi-stream kernel. Small pages
+	// collapse to one block covering the whole page.
+	s.blockRows = blockTargetBytes / vecBytes
+	if s.blockRows < 1 {
+		s.blockRows = 1
+	}
+	if s.blockRows > s.rpp {
+		s.blockRows = s.rpp
+	}
+	s.bpp = (s.rpp + s.blockRows - 1) / s.blockRows
 	for i, t := range tables {
 		s.pageBase[i] = s.nPages
 		s.nPages += (t.Rows() + int64(s.rpp) - 1) / int64(s.rpp)
 		s.maps[i] = newTableMap(t.Rows(), nil)
 	}
 	s.state = make([]atomic.Uint32, s.nPages)
+	s.sums = make([]atomic.Uint32, s.nPages*int64(s.bpp))
+	s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerProbes, cfg.BreakerCooldown)
 	cachePages := int(cfg.CacheBytes / int64(cfg.PageBytes))
 	if cachePages < 1 {
 		cachePages = 1
 	}
-	s.cache = newPageCache(cachePages, s.rpp*vecLen)
+	verify := s.verifyCachedBlock
+	if cfg.DisableChecksum {
+		verify = nil
+	}
+	s.cache = newPageCache(cachePages, s.rpp*vecLen, s.bpp, s.blockRows*vecLen, verify)
 	s.bufs.New = func() any { b := make([]byte, cfg.PageBytes); return &b }
 
 	f, err := os.CreateTemp(cfg.Dir, "coldstore-*.dat")
@@ -288,18 +405,28 @@ func Open(cfg Config, tables []RowSource) (*Store, error) {
 		return nil, fmt.Errorf("coldstore: truncate: %w", err)
 	}
 	s.file = f
+	s.dev = &fileDevice{f: f, pageBytes: int64(cfg.PageBytes)}
 	if cfg.Mmap {
 		if err := s.mapFile(); err != nil {
 			f.Close()
 			os.Remove(f.Name())
 			return nil, err
 		}
+		s.dev = &mmapDevice{mm: s.mm, f: f, pageBytes: int64(cfg.PageBytes)}
+	}
+	if cfg.WrapDevice != nil {
+		s.dev = cfg.WrapDevice(s.dev)
 	}
 	if cfg.Prefetch > 0 {
 		s.prefetchCh = make(chan int64, cfg.Prefetch)
 		s.prefetchStop = make(chan struct{})
 		s.prefetchDone = make(chan struct{})
 		go s.prefetcher()
+	}
+	if cfg.ScrubInterval > 0 {
+		s.scrubStop = make(chan struct{})
+		s.scrubDone = make(chan struct{})
+		go s.scrubber()
 	}
 	return s, nil
 }
@@ -316,13 +443,29 @@ func (s *Store) RowsPerPage() int { return s.rpp }
 // Pages returns the total device page count.
 func (s *Store) Pages() int64 { return s.nPages }
 
-// Close stops the prefetcher and removes the backing file.
+// Close stops the scrubber and prefetcher, drains in-flight readers and
+// abandoned deadline reads, then unmaps, closes and removes the backing
+// file. Idempotent and safe to call concurrently with reads: the first
+// call does the work (later calls return nil immediately), new readers
+// observe the closed flag and bail, and the unmap happens only after every
+// goroutine that could still touch the device has finished.
 func (s *Store) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if s.scrubStop != nil {
+		close(s.scrubStop)
+		<-s.scrubDone
+	}
 	if s.prefetchStop != nil {
 		close(s.prefetchStop)
 		<-s.prefetchDone
-		s.prefetchStop = nil
 	}
+	// Exclusive lock drains in-flight readers (they hold mu shared for
+	// the whole read); the wait drains deadline reads they abandoned.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ioWG.Wait()
 	var err error
 	if s.mm != nil {
 		err = s.unmapFile()
@@ -338,10 +481,24 @@ func (s *Store) Close() error {
 	return err
 }
 
+// Degraded reports whether the cold tier is serving degraded: the circuit
+// breaker is not closed, so cold reads fail fast and callers fall back to
+// direct RowSource materialization.
+func (s *Store) Degraded() bool { return s.breaker.current() != BreakerClosed }
+
+// BreakerState returns the circuit state (BreakerClosed, BreakerHalfOpen
+// or BreakerOpen).
+func (s *Store) BreakerState() int32 { return s.breaker.current() }
+
 // ReadRow writes row idx of table into dst (len == VecLen) and reports
-// whether the store holds that row (false only for out-of-range input; the
-// caller then falls back to direct materialization). The returned bits are
-// identical to RowSource.Row — the page was populated from it.
+// whether the store served that row: false for out-of-range input, for a
+// closed store, and for a device too broken to answer (breaker open or a
+// read that failed after retries) — the caller then falls back to direct
+// materialization, which stays bit-identical. When the store does answer,
+// the bits are identical to RowSource.Row: pages are populated from it,
+// every row is CRC32C-verified (its checksum block checks on the device
+// read that fills the cache or on its first serve from the cache), and a
+// mismatching page is repaired from the source before anything is served.
 func (s *Store) ReadRow(table int, idx int64, dst []float32) bool {
 	if table < 0 || table >= len(s.tables) {
 		return false
@@ -351,16 +508,39 @@ func (s *Store) ReadRow(table int, idx int64, dst []float32) bool {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.closed.Load() {
+		return false
+	}
 	slot := s.maps[table].slotOf(idx)
 	page := s.pageBase[table] + slot/int64(s.rpp)
-	off := int(slot%int64(s.rpp)) * s.vecLen
-	if s.cache.get(page, off, dst) {
+	rowIn := int(slot % int64(s.rpp))
+	off := rowIn * s.vecLen
+	blk := rowIn / s.blockRows
+	switch s.cache.get(page, off, dst, blk) {
+	case cacheHit:
+		s.rowReads.Add(1)
+		return true
+	case cacheCorrupt:
+		// The row's block sat unverified in the frame and failed its
+		// first-serve check: regenerate the reference page, persist it
+		// and serve the repaired bits.
+		s.checksumFailures.Add(1)
+		vals := s.repair(page)
+		s.cache.put(page, vals, putAllVerified)
+		copy(dst, vals[off:off+s.vecLen])
 		s.rowReads.Add(1)
 		return true
 	}
-	vals := s.readPage(page)
+	if !s.breaker.allow() {
+		s.breakerRejects.Add(1)
+		return false
+	}
+	vals, vblk, ok := s.readPage(page, blk)
+	if !ok {
+		return false
+	}
 	copy(dst, vals[off:off+s.vecLen])
-	s.cache.put(page, vals)
+	s.cache.put(page, vals, vblk)
 	s.rowReads.Add(1)
 	return true
 }
@@ -384,7 +564,7 @@ func (s *Store) ReduceInto(dst []float32, table int, indices []int64, weights []
 	row := make([]float32, s.vecLen)
 	for k, idx := range indices {
 		if !s.ReadRow(table, idx, row) {
-			return fmt.Errorf("coldstore: row %d of table %d out of range", idx, table)
+			return fmt.Errorf("coldstore: row %d of table %d unavailable (out of range, closed, or device degraded)", idx, table)
 		}
 		switch kind {
 		case 1: // sum
@@ -442,9 +622,12 @@ func (s *Store) prefetcher() {
 			return
 		case page := <-s.prefetchCh:
 			s.mu.RLock()
-			if !s.cache.contains(page) {
-				vals := s.readPage(page)
-				s.cache.put(page, vals)
+			if !s.closed.Load() && !s.cache.contains(page) && s.breaker.allow() {
+				// Off the serving path: verify the whole page here so
+				// later hits skip even the first-serve block check.
+				if vals, vblk, ok := s.readPage(page, verifyAll); ok {
+					s.cache.put(page, vals, vblk)
+				}
 			}
 			s.mu.RUnlock()
 		}
@@ -463,6 +646,9 @@ func (s *Store) Remap(counts [][]RowCount) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	for i, cs := range counts {
 		if cs == nil {
 			continue
@@ -485,47 +671,107 @@ func (s *Store) HotRows(ti int) int {
 	return len(s.maps[ti].hotRows)
 }
 
+// verifyAll asks readPage to verify every checksum block of the page —
+// the prefetcher's and scrubber's off-critical-path mode.
+const verifyAll = -1
+
 // readPage returns page's float32 contents, populating the file on first
-// access. Caller holds s.mu shared.
-func (s *Store) readPage(page int64) []float32 {
+// access. It reports false only when the device failed past all retries —
+// the caller falls back to direct materialization. Served contents are
+// always the reference bits: block (verifyAll for all of them) is
+// checksum-verified against the stored sums and a mismatching page is
+// repaired from the RowSource before serving. The returned block value is
+// what the caller may mark verified in the cache (putAllVerified when the
+// whole page is known good). Caller holds s.mu shared.
+func (s *Store) readPage(page int64, block int) ([]float32, int, bool) {
 	if s.state[page].Load() != pageReady {
-		s.populate(page)
+		if vals, persisted := s.populate(page); !persisted {
+			// The write-back failed but the generated bits are correct:
+			// serve them and leave persistence for the next access.
+			return vals, putAllVerified, vals != nil
+		}
 	}
 	bp := s.bufs.Get().(*[]byte)
 	buf := *bp
-	if s.mm != nil {
-		copy(buf, s.mm[page*int64(s.cfg.PageBytes):(page+1)*int64(s.cfg.PageBytes)])
-	} else {
-		if _, err := s.file.ReadAt(buf, page*int64(s.cfg.PageBytes)); err != nil {
-			// A short read of the pre-sized file cannot happen; fail hard
-			// rather than serve wrong bits.
-			panic(fmt.Sprintf("coldstore: page %d read: %v", page, err))
+	for attempt := 0; ; attempt++ {
+		err := s.devRead(page, buf)
+		if err == nil {
+			break
 		}
+		if attempt >= s.cfg.Retries {
+			s.bufs.Put(bp)
+			s.readFailures.Add(1)
+			s.breaker.onFailure()
+			return nil, 0, false
+		}
+		s.retries.Add(1)
+		time.Sleep(s.cfg.RetryBackoff << attempt)
 	}
-	vals := make([]float32, s.rpp*s.vecLen)
-	for i := range vals {
-		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	if !s.cfg.DisableChecksum && !s.verifyBuf(page, buf, block) {
+		// Flipped bits or a torn write-back: regenerate the reference
+		// bytes, persist them, and serve the repaired page.
+		s.checksumFailures.Add(1)
+		vals := s.repair(page)
+		s.bufs.Put(bp)
+		s.breaker.onSuccess()
+		s.cache.pageReads.Add(1)
+		return vals, putAllVerified, true
 	}
+	vals := decodePage(buf, s.rpp*s.vecLen)
 	s.bufs.Put(bp)
+	s.breaker.onSuccess()
 	s.cache.pageReads.Add(1)
-	return vals
+	if s.cfg.DisableChecksum || block == verifyAll {
+		block = putAllVerified
+	}
+	return vals, block, true
 }
 
-// populate generates page's rows from the source table and writes them
-// back. Striped locking serializes population of one page; the state check
-// inside the lock makes it exactly-once per mapping generation.
-func (s *Store) populate(page int64) {
-	mu := &s.popMu[page%int64(len(s.popMu))]
-	mu.Lock()
-	defer mu.Unlock()
-	if s.state[page].Load() == pageReady {
-		return
+// devRead performs one device page read, bounded by Config.ReadDeadline
+// when set: a read past the deadline is abandoned to finish into its own
+// pooled buffer (tracked by ioWG so Close can drain it before unmapping)
+// and reported as a failure.
+func (s *Store) devRead(page int64, dst []byte) error {
+	if s.cfg.ReadDeadline <= 0 {
+		return s.dev.ReadPage(page, dst)
 	}
+	type result struct {
+		bp  *[]byte
+		err error
+	}
+	ch := make(chan result, 1)
+	bp := s.bufs.Get().(*[]byte)
+	s.ioWG.Add(1)
+	go func() {
+		defer s.ioWG.Done()
+		err := s.dev.ReadPage(page, *bp)
+		ch <- result{bp, err}
+	}()
+	t := time.NewTimer(s.cfg.ReadDeadline)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		if r.err == nil {
+			copy(dst, *r.bp)
+		}
+		s.bufs.Put(r.bp)
+		return r.err
+	case <-t.C:
+		s.timeouts.Add(1)
+		go func() { // reclaim the buffer when the straggler lands
+			r := <-ch
+			s.bufs.Put(r.bp)
+		}()
+		return errReadTimeout
+	}
+}
+
+// fillPage generates page's reference bytes into buf under the current
+// mapping. Caller holds s.mu shared and the page's popMu stripe.
+func (s *Store) fillPage(page int64, buf []byte) {
 	ti := s.tableOfPage(page)
 	m := s.maps[ti]
 	local := page - s.pageBase[ti]
-	bp := s.bufs.Get().(*[]byte)
-	buf := *bp
 	for i := range buf {
 		buf[i] = 0
 	}
@@ -541,12 +787,71 @@ func (s *Store) populate(page int64) {
 			binary.LittleEndian.PutUint32(buf[(k*s.vecLen+j)*4:], math.Float32bits(v))
 		}
 	}
-	if _, err := s.file.WriteAt(buf, page*int64(s.cfg.PageBytes)); err != nil {
-		panic(fmt.Sprintf("coldstore: page %d write: %v", page, err))
+}
+
+// populate generates page's rows from the source table and writes them
+// back, recording the block checksums. Striped locking serializes
+// population of one page; the state check inside the lock makes it
+// exactly-once per mapping generation. On a failed write-back it returns
+// the generated (correct) values with persisted=false and leaves the page
+// unpopulated so the next access retries; vals is nil when persisted.
+func (s *Store) populate(page int64) (vals []float32, persisted bool) {
+	mu := &s.popMu[page%int64(len(s.popMu))]
+	mu.Lock()
+	defer mu.Unlock()
+	if s.state[page].Load() == pageReady {
+		return nil, true
 	}
+	bp := s.bufs.Get().(*[]byte)
+	buf := *bp
+	s.fillPage(page, buf)
+	if err := s.dev.WritePage(page, buf); err != nil {
+		s.writeFailures.Add(1)
+		s.breaker.onFailure()
+		vals = decodePage(buf, s.rpp*s.vecLen)
+		s.bufs.Put(bp)
+		return vals, false
+	}
+	s.storeSums(page, buf)
 	s.bufs.Put(bp)
 	s.populated.Add(1)
 	s.state[page].Store(pageReady)
+	return nil, true
+}
+
+// repair regenerates page bit-exactly from the source tables after a
+// checksum mismatch, writes it back and refreshes the stored block sums.
+// Regeneration cannot fail (the tables are procedural), so the returned
+// values are always the reference bits; if only the write-back fails the
+// page is demoted to unpopulated so the next access retries persistence.
+// Caller holds s.mu shared.
+func (s *Store) repair(page int64) []float32 {
+	mu := &s.popMu[page%int64(len(s.popMu))]
+	mu.Lock()
+	defer mu.Unlock()
+	bp := s.bufs.Get().(*[]byte)
+	buf := *bp
+	s.fillPage(page, buf)
+	if err := s.dev.WritePage(page, buf); err != nil {
+		s.writeFailures.Add(1)
+		s.state[page].Store(pageEmpty)
+	} else {
+		s.storeSums(page, buf)
+		s.state[page].Store(pageReady)
+	}
+	vals := decodePage(buf, s.rpp*s.vecLen)
+	s.bufs.Put(bp)
+	s.repairs.Add(1)
+	return vals
+}
+
+// decodePage converts a page's little-endian bytes to n float32 values.
+func decodePage(buf []byte, n int) []float32 {
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return vals
 }
 
 // tableOfPage finds the table owning a global page id.
@@ -558,20 +863,34 @@ func (s *Store) tableOfPage(page int64) int {
 // Stats snapshots the store's counters.
 func (s *Store) Stats() Stats {
 	cs := s.cache.stats()
+	state := s.breaker.current()
 	return Stats{
-		RowReads:      s.rowReads.Load(),
-		PageHits:      cs.hits,
-		PageMisses:    cs.misses,
-		PageReads:     cs.reads,
-		Populated:     s.populated.Load(),
-		Evictions:     cs.evictions,
-		Prefetches:    s.prefetches.Load(),
-		PrefetchDrops: s.prefetchDrops.Load(),
-		Reduces:       s.reduces.Load(),
-		Remaps:        s.remaps.Load(),
-		Pages:         s.nPages,
-		PageBytes:     int64(s.cfg.PageBytes),
-		CachePages:    int64(s.cache.cap()),
+		RowReads:         s.rowReads.Load(),
+		PageHits:         cs.hits,
+		PageMisses:       cs.misses,
+		PageReads:        cs.reads,
+		Populated:        s.populated.Load(),
+		Evictions:        cs.evictions,
+		Prefetches:       s.prefetches.Load(),
+		PrefetchDrops:    s.prefetchDrops.Load(),
+		Reduces:          s.reduces.Load(),
+		Remaps:           s.remaps.Load(),
+		ChecksumFailures: s.checksumFailures.Load(),
+		Repairs:          s.repairs.Load(),
+		ScrubPages:       s.scrubPages.Load(),
+		Retries:          s.retries.Load(),
+		ReadFailures:     s.readFailures.Load(),
+		WriteFailures:    s.writeFailures.Load(),
+		ReadTimeouts:     s.timeouts.Load(),
+		BreakerRejects:   s.breakerRejects.Load(),
+		BreakerState:     int64(state),
+		BreakerOpens:     s.breaker.opens.Load(),
+		BreakerHalfOpens: s.breaker.halfOpens.Load(),
+		BreakerCloses:    s.breaker.closes.Load(),
+		Degraded:         state != BreakerClosed,
+		Pages:            s.nPages,
+		PageBytes:        int64(s.cfg.PageBytes),
+		CachePages:       int64(s.cache.cap()),
 	}
 }
 
@@ -597,6 +916,18 @@ func (s *Store) Expo() string {
 	counter("recross_coldstore_prefetch_drops_total", st.PrefetchDrops)
 	counter("recross_coldstore_reduces_total", st.Reduces)
 	counter("recross_coldstore_remaps_total", st.Remaps)
+	counter("recross_coldstore_checksum_failures_total", st.ChecksumFailures)
+	counter("recross_coldstore_repairs_total", st.Repairs)
+	counter("recross_coldstore_scrub_pages_total", st.ScrubPages)
+	counter("recross_coldstore_retries_total", st.Retries)
+	counter("recross_coldstore_read_failures_total", st.ReadFailures)
+	counter("recross_coldstore_write_failures_total", st.WriteFailures)
+	counter("recross_coldstore_read_timeouts_total", st.ReadTimeouts)
+	counter("recross_coldstore_breaker_rejects_total", st.BreakerRejects)
+	counter("recross_coldstore_breaker_opens_total", st.BreakerOpens)
+	counter("recross_coldstore_breaker_half_opens_total", st.BreakerHalfOpens)
+	counter("recross_coldstore_breaker_closes_total", st.BreakerCloses)
+	gauge("recross_coldstore_breaker_state", float64(st.BreakerState))
 	gauge("recross_coldstore_pages", float64(st.Pages))
 	gauge("recross_coldstore_page_bytes", float64(st.PageBytes))
 	gauge("recross_coldstore_cache_pages", float64(st.CachePages))

@@ -366,6 +366,18 @@ func TestExpoSchema(t *testing.T) {
 		"recross_coldstore_prefetch_drops_total",
 		"recross_coldstore_reduces_total",
 		"recross_coldstore_remaps_total",
+		"recross_coldstore_checksum_failures_total",
+		"recross_coldstore_repairs_total",
+		"recross_coldstore_scrub_pages_total",
+		"recross_coldstore_retries_total",
+		"recross_coldstore_read_failures_total",
+		"recross_coldstore_write_failures_total",
+		"recross_coldstore_read_timeouts_total",
+		"recross_coldstore_breaker_rejects_total",
+		"recross_coldstore_breaker_opens_total",
+		"recross_coldstore_breaker_half_opens_total",
+		"recross_coldstore_breaker_closes_total",
+		"recross_coldstore_breaker_state",
 		"recross_coldstore_pages",
 		"recross_coldstore_page_bytes",
 		"recross_coldstore_cache_pages",

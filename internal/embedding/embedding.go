@@ -141,6 +141,10 @@ type Layer struct {
 	// (RowCache still probes first). Atomic: adoption swaps the route
 	// while serving goroutines read it.
 	cold atomic.Pointer[coldRoute]
+	// coldFallbacks counts cold-placed rows the reader declined (device
+	// degraded) that were materialized directly from the table instead —
+	// the degraded-but-correct slow path.
+	coldFallbacks atomic.Int64
 }
 
 // NewLayer builds a layer of procedural tables matching spec.
@@ -233,17 +237,26 @@ func (l *Layer) MaterializeRow(ti int, idx int64, dst []float32) {
 	if cached && l.cache.Get(ti, idx, dst) {
 		return
 	}
-	if cr := l.cold.Load(); cr != nil && cr.isCold(ti, idx) && cr.reader.ReadColdRow(ti, idx, dst) {
-		if cached {
-			l.cache.Put(ti, idx, dst)
+	if cr := l.cold.Load(); cr != nil && cr.isCold(ti, idx) {
+		if cr.reader.ReadColdRow(ti, idx, dst) {
+			if cached {
+				l.cache.Put(ti, idx, dst)
+			}
+			return
 		}
-		return
+		// The cold tier declined (breaker open, device failing): fall
+		// through to direct materialization — slower, still bit-exact.
+		l.coldFallbacks.Add(1)
 	}
 	l.tables[ti].Row(idx, dst)
 	if cached {
 		l.cache.Put(ti, idx, dst)
 	}
 }
+
+// ColdFallbacks reports how many cold-placed rows were materialized
+// directly from their table because the cold tier declined the read.
+func (l *Layer) ColdFallbacks() int64 { return l.coldFallbacks.Load() }
 
 // Scratch is a per-caller arena for the zero-allocation reduce path: the
 // row gather buffer plus a growable flat arena that ReduceSampleInto

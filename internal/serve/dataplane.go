@@ -143,6 +143,7 @@ func (s *Server) dataplaneExpo() string {
 	counter("recross_dataplane_row_cache_hits_total", st.Hits)
 	counter("recross_dataplane_row_cache_misses_total", st.Misses)
 	counter("recross_dataplane_row_cache_evictions_total", st.Evictions)
+	counter("recross_dataplane_cold_fallbacks_total", s.opts.Layer.ColdFallbacks())
 	gauge("recross_dataplane_row_cache_bytes", float64(st.Bytes))
 	gauge("recross_dataplane_row_cache_capacity_bytes", float64(st.CapBytes))
 	gauge("recross_dataplane_row_cache_hit_rate", st.HitRate())

@@ -49,6 +49,10 @@ type LookupResponse struct {
 	// vectors, no timing model) because no healthy replica could serve
 	// it (omitted when false).
 	Degraded bool `json:"degraded,omitempty"`
+	// ColdDegraded marks an answer completed while the storage tier was
+	// degraded — cold rows through the slow direct-materialization
+	// fallback (omitted when false).
+	ColdDegraded bool `json:"cold_degraded,omitempty"`
 	// QueueMicros and TotalMicros are wall-clock microseconds.
 	QueueMicros float64 `json:"queue_us"`
 	TotalMicros float64 `json:"total_us"`
@@ -155,6 +159,7 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		Replica:       res.Replica,
 		Retries:       res.Retries,
 		Degraded:      res.Degraded,
+		ColdDegraded:  res.ColdDegraded,
 		QueueMicros:   float64(res.QueueWait.Nanoseconds()) / 1e3,
 		TotalMicros:   float64(res.Total.Nanoseconds()) / 1e3,
 	})

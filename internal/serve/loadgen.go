@@ -62,23 +62,27 @@ func (o LoadgenOptions) withDefaults() LoadgenOptions {
 // Report summarizes one load-generation run. Unsuccessful requests are
 // reported as separate counts — shed (admission rejected), canceled
 // (deadline/cancellation), failed (replica or simulation failure) —
-// rather than one error bucket, and Degraded counts answers that
-// completed from the functional fallback.
+// rather than one error bucket. Degradation is split by cause: Degraded
+// counts answers that completed from the functional fallback after a
+// compute-quorum loss, ColdDegraded answers completed while the storage
+// tier was degraded (cold rows through the slow direct path); a request
+// may count in both.
 type Report struct {
-	Clients   int
-	Wall      time.Duration
-	Requests  int64 // completed successfully (including degraded)
-	Degraded  int64 // completed via the functional fallback
-	Shed      int64
-	Canceled  int64
-	Failed    int64   // replica/simulation failures (ErrReplicaFailure etc.)
-	Errors    int64   // any other failures
-	Thru      float64 // completed requests per second
-	P50       time.Duration
-	P95       time.Duration
-	P99       time.Duration
-	Max       time.Duration
-	MeanBatch float64
+	Clients      int
+	Wall         time.Duration
+	Requests     int64 // completed successfully (including degraded)
+	Degraded     int64 // completed via the functional fallback (compute)
+	ColdDegraded int64 // completed while the cold tier was degraded (storage)
+	Shed         int64
+	Canceled     int64
+	Failed       int64   // replica/simulation failures (ErrReplicaFailure etc.)
+	Errors       int64   // any other failures
+	Thru         float64 // completed requests per second
+	P50          time.Duration
+	P95          time.Duration
+	P99          time.Duration
+	Max          time.Duration
+	MeanBatch    float64
 	// ServiceP50/P99 are simulated DRAM-cycle batch latencies.
 	ServiceP50, ServiceP99 float64
 }
@@ -89,7 +93,10 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "loadgen: %d clients, %.2fs wall\n", r.Clients, r.Wall.Seconds())
 	fmt.Fprintf(&b, "  completed  %d (%.0f req/s)\n", r.Requests, r.Thru)
 	if r.Degraded > 0 {
-		fmt.Fprintf(&b, "  degraded   %d (functional fallback)\n", r.Degraded)
+		fmt.Fprintf(&b, "  degraded   %d (compute: functional fallback)\n", r.Degraded)
+	}
+	if r.ColdDegraded > 0 {
+		fmt.Fprintf(&b, "  degraded   %d (storage: cold tier fallback)\n", r.ColdDegraded)
 	}
 	if r.Shed > 0 || r.Canceled > 0 || r.Failed > 0 || r.Errors > 0 {
 		fmt.Fprintf(&b, "  shed %d, canceled %d, failed %d, errors %d\n",
@@ -114,8 +121,9 @@ func Loadgen(s *Server, opts LoadgenOptions) (*Report, error) {
 	}
 
 	type clientStats struct {
-		lat                                      []float64 // ns
-		degraded, shed, canceled, failed, errors int64
+		lat                            []float64 // ns
+		degraded, coldDegraded         int64
+		shed, canceled, failed, errors int64
 	}
 	stats := make([]clientStats, opts.Clients)
 	deadline := time.Now().Add(opts.Duration)
@@ -173,6 +181,9 @@ func Loadgen(s *Server, opts LoadgenOptions) (*Report, error) {
 					if res.Degraded {
 						st.degraded++
 					}
+					if res.ColdDegraded {
+						st.coldDegraded++
+					}
 				case errors.Is(err, ErrOverloaded):
 					st.shed++
 				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -199,6 +210,7 @@ func Loadgen(s *Server, opts LoadgenOptions) (*Report, error) {
 	for i := range stats {
 		rep.Requests += int64(len(stats[i].lat))
 		rep.Degraded += stats[i].degraded
+		rep.ColdDegraded += stats[i].coldDegraded
 		rep.Shed += stats[i].shed
 		rep.Canceled += stats[i].canceled
 		rep.Failed += stats[i].failed

@@ -139,6 +139,10 @@ type Metrics struct {
 	// Degraded counts requests answered from the functional layer with
 	// Result.Degraded set (also included in Completed).
 	Degraded atomic.Int64
+	// DegradedCold counts requests completed while the storage tier was
+	// degraded (Result.ColdDegraded; also included in Completed) —
+	// storage-path degradation, disjoint from quorum-loss Degraded.
+	DegradedCold atomic.Int64
 	// Retries counts failed-batch resubmissions to another replica.
 	Retries atomic.Int64
 	// Restarts counts successful supervisor replica rebuilds.
@@ -199,7 +203,7 @@ type Snapshot struct {
 	Admitted, Completed, Failed, Shed, Canceled int64
 	Batches, BatchSamples                       int64
 
-	Degraded, Retries, Restarts                         int64
+	Degraded, DegradedCold, Retries, Restarts           int64
 	FaultPanics, FaultWedges, FaultCorrupt, FaultErrors int64
 	UpdatesStaged, UpdatesApplied, UpdateFailures       int64
 
@@ -217,6 +221,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Batches:        m.Batches.Load(),
 		BatchSamples:   m.BatchSamples.Load(),
 		Degraded:       m.Degraded.Load(),
+		DegradedCold:   m.DegradedCold.Load(),
 		Retries:        m.Retries.Load(),
 		Restarts:       m.Restarts.Load(),
 		FaultPanics:    m.FaultPanics.Load(),
@@ -259,6 +264,7 @@ func (s Snapshot) Expo() string {
 	counter("recross_requests_shed_total", s.Shed)
 	counter("recross_requests_canceled_total", s.Canceled)
 	counter("recross_requests_degraded_total", s.Degraded)
+	counter("recross_requests_cold_degraded_total", s.DegradedCold)
 	counter("recross_retries_total", s.Retries)
 	counter("recross_replica_restarts_total", s.Restarts)
 	counter("recross_replica_faults_panic_total", s.FaultPanics)
@@ -315,8 +321,13 @@ func (h HealthReport) Expo() string {
 	if h.Available < h.Quorum {
 		degraded = 1
 	}
+	coldDegraded := 0
+	if h.ColdDegraded {
+		coldDegraded = 1
+	}
 	fmt.Fprintf(&b, "# TYPE recross_replicas_available gauge\nrecross_replicas_available %d\n", h.Available)
 	fmt.Fprintf(&b, "# TYPE recross_degraded_mode gauge\nrecross_degraded_mode %d\n", degraded)
+	fmt.Fprintf(&b, "# TYPE recross_cold_degraded_mode gauge\nrecross_cold_degraded_mode %d\n", coldDegraded)
 	return b.String()
 }
 

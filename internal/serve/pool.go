@@ -235,12 +235,16 @@ func (rep *replica) serve(s *Server, batch []*request) bool {
 			ServiceCycles: rr.st.Cycles,
 			Replica:       rep.id,
 			Retries:       r.retries,
+			ColdDegraded:  s.coldDegraded(),
 			QueueWait:     r.deq.Sub(r.enq),
 			Total:         now.Sub(r.enq),
 		}
 		if r.complete(outcome{res: res}) {
 			s.metrics.E2E.Record(res.Total.Nanoseconds())
 			s.metrics.Completed.Add(1)
+			if res.ColdDegraded {
+				s.metrics.DegradedCold.Add(1)
+			}
 		}
 	}
 	return true

@@ -220,6 +220,14 @@ type Options struct {
 	// server serves from but does not own the lifecycle of otherwise
 	// (e.g. the cold tier's backing store).
 	OnClose func()
+
+	// ColdDegraded, when non-nil, probes whether the storage tier is
+	// serving degraded (the cold store's circuit breaker is not closed).
+	// Answers completed while it reports true carry Result.ColdDegraded,
+	// /healthz shows status "cold-degraded", and the
+	// recross_requests_cold_degraded_total counter advances — storage
+	// degradation stays distinguishable from compute-quorum degradation.
+	ColdDegraded func() bool
 }
 
 func (o Options) withDefaults() Options {
@@ -270,7 +278,14 @@ type Result struct {
 	// Degraded marks a request answered from the shared functional layer
 	// — correct vectors, no timing model — because no healthy replica
 	// could serve it (quorum loss, drain, or an exhausted retry budget).
+	// It reports compute degradation; storage degradation is the separate
+	// ColdDegraded flag, and a request may carry both.
 	Degraded bool
+	// ColdDegraded marks a request completed while the storage tier was
+	// degraded (cold-store breaker not closed): cold-placed rows were
+	// materialized through the slow direct-RowSource fallback, so the
+	// vectors are still bit-exact but cold-path latency is not.
+	ColdDegraded bool
 	// QueueWait is the wall time spent waiting in the admission queue.
 	QueueWait time.Duration
 	// Total is the end-to-end wall time from admission to completion.

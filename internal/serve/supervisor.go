@@ -173,19 +173,29 @@ func (s *Server) serveDegraded(r *request) {
 		r.deq = time.Now()
 	}
 	res := &Result{
-		Vectors:   vecs,
-		BatchSize: 1,
-		Replica:   -1,
-		Retries:   r.retries,
-		Degraded:  true,
-		QueueWait: r.deq.Sub(r.enq),
-		Total:     time.Since(r.enq),
+		Vectors:      vecs,
+		BatchSize:    1,
+		Replica:      -1,
+		Retries:      r.retries,
+		Degraded:     true,
+		ColdDegraded: s.coldDegraded(),
+		QueueWait:    r.deq.Sub(r.enq),
+		Total:        time.Since(r.enq),
 	}
 	if r.complete(outcome{res: res}) {
 		s.metrics.Degraded.Add(1)
 		s.metrics.Completed.Add(1)
 		s.metrics.E2E.Record(res.Total.Nanoseconds())
+		if res.ColdDegraded {
+			s.metrics.DegradedCold.Add(1)
+		}
 	}
+}
+
+// coldDegraded probes the storage tier's health (false with no probe
+// configured).
+func (s *Server) coldDegraded() bool {
+	return s.opts.ColdDegraded != nil && s.opts.ColdDegraded()
 }
 
 // AvailableReplicas counts replicas eligible for dispatch (healthy or
@@ -221,24 +231,35 @@ type ReplicaHealth struct {
 
 // HealthReport is the server-wide health snapshot behind /healthz.
 type HealthReport struct {
-	// Status is "ok", "degraded" (below quorum, serving functionally) or
+	// Status is "ok", "degraded" (below quorum, serving functionally),
+	// "cold-degraded" (compute healthy but the storage tier's breaker is
+	// not closed, so cold rows serve through the slow fallback) or
 	// "draining".
 	Status string `json:"status"`
 	// Available counts dispatchable replicas; Quorum is the threshold.
 	Available int `json:"available"`
 	Quorum    int `json:"quorum"`
+	// ColdDegraded reports the storage tier's health probe (always false
+	// without a cold tier).
+	ColdDegraded bool `json:"cold_degraded,omitempty"`
 	// Replicas holds the per-replica states.
 	Replicas []ReplicaHealth `json:"replicas"`
 }
 
 // Health snapshots per-replica states and the server-wide status.
 func (s *Server) Health() HealthReport {
-	h := HealthReport{Available: s.AvailableReplicas(), Quorum: s.opts.Quorum}
+	h := HealthReport{
+		Available:    s.AvailableReplicas(),
+		Quorum:       s.opts.Quorum,
+		ColdDegraded: s.coldDegraded(),
+	}
 	switch {
 	case s.Draining():
 		h.Status = "draining"
 	case h.Available < h.Quorum:
 		h.Status = "degraded"
+	case h.ColdDegraded:
+		h.Status = "cold-degraded"
 	default:
 		h.Status = "ok"
 	}

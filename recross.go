@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"sync/atomic"
+	"time"
 
 	"recross/internal/adapt"
 	"recross/internal/arch"
@@ -102,6 +103,22 @@ type (
 	// ColdRowCount is one row's sketch-derived access count, the input of
 	// the frequency-based page mapping.
 	ColdRowCount = coldstore.RowCount
+	// ColdDevice is the cold store's page I/O seam; wrap it (via
+	// ColdTierConfig.WrapDevice) to interpose fault injection or
+	// alternative media.
+	ColdDevice = coldstore.Device
+
+	// ColdFaultConfig configures storage-tier fault injection (rates,
+	// stall, schedule, seed) for FaultyColdDevice.
+	ColdFaultConfig = chaos.ColdConfig
+	// ColdFaultRates are the per-operation storage fault probabilities.
+	ColdFaultRates = chaos.ColdRates
+	// ColdFaultRule scripts one exact storage fault.
+	ColdFaultRule = chaos.ColdRule
+	// FaultyColdDevice is the deterministic fault-injecting cold device
+	// wrapper (read errors, stalls, corrupt pages, torn writes, sticky
+	// device failure).
+	FaultyColdDevice = chaos.FaultyColdStore
 
 	// Server is the embedding-inference serving front-end: dynamic
 	// batching over a sharded, self-healing replica pool with admission
@@ -182,6 +199,12 @@ const (
 	FaultPanic   = chaos.Panic
 	FaultWedge   = chaos.Wedge
 	FaultCorrupt = chaos.Corrupt
+
+	// Storage-tier fault kinds (FaultyColdDevice).
+	FaultColdReadErr     = chaos.ReadErr
+	FaultColdStall       = chaos.Stall
+	FaultColdCorruptPage = chaos.CorruptPage
+	FaultColdTornWrite   = chaos.TornWrite
 )
 
 // Serving layer overload policies and errors, re-exported.
@@ -328,6 +351,33 @@ type ColdTierConfig struct {
 	Mmap bool
 	// Prefetch is the async prefetch queue depth (default 64).
 	Prefetch int
+
+	// DisableChecksum turns off per-page CRC32C verification and repair
+	// (the benchmark baseline; keep it on in production).
+	DisableChecksum bool
+	// Retries bounds device read retries per page read (default 2;
+	// negative disables).
+	Retries int
+	// RetryBackoff is the initial retry backoff, doubling per attempt
+	// (default 100µs).
+	RetryBackoff time.Duration
+	// ReadDeadline bounds one device page read; 0 disables (default).
+	ReadDeadline time.Duration
+	// BreakerThreshold consecutive failed device reads open the cold
+	// tier's circuit breaker (default 4); while it is open, cold rows
+	// materialize through the direct slow path and the server reports
+	// cold-degraded health.
+	BreakerThreshold int
+	// BreakerCooldown is the breaker's open->half-open delay (default
+	// 50ms); BreakerProbes successful probes then close it (default 2).
+	BreakerCooldown time.Duration
+	BreakerProbes   int
+	// ScrubInterval is the background integrity scrubber's cadence (one
+	// resident page verified per interval; 0 disables).
+	ScrubInterval time.Duration
+	// WrapDevice, when set, interposes on the store's page I/O — the
+	// storage fault-injection seam (chaos campaigns wrap here).
+	WrapDevice func(ColdDevice) ColdDevice
 }
 
 // tierSpec converts the facade config into the core/timing-side spec.
@@ -478,11 +528,20 @@ func openColdStore(cold *ColdTierConfig, layer *Layer) (*coldstore.Store, error)
 		srcs[i] = layer.Table(i)
 	}
 	return coldstore.Open(coldstore.Config{
-		Dir:        dir,
-		PageBytes:  cold.PageBytes,
-		CacheBytes: cold.CacheBytes,
-		Prefetch:   cold.Prefetch,
-		Mmap:       cold.Mmap,
+		Dir:              dir,
+		PageBytes:        cold.PageBytes,
+		CacheBytes:       cold.CacheBytes,
+		Prefetch:         cold.Prefetch,
+		Mmap:             cold.Mmap,
+		DisableChecksum:  cold.DisableChecksum,
+		Retries:          cold.Retries,
+		RetryBackoff:     cold.RetryBackoff,
+		ReadDeadline:     cold.ReadDeadline,
+		BreakerThreshold: cold.BreakerThreshold,
+		BreakerCooldown:  cold.BreakerCooldown,
+		BreakerProbes:    cold.BreakerProbes,
+		ScrubInterval:    cold.ScrubInterval,
+		WrapDevice:       cold.WrapDevice,
 	}, srcs)
 }
 
@@ -556,6 +615,9 @@ func NewServer(a Arch, cfg Config, n int, opts ServeOptions) (*Server, error) {
 			return nil, err
 		}
 		routeCold(layer, store, rc.Placement())
+		if opts.ColdDegraded == nil {
+			opts.ColdDegraded = store.Degraded
+		}
 		prev := opts.OnClose
 		opts.OnClose = func() {
 			store.Close()
@@ -625,6 +687,14 @@ func NewAdaptiveServer(a Arch, cfg Config, n int, sopts ServeOptions, aopts Adap
 			return nil, nil, err
 		}
 		routeCold(layer, store, rc.Placement())
+		if sopts.ColdDegraded == nil {
+			sopts.ColdDegraded = store.Degraded
+		}
+		if aopts.ColdHealthy == nil {
+			// The demotion-pause gate: no DRAM->cold migrations while the
+			// store's breaker is not closed.
+			aopts.ColdHealthy = func() bool { return !store.Degraded() }
+		}
 		prev := sopts.OnClose
 		sopts.OnClose = func() {
 			store.Close()
@@ -753,6 +823,16 @@ func NewAdaptiveServer(a Arch, cfg Config, n int, sopts ServeOptions, aopts Adap
 // replica id; inj may be shared across a fleet (nil makes a fresh one).
 func WrapFaulty(sys System, fc FaultConfig, id int, inj *FaultInjector) *FaultySystem {
 	return chaos.Wrap(sys, fc, id, inj)
+}
+
+// WrapColdDevice wraps a cold-store page device with the deterministic
+// storage-fault injector — the storage-tier counterpart of WrapFaulty.
+// Install it through ColdTierConfig.WrapDevice and keep the returned
+// handle to script sticky outages (FailDevice/RestoreDevice); inj may be
+// shared with a replica fleet so one campaign spans compute and storage
+// faults (nil makes a fresh one).
+func WrapColdDevice(inner ColdDevice, fc ColdFaultConfig, inj *FaultInjector) *FaultyColdDevice {
+	return chaos.WrapColdDevice(inner, fc, inj)
 }
 
 // NewChaosServer builds a serving front-end whose replicas are wrapped
