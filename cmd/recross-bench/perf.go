@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"recross/internal/arch"
+	"recross/internal/chaos"
+	"recross/internal/cluster"
 	"recross/internal/coldstore"
 	"recross/internal/core"
 	"recross/internal/dram"
@@ -36,6 +38,14 @@ type perfEntry struct {
 	// SimCyclesPerSec is simulated DRAM cycles advanced per wall-clock
 	// second — the simulator's throughput figure of merit.
 	SimCyclesPerSec float64 `json:"sim_cycles_per_wall_second,omitempty"`
+	// LookupsPerMCycle is the cluster scale-out figure of merit: lookups
+	// served per million simulated busy cycles on the busiest node
+	// (total work over makespan, so per-node batch overhead and placement
+	// skew both count against it).
+	LookupsPerMCycle float64 `json:"lookups_per_mcycle,omitempty"`
+	// SpeedupVs1Node is LookupsPerMCycle relative to the same run's
+	// one-node entry.
+	SpeedupVs1Node float64 `json:"speedup_vs_1node,omitempty"`
 }
 
 // perfDoc is the trajectory file.
@@ -182,6 +192,15 @@ func runPerf(path string) error {
 		}
 		fmt.Fprintf(os.Stderr, "perf: %-24s %12.0f ns/op %8d allocs/op %14.0f simcycles/s\n",
 			e.Name, e.NsPerOp, e.AllocsPerOp, e.SimCyclesPerSec)
+		doc.Entries = append(doc.Entries, e)
+	}
+	centries, err := perfClusterSuite()
+	if err != nil {
+		return err
+	}
+	for _, e := range centries {
+		fmt.Fprintf(os.Stderr, "perf: %-24s %12.0f ns/op %10.1f lookups/Mcycle %8.2fx vs 1 node\n",
+			e.Name, e.NsPerOp, e.LookupsPerMCycle, e.SpeedupVs1Node)
 		doc.Entries = append(doc.Entries, e)
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
@@ -594,4 +613,248 @@ func perfRecrossE2E(cached bool) (perfEntry, error) {
 		}
 	})
 	return mkEntry(name, r, int64(rs.Cycles)), nil
+}
+
+// ---- PR8: cluster scale-out benchmarks ----
+
+// perfClusterSpec is the scale-out workload: sixteen tables whose
+// access volume is dominated by t0 (512 of 1472 gathers per sample,
+// ~35%), so naive sharding bottlenecks on whichever node owns t0 and
+// hot-table replication is what buys scale-out past ~3x. Samples are
+// wide and ops deep enough that gather work, not per-sub-batch
+// pipeline fill, dominates each node's cycles — the scale-out figure
+// measures placement, not scatter overhead.
+func perfClusterSpec() trace.ModelSpec {
+	tabs := make([]trace.TableSpec, 16)
+	for i := range tabs {
+		pool := 64
+		if i == 0 {
+			pool = 512
+		}
+		tabs[i] = trace.TableSpec{
+			Name: fmt.Sprintf("t%d", i), Rows: 20000, VecLen: 64,
+			Pooling: pool, Prob: 1, Skew: 1.2,
+		}
+	}
+	return trace.ModelSpec{Name: "perf-cluster", Tables: tabs}
+}
+
+// perfClusterNodes builds k full-spec ReCross serving nodes over a
+// shared functional layer, MaxBatch 1 so every router sub-request is
+// one simulated batch whose cycles land on exactly one node.
+func perfClusterNodes(spec trace.ModelSpec, layer *embedding.Layer, k int) ([]cluster.Node, []string, error) {
+	nodes := make([]cluster.Node, k)
+	ids := make([]string, k)
+	for i := 0; i < k; i++ {
+		cfg := core.DefaultConfig(spec)
+		cfg.ProfileSamples = 500
+		cfg.Ranks = 1
+		sys, err := core.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		srv, err := serve.New(serve.Options{Systems: []arch.System{sys}, Layer: layer, MaxBatch: 1})
+		if err != nil {
+			return nil, nil, err
+		}
+		ids[i] = fmt.Sprintf("n%d", i)
+		nodes[i] = cluster.NewLocalNode(ids[i], srv)
+	}
+	return nodes, ids, nil
+}
+
+// perfClusterScaleOut measures one fleet size: wall ns per routed
+// lookup plus the simulated-throughput figure — total lookups over the
+// busiest node's accumulated batch cycles (the cluster's makespan).
+// replicate toggles hot-table replication of t0 (R=2, R=4 at 8 nodes);
+// without it the series records the dominant-table ceiling.
+func perfClusterScaleOut(k int, replicate bool, name string) (perfEntry, float64, error) {
+	spec := perfClusterSpec()
+	layer, err := embedding.NewLayer(spec)
+	if err != nil {
+		return perfEntry{}, 0, err
+	}
+	nodes, ids, err := perfClusterNodes(spec, layer, k)
+	if err != nil {
+		return perfEntry{}, 0, err
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	vols := make([]float64, len(spec.Tables))
+	for i, t := range spec.Tables {
+		vols[i] = float64(t.Pooling)
+	}
+	popts := cluster.PlacementOptions{}
+	if replicate {
+		popts.Hot = cluster.HotTopK(vols, 1)
+		popts.Replication = 2
+		if k >= 8 {
+			popts.Replication = 4
+		}
+	}
+	pl, err := cluster.CostPlacement(vols, ids, popts)
+	if err != nil {
+		return perfEntry{}, 0, err
+	}
+	r, err := cluster.NewRouter(cluster.Options{
+		Nodes: nodes, Placement: pl, Layer: layer,
+		ProbeInterval: -1, HedgeDelay: -1,
+	})
+	if err != nil {
+		return perfEntry{}, 0, err
+	}
+	defer r.Close()
+
+	gen, err := trace.NewGenerator(spec, 13)
+	if err != nil {
+		return perfEntry{}, 0, err
+	}
+	samples := make([]trace.Sample, 128)
+	for i := range samples {
+		samples[i] = gen.Sample()
+	}
+	ctx := context.Background()
+	if _, err := r.Lookup(ctx, samples[0]); err != nil { // warm
+		return perfEntry{}, 0, err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Lookup(ctx, samples[i%len(samples)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	var makespan int64
+	for _, n := range nodes {
+		if c := n.Stats().Cycles; c > makespan {
+			makespan = c
+		}
+	}
+	e := mkEntry(name, res, 0)
+	if makespan > 0 {
+		e.LookupsPerMCycle = float64(r.Stats().Requests) / float64(makespan) * 1e6
+	}
+	return e, e.LookupsPerMCycle, nil
+}
+
+// perfClusterHedge measures tail tolerance: two nodes holding every
+// table (R=2), one wrapped with chaos that stalls half its calls
+// 20ms — a straggler, an order of magnitude over the lookup's compute
+// time, which is the regime hedging targets (a stall comparable to
+// compute just trades the wait for duplicate work). With hedging off
+// the stall lands on half the lookups; with a 1ms hedge the healthy
+// replica answers instead, so mean wall latency is the contrast this
+// pair records.
+func perfClusterHedge(hedgeOn bool, name string) (perfEntry, error) {
+	spec := perfClusterSpec()
+	layer, err := embedding.NewLayer(spec)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	nodes, ids, err := perfClusterNodes(spec, layer, 2)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	nodes[1] = cluster.WrapFaultyNode(nodes[1], chaos.NodeConfig{
+		Rates: chaos.NodeRates{Slow: 0.5},
+		Stall: 20 * time.Millisecond,
+		Seed:  5,
+	}, 1, nil)
+	vols := make([]float64, len(spec.Tables))
+	hot := make([]bool, len(spec.Tables))
+	for i, t := range spec.Tables {
+		vols[i] = float64(t.Pooling)
+		hot[i] = true
+	}
+	pl, err := cluster.CostPlacement(vols, ids, cluster.PlacementOptions{Hot: hot, Replication: 2})
+	if err != nil {
+		return perfEntry{}, err
+	}
+	hedge := time.Duration(-1)
+	if hedgeOn {
+		hedge = time.Millisecond
+	}
+	r, err := cluster.NewRouter(cluster.Options{
+		Nodes: nodes, Placement: pl, Layer: layer,
+		ProbeInterval: -1, HedgeDelay: hedge,
+	})
+	if err != nil {
+		return perfEntry{}, err
+	}
+	defer r.Close()
+
+	gen, err := trace.NewGenerator(spec, 17)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	samples := make([]trace.Sample, 128)
+	for i := range samples {
+		samples[i] = gen.Sample()
+	}
+	ctx := context.Background()
+	if _, err := r.Lookup(ctx, samples[0]); err != nil { // warm
+		return perfEntry{}, err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Lookup(ctx, samples[i%len(samples)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return mkEntry(name, res, 0), nil
+}
+
+// perfClusterSuite runs the k-node scale-out series (hot-table
+// replication on), the 4-node no-replication contrast, and the hedging
+// on/off pair, pricing every fleet against the same 1-node baseline.
+func perfClusterSuite() ([]perfEntry, error) {
+	var out []perfEntry
+	var thru1 float64
+	for _, c := range []struct {
+		k         int
+		replicate bool
+		name      string
+	}{
+		{1, true, "cluster_scatter_1node"},
+		{2, true, "cluster_scatter_2node"},
+		{4, true, "cluster_scatter_4node"},
+		{8, true, "cluster_scatter_8node"},
+		{4, false, "cluster_scatter_4node_norep"},
+	} {
+		e, thru, err := perfClusterScaleOut(c.k, c.replicate, c.name)
+		if err != nil {
+			return nil, err
+		}
+		if c.k == 1 {
+			thru1 = thru
+		} else if thru1 > 0 {
+			e.SpeedupVs1Node = thru / thru1
+		}
+		out = append(out, e)
+	}
+	for _, c := range []struct {
+		on   bool
+		name string
+	}{
+		{false, "cluster_hedge_off"},
+		{true, "cluster_hedge_on"},
+	} {
+		e, err := perfClusterHedge(c.on, c.name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
 }

@@ -89,6 +89,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux (-pprof-addr)
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -154,6 +155,23 @@ func main() {
 	chaosColdCorrupt := flag.Float64("chaos-cold-corrupt", 0, "chaos: per-page-read corrupted payload probability (needs -cold)")
 	chaosColdTorn := flag.Float64("chaos-cold-torn", 0, "chaos: per-page-write torn (half-persisted) write probability (needs -cold)")
 	chaosColdStall := flag.Duration("chaos-cold-stall", 2*time.Millisecond, "chaos: injected cold device stall duration")
+
+	clusterN := flag.Int("cluster", 0, "cluster mode: front an in-process fleet of this many nodes with a scatter-gather router (0 = single-node mode)")
+	clusterPeers := flag.String("cluster-peers", "", "cluster mode: comma-separated peer base URLs (plain `recross-serve -addr` processes, e.g. http://h1:8080,http://h2:8080) fronted over HTTP instead of an in-process fleet")
+	clusterReplication := flag.Int("cluster-replication", 2, "cluster: replica count for hot tables")
+	clusterPlacementMode := flag.String("cluster-placement", "ring", "cluster: placement mode: ring (consistent hashing) or cost (LPT over access volumes, LP-priced)")
+	clusterHotK := flag.Int("cluster-hot-k", 0, "cluster: replicate the k largest-volume tables (0 = tables/4, negative = none)")
+	clusterVNodes := flag.Int("cluster-vnodes", 64, "cluster: ring virtual nodes per unit node weight")
+	clusterHedge := flag.Duration("cluster-hedge", 0, "cluster: hedge delay for replicated tables (0 = derived from each node's p99, negative = no hedging)")
+	clusterNodeTimeout := flag.Duration("cluster-node-timeout", 2*time.Second, "cluster: per-node sub-request deadline")
+	clusterProbe := flag.Duration("cluster-probe", 250*time.Millisecond, "cluster: prober interval (hedge-delay refresh + dead-node re-admission; negative disables)")
+	clusterRebalance := flag.Duration("cluster-rebalance", 0, "cluster: sketch-driven placement refresh interval (0 disables)")
+
+	chaosNodeKill := flag.Float64("chaos-node-kill", 0, "chaos: per-lookup node kill probability (cluster mode; sticky until the prober re-admits)")
+	chaosNodePartition := flag.Float64("chaos-node-partition", 0, "chaos: per-lookup node partition probability (cluster mode)")
+	chaosNodeSlow := flag.Float64("chaos-node-slow", 0, "chaos: per-lookup node slow-call probability (cluster mode)")
+	chaosNodeStall := flag.Duration("chaos-node-stall", 2*time.Millisecond, "chaos: node slow-call stall duration")
+	chaosNodeDowntime := flag.Duration("chaos-node-downtime", 2*time.Second, "chaos: auto-revive a killed node after this long (0 = down until the process exits)")
 
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
@@ -229,8 +247,10 @@ func main() {
 		fail(errors.New("-chaos-cold-* flags require -cold"))
 	}
 
-	fmt.Fprintf(os.Stderr, "recross-serve: building %d %s replica(s) over %s (%d tables)...\n",
-		*replicas, *archFlag, spec.Name, len(spec.Tables))
+	if *clusterN == 0 && *clusterPeers == "" {
+		fmt.Fprintf(os.Stderr, "recross-serve: building %d %s replica(s) over %s (%d tables)...\n",
+			*replicas, *archFlag, spec.Name, len(spec.Tables))
+	}
 	t0 := time.Now()
 	sopts := recross.ServeOptions{
 		MaxBatch:       *maxBatch,
@@ -255,6 +275,70 @@ func main() {
 		Seed:  *chaosSeed,
 	}
 	chaosOn := *chaosPanic > 0 || *chaosWedge > 0 || *chaosCorrupt > 0 || *chaosLatency > 0
+
+	// Cluster mode: N nodes behind the scatter-gather router, each a full
+	// serving stack. Node-level chaos has its own -chaos-node-* knobs;
+	// the per-replica and adaptive machinery stays single-node.
+	if *clusterN > 0 || *clusterPeers != "" {
+		if *adaptOn {
+			fail(errors.New("-adapt is per-node; cluster mode rebalances with -cluster-rebalance instead"))
+		}
+		if chaosOn {
+			fail(errors.New("replica-level -chaos-* flags are per-node; use -chaos-node-* in cluster mode"))
+		}
+		cc := recross.ClusterConfig{
+			Nodes:           *clusterN,
+			ReplicasPerNode: *replicas,
+			Placement:       *clusterPlacementMode,
+			Replication:     *clusterReplication,
+			HotTopK:         *clusterHotK,
+			VNodes:          *clusterVNodes,
+			NodeTimeout:     *clusterNodeTimeout,
+			HedgeDelay:      *clusterHedge,
+			ProbeInterval:   *clusterProbe,
+			RebalanceEvery:  *clusterRebalance,
+			Serve:           sopts,
+		}
+		if *clusterPeers != "" {
+			cc.Peers = strings.Split(*clusterPeers, ",")
+		}
+		var nodeInj *recross.FaultInjector
+		if *chaosNodeKill > 0 || *chaosNodePartition > 0 || *chaosNodeSlow > 0 {
+			nodeInj = recross.NewFaultInjector()
+			nfc := recross.NodeFaultConfig{
+				Rates: recross.NodeFaultRates{
+					Kill:      *chaosNodeKill,
+					Partition: *chaosNodePartition,
+					Slow:      *chaosNodeSlow,
+				},
+				Stall:    *chaosNodeStall,
+				Downtime: *chaosNodeDowntime,
+				Seed:     *chaosSeed,
+			}
+			cc.WrapNode = func(i int, n recross.ClusterNode) recross.ClusterNode {
+				return recross.WrapFaultyNode(n, nfc, i, nodeInj)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "recross-serve: building cluster (nodes %d, peers %d, placement %s, replication %d, hedge %v)...\n",
+			cc.Nodes, len(cc.Peers), cc.Placement, cc.Replication, *clusterHedge)
+		cs, err := recross.NewClusterServer(recross.Arch(*archFlag), cfg, cc)
+		if err != nil {
+			fail(err)
+		}
+		if nodeInj != nil {
+			fmt.Fprintf(os.Stderr, "recross-serve: CHAOS NODE ON (kill %.3g, partition %.3g, slow %.3g, stall %v, seed %d)\n",
+				*chaosNodeKill, *chaosNodePartition, *chaosNodeSlow, *chaosNodeStall, *chaosSeed)
+		}
+		pl := cs.Router.Placement()
+		fmt.Fprintf(os.Stderr, "recross-serve: cluster ready in %v (%d tables, %d replicated, mode %s)\n",
+			time.Since(t0).Round(time.Millisecond), pl.Tables(), pl.Replicated(), pl.Mode)
+		if *loadgen {
+			runClusterLoadgen(cs, spec, *clients, *duration, *seed, *timeout, *shiftAt, *shiftSalt, *tailMass)
+			return
+		}
+		serveClusterHTTP(cs, *addr)
+		return
+	}
 
 	var srv *recross.Server
 	var ctrl *recross.AdaptController
@@ -360,6 +444,64 @@ func runLoadgen(srv *recross.Server, ctrl *recross.AdaptController, spec recross
 				am.RowsMigrated, am.BytesMigrated, am.EstimatedGain, am.RealizedGain)
 		}
 	}
+}
+
+func runClusterLoadgen(cs *recross.ClusterServer, spec recross.ModelSpec,
+	clients int, duration time.Duration, seed int64, timeout, shiftAt time.Duration, shiftSalt int64, tailMass float64) {
+	fmt.Fprintf(os.Stderr, "recross-serve: cluster loadgen %d clients for %v...\n", clients, duration)
+	if shiftAt > 0 {
+		fmt.Fprintf(os.Stderr, "recross-serve: hot-set shift at %v (salt %d)\n", shiftAt, shiftSalt)
+	}
+	rep, err := recross.ClusterLoadgen(cs.Router, recross.LoadgenOptions{
+		Spec:      spec,
+		Clients:   clients,
+		Duration:  duration,
+		Seed:      seed,
+		Timeout:   timeout,
+		ShiftAt:   shiftAt,
+		ShiftSalt: shiftSalt,
+		TailMass:  tailMass,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if cerr := cs.Close(); cerr != nil {
+		fail(cerr)
+	}
+	fmt.Print(rep.String())
+	h := cs.Router.Health()
+	fmt.Printf("  cluster    %d/%d nodes available, %d hedges fired (%d won), %d revivals\n",
+		h.Available, h.Nodes, rep.Stats.HedgesFired, rep.Stats.HedgesWon, rep.Stats.Revivals)
+}
+
+func serveClusterHTTP(cs *recross.ClusterServer, addr string) {
+	hs := &http.Server{Addr: addr, Handler: cs.Router.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "recross-serve: cluster router listening on %s\n", addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "recross-serve: draining cluster...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "recross-serve: shutdown:", err)
+	}
+	st := cs.Router.Stats()
+	if err := cs.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "recross-serve: drained; routed %d requests (%d sub-requests, %d degraded)\n",
+		st.Requests, st.Subrequests, st.Degraded)
 }
 
 func serveHTTP(srv *recross.Server, addr string) {

@@ -1,0 +1,183 @@
+// The cluster example demonstrates multi-node sharded serving end to
+// end: a 4-node goroutine fleet behind the scatter-gather router, with
+// cost-mode placement and hot-table replication.
+//
+//  1. Healthy serving: every lookup scatters to the nodes owning its
+//     tables and gathers a bit-identical answer; the hottest table's
+//     load is spread across its replicas by least-outstanding dispatch.
+//  2. Node loss: killing a node degrades only the tables uniquely on
+//     it (the router answers those from its own functional layer, still
+//     bit-exact) — lookups never fail. Restarting the node gets it
+//     re-admitted by the background prober.
+//  3. Traffic shift: when the workload's hot table changes, the live
+//     frequency sketches see the new volume ranking and the rebalance
+//     loop swaps a refreshed placement into the router — the hot-table
+//     replicas follow the traffic.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"recross"
+)
+
+// demoSpec returns the 8-table workload with table hotIdx carrying 64
+// gathers per sample and the rest 8 — one dominant table whose identity
+// the traffic shift moves.
+func demoSpec(hotIdx int) recross.ModelSpec {
+	tabs := make([]recross.TableSpec, 8)
+	for i := range tabs {
+		pool := 8
+		if i == hotIdx {
+			pool = 64
+		}
+		tabs[i] = recross.TableSpec{
+			Name: fmt.Sprintf("t%d", i), Rows: 8000, VecLen: 32,
+			Pooling: pool, Prob: 1, Skew: 1.2,
+		}
+	}
+	return recross.ModelSpec{Name: "cluster-demo", Tables: tabs}
+}
+
+// hotOwners returns the replica set of the (first) replicated table.
+func hotOwners(pl *recross.ClusterPlacement) (int, []int) {
+	for t := range pl.Replicas {
+		if len(pl.Replicas[t]) > 1 {
+			return t, pl.Replicas[t]
+		}
+	}
+	return -1, nil
+}
+
+func main() {
+	spec := demoSpec(0)
+	fmt.Println("building a 4-node ReCross cluster (cost placement, hot table replicated on 2)...")
+	cs, err := recross.NewClusterServer(recross.ReCross, recross.Config{
+		Spec: spec, ProfileSamples: 500, Batch: 16,
+	}, recross.ClusterConfig{
+		Nodes:          4,
+		Placement:      "cost",
+		Replication:    2,
+		HotTopK:        1,
+		ProbeInterval:  50 * time.Millisecond,
+		RebalanceEvery: 200 * time.Millisecond,
+		Serve:          recross.ServeOptions{MaxBatch: 8},
+	})
+	check(err)
+	defer cs.Close()
+
+	layer, err := recross.NewLayer(spec)
+	check(err)
+	gen, err := recross.NewGenerator(spec, 42)
+	check(err)
+
+	pl := cs.Router.Placement()
+	ht, owners := hotOwners(pl)
+	fmt.Printf("  placement: %d tables, hot table t%d on nodes %v (makespan %.0f, LP bound %.0f)\n",
+		pl.Tables(), ht, owners, pl.Makespan, pl.LPBound)
+
+	// Phase 1: healthy scatter-gather, answers checked bit for bit.
+	fmt.Println("\nphase 1: healthy serving (300 lookups)")
+	drive(cs, layer, gen, 300)
+	for i := 0; i < cs.Fleet.Len(); i++ {
+		st := cs.Fleet.Node(i).Stats()
+		fmt.Printf("  node%d served %d sub-requests\n", i, st.Lookups)
+	}
+	fmt.Println("  300/300 answers bit-identical to the functional layer")
+
+	// Phase 2: kill a node that uniquely owns tables; serving degrades
+	// for exactly those tables and never fails.
+	victim := 0
+	for i := 0; i < cs.Fleet.Len(); i++ {
+		if len(pl.UniqueTables(i)) > 0 {
+			victim = i
+			break
+		}
+	}
+	fmt.Printf("\nphase 2: killing node%d (uniquely owns tables %v)\n", victim, pl.UniqueTables(victim))
+	check(cs.Fleet.Kill(victim))
+	degraded := 0
+	for i := 0; i < 100; i++ {
+		sample := gen.Sample()
+		res, err := cs.Lookup(context.Background(), sample)
+		check(err)
+		verify(layer, sample, res.Vectors)
+		if res.Degraded {
+			degraded++
+		}
+	}
+	h := cs.Router.Health()
+	fmt.Printf("  100 lookups: 0 errors, %d degraded (still bit-exact); health %q, %d/%d nodes\n",
+		degraded, h.Status, h.Available, h.Nodes)
+
+	fmt.Printf("  restarting node%d...\n", victim)
+	check(cs.Fleet.Restart(victim))
+	deadline := time.Now().Add(5 * time.Second)
+	for cs.Router.Health().Available != cs.Fleet.Len() {
+		if time.Now().After(deadline) {
+			fmt.Println("  node never re-admitted")
+			os.Exit(1)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("  prober re-admitted node%d (%d revivals)\n", victim, cs.Router.Stats().Revivals)
+
+	// Phase 3: the workload's hot table moves from t0 to t7. The
+	// tracker's sketches accumulate the new volume ranking — once t7's
+	// lifetime volume overtakes t0's, a rebalance tick swaps in a
+	// placement replicating t7 instead. (Volumes are cumulative, so the
+	// flip needs roughly as much shifted traffic as phases 1–2 drove.)
+	fmt.Println("\nphase 3: traffic shift — the hot table moves to t7")
+	shifted, err := recross.NewGenerator(demoSpec(7), 43)
+	check(err)
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		drive(cs, layer, shifted, 100)
+		if ht, _ = hotOwners(cs.Router.Placement()); ht == 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Printf("  hot table still t%d; expected the rebalance to move it to t7\n", ht)
+			os.Exit(1)
+		}
+	}
+	pl = cs.Router.Placement()
+	ht, owners = hotOwners(pl)
+	fmt.Printf("  rebalance adopted: hot table now t%d on nodes %v (makespan %.0f)\n", ht, owners, pl.Makespan)
+
+	st := cs.Router.Stats()
+	fmt.Printf("\nrouter stats: %d requests, %d sub-requests, %d degraded, %d rebalances, %d revivals\n",
+		st.Requests, st.Subrequests, st.Degraded, st.Rebalances, st.Revivals)
+}
+
+// drive pushes n lookups through the cluster, verifying each answer
+// against the functional layer.
+func drive(cs *recross.ClusterServer, layer *recross.Layer, gen *recross.Generator, n int) {
+	for i := 0; i < n; i++ {
+		sample := gen.Sample()
+		res, err := cs.Lookup(context.Background(), sample)
+		check(err)
+		verify(layer, sample, res.Vectors)
+	}
+}
+
+func verify(layer *recross.Layer, sample recross.Sample, got [][]float32) {
+	want, err := layer.ReduceSample(sample)
+	check(err)
+	for k := range want {
+		if !recross.AlmostEqual(got[k], want[k], 0) {
+			fmt.Println("MISMATCH against the functional layer")
+			os.Exit(1)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+}

@@ -57,6 +57,19 @@ const (
 	// success — a torn write the next verified read must detect.
 	TornWrite
 
+	// Cluster-tier kinds, injected by FaultyNode at the cluster.Node
+	// seam rather than per replica batch or device page.
+
+	// NodeKill fails every call fast (ErrNodeKilled) until Revive — a
+	// crashed or drained node.
+	NodeKill
+	// NodePartition blocks calls until the caller's context expires —
+	// a network partition: the node is fine, packets never arrive.
+	NodePartition
+	// NodeSlow stalls a call for the configured stall before
+	// forwarding it — a node on a congested link.
+	NodeSlow
+
 	numKinds
 )
 
@@ -78,6 +91,12 @@ func (k Kind) String() string {
 		return "corrupt-page"
 	case TornWrite:
 		return "torn-write"
+	case NodeKill:
+		return "node-kill"
+	case NodePartition:
+		return "node-partition"
+	case NodeSlow:
+		return "node-slow"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"recross/internal/chaos"
+	"recross/internal/serve"
+	"recross/internal/trace"
+)
+
+// FaultyNode wraps a Node with deterministic fault injection at the
+// transport seam — the cluster-tier sibling of chaos.FaultySystem
+// (replica batches) and chaos.FaultyColdStore (device pages); its
+// kinds, rates and scripted rules live in internal/chaos beside
+// theirs. Faults model how real fleets lose nodes: a kill fails calls
+// fast and stays down until Revive, a partition swallows calls until
+// the caller's deadline, and a slow node stalls before forwarding. A
+// fleet of wrapped nodes shares one chaos.Injector; each node draws
+// from its own seeded RNG, and only Lookup advances it, so a run is
+// deterministic per (seed, node, call sequence). Unlike arch.Systems,
+// cluster nodes serve concurrent calls; the RNG and call counter are
+// mutex-guarded.
+type FaultyNode struct {
+	inner Node
+	cfg   chaos.NodeConfig
+	id    int
+	inj   *chaos.Injector
+
+	mu    sync.Mutex // guards rng, calls
+	rng   *rand.Rand
+	calls int64
+	rules map[int64]chaos.Kind
+
+	stateMu     sync.Mutex
+	killed      bool
+	killedAt    time.Time
+	partitioned bool
+}
+
+// WrapFaultyNode builds a FaultyNode for node id. Schedule rules for
+// other nodes are ignored, so one NodeConfig describes a whole
+// cluster. inj may be shared; if nil a fresh one is made.
+func WrapFaultyNode(inner Node, cfg chaos.NodeConfig, id int, inj *chaos.Injector) *FaultyNode {
+	cfg = cfg.WithDefaults()
+	if inj == nil {
+		inj = chaos.NewInjector()
+	}
+	rules := make(map[int64]chaos.Kind)
+	for _, r := range cfg.Schedule {
+		if r.Node == id {
+			rules[r.Call] = r.Kind
+		}
+	}
+	return &FaultyNode{
+		inner: inner,
+		cfg:   cfg,
+		id:    id,
+		inj:   inj,
+		rng:   rand.New(rand.NewSource(cfg.Seed + int64(id))),
+		rules: rules,
+	}
+}
+
+// WrapFaultyNodes wraps every node of a cluster with one shared
+// injector, seeding node i with cfg.Seed+i.
+func WrapFaultyNodes(nodes []Node, cfg chaos.NodeConfig) ([]Node, *chaos.Injector) {
+	inj := chaos.NewInjector()
+	out := make([]Node, len(nodes))
+	for i, n := range nodes {
+		out[i] = WrapFaultyNode(n, cfg, i, inj)
+	}
+	return out, inj
+}
+
+// Inner returns the wrapped node.
+func (n *FaultyNode) Inner() Node { return n.inner }
+
+// Kill takes the node down until Revive (the manual form of NodeKill)
+// or, with cfg.Downtime set, until the downtime elapses.
+func (n *FaultyNode) Kill() {
+	n.stateMu.Lock()
+	n.killed = true
+	n.killedAt = time.Now()
+	n.stateMu.Unlock()
+}
+
+// Revive brings a killed node back.
+func (n *FaultyNode) Revive() {
+	n.stateMu.Lock()
+	n.killed = false
+	n.stateMu.Unlock()
+}
+
+// Killed reports the kill switch.
+func (n *FaultyNode) Killed() bool {
+	n.stateMu.Lock()
+	defer n.stateMu.Unlock()
+	return n.killed
+}
+
+// Partition isolates the node: calls block until the caller's context
+// expires. Heal with Partition(false).
+func (n *FaultyNode) Partition(on bool) {
+	n.stateMu.Lock()
+	n.partitioned = on
+	n.stateMu.Unlock()
+}
+
+// Partitioned reports the partition switch.
+func (n *FaultyNode) Partitioned() bool {
+	n.stateMu.Lock()
+	defer n.stateMu.Unlock()
+	return n.partitioned
+}
+
+// Calls reports how many Lookup calls this wrapper has seen.
+func (n *FaultyNode) Calls() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.calls
+}
+
+// pick decides whether this Lookup injects a fault, mirroring
+// chaos.FaultySystem: scheduled rules fire even while the injector is
+// disabled, the RNG advances exactly once per call regardless of the
+// switch, and rates are checked Kill, Partition, Slow.
+func (n *FaultyNode) pick() (chaos.Kind, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.calls++
+	var u float64
+	if !n.cfg.Rates.Zero() {
+		u = n.rng.Float64()
+	}
+	if k, ok := n.rules[n.calls]; ok {
+		return k, true
+	}
+	if !n.inj.Enabled() || n.cfg.Rates.Zero() {
+		return 0, false
+	}
+	r := n.cfg.Rates
+	switch {
+	case u < r.Kill:
+		return chaos.NodeKill, true
+	case u < r.Kill+r.Partition:
+		return chaos.NodePartition, true
+	case u < r.Kill+r.Partition+r.Slow:
+		return chaos.NodeSlow, true
+	default:
+		return 0, false
+	}
+}
+
+// gate applies the sticky kill and partition switches to any call,
+// auto-reviving an expired kill when cfg.Downtime is set.
+func (n *FaultyNode) gate(ctx context.Context) error {
+	n.stateMu.Lock()
+	if n.killed && n.cfg.Downtime > 0 && time.Since(n.killedAt) >= n.cfg.Downtime {
+		n.killed = false
+	}
+	killed, partitioned := n.killed, n.partitioned
+	n.stateMu.Unlock()
+	if killed {
+		return chaos.ErrNodeKilled
+	}
+	if partitioned {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return nil
+}
+
+// ID names the wrapped node.
+func (n *FaultyNode) ID() string { return n.inner.ID() }
+
+// Lookup forwards the call, possibly injecting one fault first.
+func (n *FaultyNode) Lookup(ctx context.Context, sample trace.Sample) (*serve.Result, error) {
+	k, inject := n.pick()
+	if inject {
+		n.inj.Record(k)
+		switch k {
+		case chaos.NodeKill:
+			n.Kill()
+		case chaos.NodePartition:
+			<-ctx.Done()
+			return nil, ctx.Err()
+		case chaos.NodeSlow:
+			select {
+			case <-time.After(n.cfg.Stall):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	if err := n.gate(ctx); err != nil {
+		return nil, err
+	}
+	return n.inner.Lookup(ctx, sample)
+}
+
+// Health forwards the probe through the same kill/partition gates
+// (without advancing the fault RNG, so probes never perturb a
+// scripted Lookup sequence).
+func (n *FaultyNode) Health(ctx context.Context) (serve.HealthReport, error) {
+	if err := n.gate(ctx); err != nil {
+		return serve.HealthReport{}, err
+	}
+	return n.inner.Health(ctx)
+}
+
+// Stats forwards to the wrapped node.
+func (n *FaultyNode) Stats() NodeStats { return n.inner.Stats() }
+
+// Close forwards to the wrapped node.
+func (n *FaultyNode) Close() error { return n.inner.Close() }

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"recross/internal/serve"
+)
+
+// Fleet is the goroutine-fleet transport driver: N serve.Servers in
+// one binary, each wrapped as a LocalNode. It owns the servers'
+// lifecycles — Kill(i) drains node i (the node keeps answering
+// ErrNodeDown), Restart(i) rebuilds it from the stored factory and
+// swaps it back in, so routers holding the Node handles see a real
+// node loss and re-admission without reconfiguration.
+type Fleet struct {
+	build func(i int) (*serve.Server, error)
+	nodes []*LocalNode
+
+	mu     sync.Mutex // serializes Kill/Restart/Close per fleet
+	closed bool
+}
+
+// NewFleet builds n servers with the factory and wraps them as nodes
+// named "node0".."node<n-1>". On a build failure the already-built
+// servers are closed.
+func NewFleet(n int, build func(i int) (*serve.Server, error)) (*Fleet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: fleet of %d nodes", n)
+	}
+	if build == nil {
+		return nil, errors.New("cluster: fleet needs a node factory")
+	}
+	f := &Fleet{build: build}
+	for i := 0; i < n; i++ {
+		srv, err := build(i)
+		if err != nil {
+			for _, nd := range f.nodes {
+				_ = nd.Close()
+			}
+			return nil, fmt.Errorf("cluster: build node %d: %w", i, err)
+		}
+		f.nodes = append(f.nodes, NewLocalNode(fmt.Sprintf("node%d", i), srv))
+	}
+	return f, nil
+}
+
+// Len reports the fleet size.
+func (f *Fleet) Len() int { return len(f.nodes) }
+
+// Nodes returns the fleet members as transport-driver handles, indexed
+// stably (the slice is fresh; the nodes are shared).
+func (f *Fleet) Nodes() []Node {
+	out := make([]Node, len(f.nodes))
+	for i, n := range f.nodes {
+		out[i] = n
+	}
+	return out
+}
+
+// Node returns member i as its concrete LocalNode.
+func (f *Fleet) Node(i int) *LocalNode { return f.nodes[i] }
+
+// Kill drains and closes node i's server; the node answers ErrNodeDown
+// until Restart.
+func (f *Fleet) Kill(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.check(i); err != nil {
+		return err
+	}
+	srv := f.nodes[i].Swap(nil)
+	if srv == nil {
+		return nil // already down
+	}
+	return srv.Close()
+}
+
+// Restart rebuilds node i with the factory and swaps it in. A node
+// that was never killed is replaced (the old server is drained).
+func (f *Fleet) Restart(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.check(i); err != nil {
+		return err
+	}
+	srv, err := f.build(i)
+	if err != nil {
+		return fmt.Errorf("cluster: rebuild node %d: %w", i, err)
+	}
+	if old := f.nodes[i].Swap(srv); old != nil {
+		return old.Close()
+	}
+	return nil
+}
+
+func (f *Fleet) check(i int) error {
+	if f.closed {
+		return errors.New("cluster: fleet closed")
+	}
+	if i < 0 || i >= len(f.nodes) {
+		return fmt.Errorf("cluster: node %d out of [0,%d)", i, len(f.nodes))
+	}
+	return nil
+}
+
+// Close drains every node; the first error wins but all are closed.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	var first error
+	for _, n := range f.nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"recross/internal/serve"
+	"recross/internal/sim"
+	"recross/internal/trace"
+)
+
+// maxLookupBody mirrors the single-node server's request bound.
+const maxLookupBody = 1 << 20
+
+// Handler returns the router's HTTP front-end, wire-compatible with a
+// single node's so clients (and upstream routers) need not care which
+// they talk to:
+//
+//	POST /v1/lookup  — scatter-gather one sample (JSON in/out; the
+//	                   response is a serve.LookupResponse with
+//	                   Replica=-1 and ServiceCycles set to the
+//	                   cluster critical path)
+//	GET  /metrics    — recross_cluster_* Prometheus text exposition
+//	GET  /healthz    — aggregated cluster health JSON; 200 while
+//	                   serving ("ok" or "degraded"), 503 once draining
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lookup", r.handleLookup)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, r.Expo())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := r.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status == "draining" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	return mux
+}
+
+func (r *Router) handleLookup(w http.ResponseWriter, req *http.Request) {
+	var lr serve.LookupRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxLookupBody))
+	if err := dec.Decode(&lr); err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sample, err := serve.ParseSample(r.opts.Layer, lr)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := r.Lookup(req.Context(), sample)
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrRouterClosed):
+			code = http.StatusServiceUnavailable
+		case errors.Is(err, context.DeadlineExceeded):
+			code = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			code = 499
+		}
+		httpErr(w, code, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(serve.LookupResponse{
+		Vectors:       res.Vectors,
+		BatchSize:     len(sample),
+		ServiceCycles: int64(res.ServiceCycles),
+		Replica:       -1,
+		Retries:       res.Retries,
+		Degraded:      res.Degraded,
+		TotalMicros:   float64(res.Total.Nanoseconds()) / 1e3,
+	})
+}
+
+func httpErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// HTTPNode is the real-network transport driver: a cluster.Node backed
+// by a TCP/HTTP peer speaking the /v1/lookup wire format — any plain
+// `recross-serve -addr` process is a valid peer with no node-side
+// changes. JSON encodes float32s exactly (shortest round-trip form),
+// so results through an HTTPNode remain bit-identical to in-process
+// ones.
+type HTTPNode struct {
+	id     string
+	base   string
+	client *http.Client
+
+	lookups  atomic.Int64
+	failures atomic.Int64
+	cycles   atomic.Int64
+}
+
+// NewHTTPNode builds a node for the peer at base (e.g.
+// "http://10.0.0.7:8080"). client may be nil for http.DefaultClient;
+// per-call deadlines come from the router's contexts either way.
+func NewHTTPNode(id, base string, client *http.Client) *HTTPNode {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &HTTPNode{id: id, base: base, client: client}
+}
+
+// ID names the node.
+func (n *HTTPNode) ID() string { return n.id }
+
+// Lookup POSTs the sample to the peer's /v1/lookup.
+func (n *HTTPNode) Lookup(ctx context.Context, sample trace.Sample) (*serve.Result, error) {
+	body, err := json.Marshal(serve.WireRequest(sample))
+	if err != nil {
+		n.failures.Add(1)
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+"/v1/lookup", bytes.NewReader(body))
+	if err != nil {
+		n.failures.Add(1)
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.failures.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrNodeDown, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		n.failures.Add(1)
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return nil, fmt.Errorf("cluster: node %s: %s", n.id, e.Error)
+	}
+	var lr serve.LookupResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		n.failures.Add(1)
+		return nil, fmt.Errorf("cluster: node %s: %w", n.id, err)
+	}
+	n.lookups.Add(1)
+	n.cycles.Add(lr.ServiceCycles)
+	return &serve.Result{
+		Vectors:       lr.Vectors,
+		BatchSize:     lr.BatchSize,
+		ServiceCycles: sim.Cycle(lr.ServiceCycles),
+		Replica:       lr.Replica,
+		Retries:       lr.Retries,
+		Degraded:      lr.Degraded,
+		ColdDegraded:  lr.ColdDegraded,
+		QueueWait:     time.Duration(lr.QueueMicros * 1e3),
+		Total:         time.Duration(lr.TotalMicros * 1e3),
+	}, nil
+}
+
+// Health GETs the peer's /healthz. A 503 body still decodes (the peer
+// reports "draining"); transport failures surface as errors.
+func (n *HTTPNode) Health(ctx context.Context) (serve.HealthReport, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.base+"/healthz", nil)
+	if err != nil {
+		return serve.HealthReport{}, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return serve.HealthReport{}, fmt.Errorf("%w: %v", ErrNodeDown, err)
+	}
+	defer resp.Body.Close()
+	var h serve.HealthReport
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return serve.HealthReport{}, fmt.Errorf("cluster: node %s healthz: %w", n.id, err)
+	}
+	return h, nil
+}
+
+// Stats reports cumulative client-side counters.
+func (n *HTTPNode) Stats() NodeStats {
+	return NodeStats{
+		Lookups:  n.lookups.Load(),
+		Failures: n.failures.Load(),
+		Cycles:   n.cycles.Load(),
+	}
+}
+
+// Close is a no-op: the peer's lifecycle is not ours.
+func (n *HTTPNode) Close() error { return nil }

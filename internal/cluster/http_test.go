@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"recross/internal/arch"
+	"recross/internal/serve"
+	"recross/internal/sim"
+	"recross/internal/trace"
+)
+
+// fakeArch is a minimal timing model so tests can stand up real
+// serve.Servers as HTTP peers.
+type fakeArch struct{}
+
+func (fakeArch) Name() string { return "fake" }
+
+func (fakeArch) Run(b trace.Batch) (*arch.RunStats, error) {
+	lookups, _ := arch.CountBatch(b)
+	return &arch.RunStats{Cycles: sim.Cycle(100 + len(b)), Lookups: lookups, Imbalance: 1}, nil
+}
+
+// newHTTPPeer stands up a real single-node server behind httptest and
+// returns it as an HTTPNode.
+func newHTTPPeer(t *testing.T, id string) *HTTPNode {
+	t.Helper()
+	layer := clusterLayer(t)
+	srv, err := serve.New(serve.Options{Systems: []arch.System{fakeArch{}}, Layer: layer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return NewHTTPNode(id, ts.URL, nil)
+}
+
+// TestHTTPNodeBitIdentity: a router fronting real TCP peers speaking
+// the /v1/lookup wire format answers bit-identically to the functional
+// layer — JSON round-trips float32s exactly.
+func TestHTTPNodeBitIdentity(t *testing.T) {
+	nodes := []Node{newHTTPPeer(t, "node0"), newHTTPPeer(t, "node1")}
+	layer := clusterLayer(t)
+	pl, err := RingPlacement(8, []string{"node0", "node1"}, PlacementOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(Options{Nodes: nodes, Placement: pl, Layer: layer, ProbeInterval: -1, HedgeDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	for _, sample := range clusterSamples(t, 20) {
+		res, err := r.Lookup(context.Background(), sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degraded {
+			t.Fatal("healthy HTTP cluster degraded")
+		}
+		checkIdentical(t, layer, sample, res.Vectors)
+	}
+	st := nodes[0].Stats()
+	if st.Lookups == 0 || st.Cycles == 0 {
+		t.Errorf("HTTP node stats not accumulated: %+v", st)
+	}
+	h, err := nodes[0].Health(context.Background())
+	if err != nil || h.Status == "" {
+		t.Errorf("HTTP health = %+v, %v", h, err)
+	}
+}
+
+// TestHTTPNodeDown: a refused connection surfaces as ErrNodeDown and
+// the router degrades instead of failing.
+func TestHTTPNodeDown(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // now refuses connections
+	n := NewHTTPNode("gone", url, nil)
+	if _, err := n.Lookup(context.Background(), wideSample()); err == nil {
+		t.Fatal("lookup on a closed peer succeeded")
+	} else if !strings.Contains(err.Error(), ErrNodeDown.Error()) {
+		t.Errorf("error %v does not wrap ErrNodeDown", err)
+	}
+	if n.Stats().Failures == 0 {
+		t.Error("failure not counted")
+	}
+}
+
+// TestRouterHandler: the router's own HTTP front is wire-compatible
+// with a single node's — same request, a LookupResponse with
+// Replica=-1 — so routers can front routers.
+func TestRouterHandler(t *testing.T) {
+	layer := clusterLayer(t)
+	node := newFakeNode("node0", layer)
+	pl := manualPlacement([]string{"node0"}, [][]int{{0}, {0}, {0}, {0}, {0}, {0}, {0}, {0}})
+	r, err := NewRouter(Options{Nodes: []Node{node}, Placement: pl, Layer: layer, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	sample := wideSample()
+	body, _ := json.Marshal(serve.WireRequest(sample))
+	resp, err := http.Post(ts.URL+"/v1/lookup", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lookup status %d", resp.StatusCode)
+	}
+	var lr serve.LookupResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Replica != -1 {
+		t.Errorf("router response Replica = %d, want -1", lr.Replica)
+	}
+	want, err := layer.ReduceSample(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lr.Vectors, want) {
+		t.Error("wire vectors differ from functional layer")
+	}
+
+	// Malformed body is a 400, not a 500.
+	resp2, err := http.Post(ts.URL+"/v1/lookup", "application/json", strings.NewReader("{bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed lookup status %d, want 400", resp2.StatusCode)
+	}
+
+	// Metrics carry the cluster series.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb bytes.Buffer
+	_, _ = mb.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	for _, series := range []string{
+		"recross_cluster_requests_total",
+		"recross_cluster_subrequests_total",
+		"recross_cluster_nodes_available",
+		"recross_cluster_node_state{node=\"node0\"}",
+		"recross_cluster_latency_seconds",
+	} {
+		if !strings.Contains(mb.String(), series) {
+			t.Errorf("metrics missing %s", series)
+		}
+	}
+
+	// Healthz: ok while serving, 503 draining once closed.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	_ = json.NewDecoder(hresp.Body).Decode(&h)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || h.Status != "ok" || h.Available != 1 {
+		t.Errorf("healthz = %d %+v", hresp.StatusCode, h)
+	}
+	r.Close()
+	hresp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = json.NewDecoder(hresp2.Body).Decode(&h)
+	hresp2.Body.Close()
+	if hresp2.StatusCode != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Errorf("closed healthz = %d %q, want 503 draining", hresp2.StatusCode, h.Status)
+	}
+}
+
+// TestRouterFederation: because the router speaks the node wire format,
+// a router can itself be a node of an upstream router — two tiers of
+// scatter-gather, still bit-identical.
+func TestRouterFederation(t *testing.T) {
+	layer := clusterLayer(t)
+	leaf := newFakeNode("leaf", layer)
+	leafPl := manualPlacement([]string{"leaf"}, [][]int{{0}, {0}, {0}, {0}, {0}, {0}, {0}, {0}})
+	lower, err := NewRouter(Options{Nodes: []Node{leaf}, Placement: leafPl, Layer: layer, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lower.Close()
+	ts := httptest.NewServer(lower.Handler())
+	defer ts.Close()
+
+	mid := NewHTTPNode("lower-router", ts.URL, &http.Client{Timeout: 5 * time.Second})
+	upPl := manualPlacement([]string{"lower-router"}, [][]int{{0}, {0}, {0}, {0}, {0}, {0}, {0}, {0}})
+	upper, err := NewRouter(Options{Nodes: []Node{mid}, Placement: upPl, Layer: layer, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer upper.Close()
+
+	sample := wideSample()
+	res, err := upper.Lookup(context.Background(), sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIdentical(t, layer, sample, res.Vectors)
+	if leaf.lookups.Load() == 0 {
+		t.Error("leaf never served through the federation")
+	}
+}

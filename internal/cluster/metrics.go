@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"recross/internal/serve"
+)
+
+// routerMetrics are the router's lock-cheap counters; Router.Expo
+// renders them (plus per-node series) in Prometheus text form as
+// recross_cluster_*.
+type routerMetrics struct {
+	Requests    atomic.Int64 // lookups accepted
+	Failed      atomic.Int64 // lookups failed (caller error, cancellation)
+	Degraded    atomic.Int64 // lookups with >=1 fallback op
+	FallbackOps atomic.Int64 // ops answered by the functional fallback
+	Subrequests atomic.Int64 // node sub-requests dispatched
+	SubFailures atomic.Int64 // node sub-requests failed
+	Retries     atomic.Int64 // failovers after a primary failure
+	HedgesFired atomic.Int64 // hedge requests launched
+	HedgesWon   atomic.Int64 // hedges that answered first
+	Rebalances  atomic.Int64 // SetPlacement swaps
+	Probes      atomic.Int64 // dead-node health probes
+	Revivals    atomic.Int64 // dead nodes re-admitted
+
+	E2E *serve.Hist // end-to-end router latency, ns
+}
+
+func newRouterMetrics() *routerMetrics {
+	return &routerMetrics{E2E: serve.NewHist()}
+}
+
+// Stats is a point-in-time copy of the router counters.
+type Stats struct {
+	Requests, Failed, Degraded, FallbackOps int64
+	Subrequests, SubFailures, Retries       int64
+	HedgesFired, HedgesWon                  int64
+	Rebalances, Probes, Revivals            int64
+}
+
+// Stats snapshots the router counters.
+func (r *Router) Stats() Stats {
+	m := r.metrics
+	return Stats{
+		Requests:    m.Requests.Load(),
+		Failed:      m.Failed.Load(),
+		Degraded:    m.Degraded.Load(),
+		FallbackOps: m.FallbackOps.Load(),
+		Subrequests: m.Subrequests.Load(),
+		SubFailures: m.SubFailures.Load(),
+		Retries:     m.Retries.Load(),
+		HedgesFired: m.HedgesFired.Load(),
+		HedgesWon:   m.HedgesWon.Load(),
+		Rebalances:  m.Rebalances.Load(),
+		Probes:      m.Probes.Load(),
+		Revivals:    m.Revivals.Load(),
+	}
+}
+
+// NodeHealth is one node's entry in the aggregated health report.
+type NodeHealth struct {
+	ID          string        `json:"id"`
+	State       string        `json:"state"`
+	Outstanding int64         `json:"outstanding"`
+	Lookups     int64         `json:"lookups"`
+	Failures    int64         `json:"failures"`
+	HedgeDelay  time.Duration `json:"hedge_delay_ns"`
+}
+
+// Health is the aggregated cluster health report served on /healthz.
+// Status is "ok" when every node is available, "degraded" while any is
+// dead (the router still answers everything — orphaned tables via the
+// fallback), and "draining" once the router is closed.
+type Health struct {
+	Status     string       `json:"status"`
+	Nodes      int          `json:"nodes"`
+	Available  int          `json:"available"`
+	Replicated int          `json:"replicated_tables"`
+	NodeHealth []NodeHealth `json:"node_health"`
+}
+
+// Health aggregates the router's view of the cluster.
+func (r *Router) Health() Health {
+	h := Health{Nodes: len(r.nodes), Replicated: r.pl.Load().Replicated()}
+	for _, ns := range r.nodes {
+		st := NodeState(ns.state.Load())
+		if st != NodeDead {
+			h.Available++
+		}
+		h.NodeHealth = append(h.NodeHealth, NodeHealth{
+			ID:          ns.node.ID(),
+			State:       st.String(),
+			Outstanding: ns.outstanding.Load(),
+			Lookups:     ns.lookups.Load(),
+			Failures:    ns.failures.Load(),
+			HedgeDelay:  time.Duration(ns.hedgeNs.Load()),
+		})
+	}
+	switch {
+	case r.closed.Load():
+		h.Status = "draining"
+	case h.Available < h.Nodes:
+		h.Status = "degraded"
+	default:
+		h.Status = "ok"
+	}
+	return h
+}
+
+// Expo renders the recross_cluster_* Prometheus text exposition:
+// router totals, hedge and rebalance counters, per-node states and
+// outstanding-work gauges, and the end-to-end latency summary.
+func (r *Router) Expo() string {
+	var b strings.Builder
+	s := r.Stats()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP recross_cluster_%s %s\n# TYPE recross_cluster_%s counter\nrecross_cluster_%s %d\n",
+			name, help, name, name, v)
+	}
+	counter("requests_total", "Lookups accepted by the router.", s.Requests)
+	counter("requests_degraded_total", "Lookups with at least one functional-fallback op.", s.Degraded)
+	counter("fallback_ops_total", "Ops answered by the router's functional fallback.", s.FallbackOps)
+	counter("subrequests_total", "Per-node sub-requests dispatched.", s.Subrequests)
+	counter("subrequest_failures_total", "Per-node sub-requests failed.", s.SubFailures)
+	counter("retries_total", "Sub-request failovers onto a replica.", s.Retries)
+	counter("hedges_fired_total", "Hedge requests launched.", s.HedgesFired)
+	counter("hedges_won_total", "Hedge requests that answered first.", s.HedgesWon)
+	counter("rebalances_total", "Placement swaps applied.", s.Rebalances)
+	counter("probes_total", "Dead-node health probes sent.", s.Probes)
+	counter("revivals_total", "Dead nodes re-admitted after a probe.", s.Revivals)
+
+	h := r.Health()
+	fmt.Fprintf(&b, "# HELP recross_cluster_nodes Cluster size.\n# TYPE recross_cluster_nodes gauge\nrecross_cluster_nodes %d\n", h.Nodes)
+	fmt.Fprintf(&b, "# HELP recross_cluster_nodes_available Nodes not marked dead.\n# TYPE recross_cluster_nodes_available gauge\nrecross_cluster_nodes_available %d\n", h.Available)
+	fmt.Fprintf(&b, "# HELP recross_cluster_replicated_tables Tables with more than one owner.\n# TYPE recross_cluster_replicated_tables gauge\nrecross_cluster_replicated_tables %d\n", h.Replicated)
+
+	fmt.Fprintf(&b, "# HELP recross_cluster_node_state Node state (0 healthy, 1 suspect, 2 dead).\n# TYPE recross_cluster_node_state gauge\n")
+	for i, ns := range r.nodes {
+		fmt.Fprintf(&b, "recross_cluster_node_state{node=%q} %d\n", r.nodes[i].node.ID(), ns.state.Load())
+	}
+	fmt.Fprintf(&b, "# HELP recross_cluster_node_outstanding In-flight sub-requests per node.\n# TYPE recross_cluster_node_outstanding gauge\n")
+	for _, ns := range r.nodes {
+		fmt.Fprintf(&b, "recross_cluster_node_outstanding{node=%q} %d\n", ns.node.ID(), ns.outstanding.Load())
+	}
+	fmt.Fprintf(&b, "# HELP recross_cluster_node_lookups_total Sub-requests served per node.\n# TYPE recross_cluster_node_lookups_total counter\n")
+	for _, ns := range r.nodes {
+		fmt.Fprintf(&b, "recross_cluster_node_lookups_total{node=%q} %d\n", ns.node.ID(), ns.lookups.Load())
+	}
+	fmt.Fprintf(&b, "# HELP recross_cluster_node_failures_total Sub-request failures per node.\n# TYPE recross_cluster_node_failures_total counter\n")
+	for _, ns := range r.nodes {
+		fmt.Fprintf(&b, "recross_cluster_node_failures_total{node=%q} %d\n", ns.node.ID(), ns.failures.Load())
+	}
+	fmt.Fprintf(&b, "# HELP recross_cluster_node_hedge_delay_seconds Current per-node hedge delay.\n# TYPE recross_cluster_node_hedge_delay_seconds gauge\n")
+	for _, ns := range r.nodes {
+		fmt.Fprintf(&b, "recross_cluster_node_hedge_delay_seconds{node=%q} %g\n", ns.node.ID(), float64(ns.hedgeNs.Load())/1e9)
+	}
+
+	e2e := r.metrics.E2E.Snapshot()
+	fmt.Fprintf(&b, "# HELP recross_cluster_latency_seconds Router end-to-end latency.\n# TYPE recross_cluster_latency_seconds summary\n")
+	fmt.Fprintf(&b, "recross_cluster_latency_seconds{quantile=\"0.5\"} %g\n", e2e.P50/1e9)
+	fmt.Fprintf(&b, "recross_cluster_latency_seconds{quantile=\"0.95\"} %g\n", e2e.P95/1e9)
+	fmt.Fprintf(&b, "recross_cluster_latency_seconds{quantile=\"0.99\"} %g\n", e2e.P99/1e9)
+	fmt.Fprintf(&b, "recross_cluster_latency_seconds_count %d\n", e2e.Count)
+	return b.String()
+}

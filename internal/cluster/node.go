@@ -1,0 +1,143 @@
+// Package cluster scales the single-process serving layer out to N
+// nodes — the cluster-level analogue of the paper's cross-level
+// placement idea. Embedding tables are partitioned across nodes by a
+// placement layer (a consistent-hash ring with weighted virtual nodes,
+// or an LP-priced cost mode reusing internal/partition's access-volume
+// machinery), the hottest tables are replicated on R nodes (the
+// cluster-scope version of RecNMP/TRiM-B hot-entry replication), and a
+// stateless Router scatter-gathers each lookup batch across the owning
+// nodes with per-node deadlines, hedged requests after a p99-derived
+// delay, and least-outstanding-work dispatch among a hot table's
+// replicas.
+//
+// Every table is procedurally defined by its global index, so holding a
+// table costs a node nothing at rest — what the placement partitions is
+// serving load: each node's batch stream, simulated memory-channel
+// occupancy, and hot-row-cache working set cover only the tables routed
+// to it. Nodes therefore stay full-spec and bit-identity holds on every
+// path, including the router's functional fallback for tables whose
+// owners are all down: node loss degrades (Result.Degraded), it never
+// fails — PR 2's quorum semantics at cluster scope.
+//
+// Transport is a seam: cluster.Node is implemented by LocalNode (wraps
+// a serve.Server in-process), by Fleet (N servers in one binary), and
+// by HTTPNode (a real TCP peer speaking the /v1/lookup wire format), so
+// the router — and everything above it — never knows which it holds.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"recross/internal/serve"
+	"recross/internal/trace"
+)
+
+// ErrNodeDown reports a call on a node that is not serving (killed
+// fleet member, refused connection). The router treats it like any
+// other node failure: retry on a replica, then functional fallback.
+var ErrNodeDown = errors.New("cluster: node down")
+
+// NodeStats are cumulative per-node serving counters.
+type NodeStats struct {
+	// Lookups counts successfully served Lookup calls.
+	Lookups int64
+	// Failures counts Lookup calls that returned an error.
+	Failures int64
+	// Cycles is the sum of the simulated DRAM-cycle latencies of the
+	// batches that served this node's lookups — the node's simulated
+	// busy time, which the scale-out benchmark divides wall work by.
+	Cycles int64
+}
+
+// Node is the transport driver interface: everything the router needs
+// from a backend, regardless of where it runs. Implementations must be
+// safe for concurrent use.
+type Node interface {
+	// ID names the node (stable across restarts).
+	ID() string
+	// Lookup serves one sample, honoring ctx.
+	Lookup(ctx context.Context, sample trace.Sample) (*serve.Result, error)
+	// Health probes the node's serving state.
+	Health(ctx context.Context) (serve.HealthReport, error)
+	// Stats reports cumulative serving counters.
+	Stats() NodeStats
+	// Close releases the node (draining if it owns a server).
+	Close() error
+}
+
+// LocalNode is the in-process transport driver: it wraps a
+// *serve.Server directly. The server pointer is swappable so a Fleet
+// can kill and later restart the node while routers keep their handle.
+type LocalNode struct {
+	id  string
+	srv atomic.Pointer[serve.Server]
+
+	lookups  atomic.Int64
+	failures atomic.Int64
+	cycles   atomic.Int64
+}
+
+// NewLocalNode wraps srv as a node named id.
+func NewLocalNode(id string, srv *serve.Server) *LocalNode {
+	n := &LocalNode{id: id}
+	n.srv.Store(srv)
+	return n
+}
+
+// ID names the node.
+func (n *LocalNode) ID() string { return n.id }
+
+// Server returns the currently installed server (nil while killed).
+func (n *LocalNode) Server() *serve.Server { return n.srv.Load() }
+
+// Swap installs a new server (nil to take the node down) and returns
+// the previous one. The caller owns closing the returned server.
+func (n *LocalNode) Swap(srv *serve.Server) *serve.Server {
+	return n.srv.Swap(srv)
+}
+
+// Lookup serves one sample on the wrapped server.
+func (n *LocalNode) Lookup(ctx context.Context, sample trace.Sample) (*serve.Result, error) {
+	srv := n.srv.Load()
+	if srv == nil {
+		n.failures.Add(1)
+		return nil, ErrNodeDown
+	}
+	res, err := srv.Lookup(ctx, sample)
+	if err != nil {
+		n.failures.Add(1)
+		return nil, err
+	}
+	n.lookups.Add(1)
+	n.cycles.Add(int64(res.ServiceCycles))
+	return res, nil
+}
+
+// Health reports the wrapped server's health.
+func (n *LocalNode) Health(ctx context.Context) (serve.HealthReport, error) {
+	_ = ctx
+	srv := n.srv.Load()
+	if srv == nil {
+		return serve.HealthReport{}, ErrNodeDown
+	}
+	return srv.Health(), nil
+}
+
+// Stats reports cumulative counters (they survive Swap).
+func (n *LocalNode) Stats() NodeStats {
+	return NodeStats{
+		Lookups:  n.lookups.Load(),
+		Failures: n.failures.Load(),
+		Cycles:   n.cycles.Load(),
+	}
+}
+
+// Close drains and closes the wrapped server, leaving the node down.
+func (n *LocalNode) Close() error {
+	if srv := n.srv.Swap(nil); srv != nil {
+		return srv.Close()
+	}
+	return nil
+}

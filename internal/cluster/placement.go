@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"recross/internal/lp"
+	"recross/internal/partition"
+	"recross/internal/trace"
+)
+
+// Placement maps every embedding table to the nodes that serve it.
+// Replicas[t] lists the node indexes holding table t, primary first;
+// hot tables carry Replication entries, the rest exactly one. A
+// Placement is immutable once built — rebalancing constructs a new one
+// and swaps it into the router atomically.
+type Placement struct {
+	// Nodes names the cluster members, indexed by the values in
+	// Replicas.
+	Nodes []string
+	// Replicas maps table index -> owning node indexes, primary first.
+	Replicas [][]int
+	// Hot marks the tables that were replicated (nil if none were).
+	Hot []bool
+	// Mode records how the placement was built: "ring" or "cost".
+	Mode string
+	// Makespan is the predicted bottleneck-node load of this placement
+	// (cost mode only; normalized access bytes per sample on the most
+	// loaded node, replicas assumed to split a table's load evenly).
+	Makespan float64
+	// LPBound is the fractional LP optimum of the same balancing
+	// problem (cost mode only) — the floor Makespan is priced against.
+	LPBound float64
+
+	holds [][]bool // node -> table -> held
+}
+
+// PlacementOptions configures RingPlacement and CostPlacement.
+type PlacementOptions struct {
+	// Replication is the replica count for hot tables (default 2,
+	// clamped to the node count). Non-hot tables always get 1.
+	Replication int
+	// Hot marks the tables to replicate (nil = replicate none).
+	Hot []bool
+	// VNodes is the ring's virtual nodes per unit weight (ring mode
+	// only; default 64).
+	VNodes int
+	// Weights scales node capacity (default all 1).
+	Weights []float64
+	// Seed perturbs ring hashes (ring mode only).
+	Seed uint64
+}
+
+func (o PlacementOptions) replication(nodes int) int {
+	r := o.Replication
+	if r == 0 {
+		r = 2
+	}
+	if r > nodes {
+		r = nodes
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// RingPlacement partitions tables across nodes by consistent hashing:
+// table t's owners are the first replicas(t) distinct nodes clockwise
+// of hash("t<t>") on a weighted-vnode ring. Stable under node loss —
+// only the lost node's arcs move.
+func RingPlacement(tables int, nodes []string, opts PlacementOptions) (*Placement, error) {
+	if err := validateNodes(tables, nodes, opts.Hot); err != nil {
+		return nil, err
+	}
+	ring, err := NewRing(len(nodes), RingOptions{
+		VNodes:  opts.VNodes,
+		Weights: opts.Weights,
+		Seed:    opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := opts.replication(len(nodes))
+	p := &Placement{Nodes: nodes, Replicas: make([][]int, tables), Hot: opts.Hot, Mode: "ring"}
+	for t := 0; t < tables; t++ {
+		r := 1
+		if opts.Hot != nil && opts.Hot[t] {
+			r = rep
+		}
+		p.Replicas[t] = ring.Successors(fmt.Sprintf("t%d", t), r)
+	}
+	p.finalize()
+	return p, nil
+}
+
+// CostPlacement partitions tables by expected serving load: vols[t] is
+// table t's per-sample access volume (partition.AccessVolumes, or live
+// sketch totals scaled by row bytes), tables descend onto the
+// least-loaded node LPT-style, and a hot table's volume is split
+// evenly across its Replication owners. The result is priced against
+// the fractional LP optimum of the same problem (internal/lp), so
+// Makespan/LPBound reports how far the integral placement is from the
+// balancing floor.
+func CostPlacement(vols []float64, nodes []string, opts PlacementOptions) (*Placement, error) {
+	if err := validateNodes(len(vols), nodes, opts.Hot); err != nil {
+		return nil, err
+	}
+	n := len(nodes)
+	if opts.Weights != nil && len(opts.Weights) != n {
+		return nil, fmt.Errorf("cluster: %d weights for %d nodes", len(opts.Weights), n)
+	}
+	weight := func(i int) float64 {
+		if opts.Weights == nil {
+			return 1
+		}
+		return opts.Weights[i]
+	}
+	for i := 0; i < n; i++ {
+		if weight(i) <= 0 {
+			return nil, fmt.Errorf("cluster: node %d weight %v", i, weight(i))
+		}
+	}
+	rep := opts.replication(n)
+
+	// LPT descent: largest volume first, each table's share(s) onto the
+	// least normalized-loaded node(s).
+	order := make([]int, len(vols))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return vols[order[a]] > vols[order[b]] })
+	loads := make([]float64, n)
+	p := &Placement{Nodes: nodes, Replicas: make([][]int, len(vols)), Hot: opts.Hot, Mode: "cost"}
+	for _, t := range order {
+		r := 1
+		if opts.Hot != nil && opts.Hot[t] {
+			r = rep
+		}
+		share := vols[t] / float64(r)
+		chosen := make([]int, 0, r)
+		taken := make([]bool, n)
+		for j := 0; j < r; j++ {
+			best := -1
+			for i := 0; i < n; i++ {
+				if taken[i] {
+					continue
+				}
+				if best < 0 || loads[i]/weight(i) < loads[best]/weight(best) {
+					best = i
+				}
+			}
+			taken[best] = true
+			chosen = append(chosen, best)
+			loads[best] += share
+		}
+		p.Replicas[t] = chosen
+	}
+	for i := 0; i < n; i++ {
+		if l := loads[i] / weight(i); l > p.Makespan {
+			p.Makespan = l
+		}
+	}
+	p.LPBound = lpBound(vols, n, weight)
+	p.finalize()
+	return p, nil
+}
+
+// CostPlacementFor is CostPlacement priced from an offline profile:
+// per-table volumes come from partition.AccessVolumes at the given
+// batch size, the same cost machinery the intra-node partitioner uses.
+func CostPlacementFor(prof *partition.Profile, batch int, nodes []string, opts PlacementOptions) (*Placement, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("cluster: nil profile")
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	return CostPlacement(partition.AccessVolumes(prof.Spec, batch), nodes, opts)
+}
+
+// lpBound solves the fractional relaxation — min T subject to each
+// table fully assigned and each node's weighted load at most T — and
+// returns the optimum (0 if the solve fails, which only a degenerate
+// input produces).
+func lpBound(vols []float64, n int, weight func(int) float64) float64 {
+	tables := len(vols)
+	// Variables: x[t*n+i] = fraction of table t on node i, then T last.
+	nv := tables*n + 1
+	prob, err := lp.NewProblem(nv)
+	if err != nil {
+		return 0
+	}
+	obj := make([]float64, nv)
+	obj[nv-1] = 1
+	if err := prob.SetObjective(obj); err != nil {
+		return 0
+	}
+	for t := 0; t < tables; t++ {
+		row := make([]float64, nv)
+		for i := 0; i < n; i++ {
+			row[t*n+i] = 1
+		}
+		if err := prob.AddConstraint(row, lp.EQ, 1); err != nil {
+			return 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, nv)
+		for t := 0; t < tables; t++ {
+			row[t*n+i] = vols[t]
+		}
+		row[nv-1] = -weight(i)
+		if err := prob.AddConstraint(row, lp.LE, 0); err != nil {
+			return 0
+		}
+	}
+	sol := lp.Solve(prob)
+	if sol.Status != lp.Optimal {
+		return 0
+	}
+	return sol.Objective
+}
+
+// HotTopK marks the k largest-volume tables hot (deterministic: ties
+// break toward the lower table index). k <= 0 marks none.
+func HotTopK(vols []float64, k int) []bool {
+	if k <= 0 || len(vols) == 0 {
+		return nil
+	}
+	if k > len(vols) {
+		k = len(vols)
+	}
+	order := make([]int, len(vols))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return vols[order[a]] > vols[order[b]] })
+	hot := make([]bool, len(vols))
+	for _, t := range order[:k] {
+		hot[t] = true
+	}
+	return hot
+}
+
+func validateNodes(tables int, nodes []string, hot []bool) error {
+	if tables < 1 {
+		return fmt.Errorf("cluster: %d tables", tables)
+	}
+	if len(nodes) < 1 {
+		return fmt.Errorf("cluster: placement needs at least 1 node")
+	}
+	seen := make(map[string]bool, len(nodes))
+	for _, id := range nodes {
+		if id == "" {
+			return fmt.Errorf("cluster: empty node id")
+		}
+		if seen[id] {
+			return fmt.Errorf("cluster: duplicate node id %q", id)
+		}
+		seen[id] = true
+	}
+	if hot != nil && len(hot) != tables {
+		return fmt.Errorf("cluster: %d hot flags for %d tables", len(hot), tables)
+	}
+	return nil
+}
+
+// finalize builds the holds index.
+func (p *Placement) finalize() {
+	p.holds = make([][]bool, len(p.Nodes))
+	for i := range p.holds {
+		p.holds[i] = make([]bool, len(p.Replicas))
+	}
+	for t, reps := range p.Replicas {
+		for _, i := range reps {
+			// Out-of-range owners (a hand-built placement) are left for
+			// checkPlacement to reject rather than panicking here.
+			if i >= 0 && i < len(p.holds) {
+				p.holds[i][t] = true
+			}
+		}
+	}
+}
+
+// Tables reports how many tables the placement covers.
+func (p *Placement) Tables() int { return len(p.Replicas) }
+
+// Holds reports whether node i serves table t.
+func (p *Placement) Holds(i, t int) bool {
+	if i < 0 || i >= len(p.holds) || t < 0 || t >= len(p.holds[i]) {
+		return false
+	}
+	return p.holds[i][t]
+}
+
+// Replicated reports how many tables have more than one owner.
+func (p *Placement) Replicated() int {
+	c := 0
+	for _, reps := range p.Replicas {
+		if len(reps) > 1 {
+			c++
+		}
+	}
+	return c
+}
+
+// UniqueTables returns the tables node i is the sole owner of — the
+// tables whose answers degrade to the functional fallback when node i
+// is lost.
+func (p *Placement) UniqueTables(i int) []int {
+	var out []int
+	for t, reps := range p.Replicas {
+		if len(reps) == 1 && reps[0] == i {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// NodeTableBytes sums the spec bytes of the tables each node holds
+// (replicated tables count fully on every owner) — the balance measure
+// the ring-skew test bounds.
+func (p *Placement) NodeTableBytes(spec trace.ModelSpec) []int64 {
+	out := make([]int64, len(p.Nodes))
+	for t, reps := range p.Replicas {
+		if t >= len(spec.Tables) {
+			break
+		}
+		b := spec.Tables[t].Bytes()
+		for _, i := range reps {
+			out[i] += b
+		}
+	}
+	return out
+}
+
+// BytesSkew is max/mean of NodeTableBytes — 1.0 is perfect balance.
+func (p *Placement) BytesSkew(spec trace.ModelSpec) float64 {
+	bytes := p.NodeTableBytes(spec)
+	var sum, max int64
+	for _, b := range bytes {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(bytes))
+	return float64(max) / mean
+}
+
+// Equal reports whether two placements route identically.
+func (p *Placement) Equal(q *Placement) bool {
+	if q == nil || len(p.Replicas) != len(q.Replicas) || len(p.Nodes) != len(q.Nodes) {
+		return false
+	}
+	for i := range p.Nodes {
+		if p.Nodes[i] != q.Nodes[i] {
+			return false
+		}
+	}
+	for t := range p.Replicas {
+		if len(p.Replicas[t]) != len(q.Replicas[t]) {
+			return false
+		}
+		for j := range p.Replicas[t] {
+			if p.Replicas[t][j] != q.Replicas[t][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Ring is a consistent-hash ring with weighted virtual nodes: node i
+// places about Weights[i]*VNodes points on a 64-bit circle, and a key
+// is owned by the first point clockwise of its hash. Replicas of a key
+// are the next distinct nodes clockwise, so losing a node moves only
+// its own arcs. The ring is immutable once built; rebalancing builds a
+// new one (Placement is cheap to recompute).
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  int
+	seed   uint64
+}
+
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// RingOptions configures NewRing.
+type RingOptions struct {
+	// VNodes is the number of virtual nodes per unit of weight
+	// (default 64). More vnodes → smoother balance, larger ring.
+	VNodes int
+	// Weights scales each node's share of the ring (default all 1).
+	// A node with weight 2 owns about twice the arc length.
+	Weights []float64
+	// Seed perturbs every ring hash, so different seeds give
+	// independent placements of the same nodes (default 0).
+	Seed uint64
+}
+
+// NewRing builds a ring over n nodes.
+func NewRing(n int, opts RingOptions) (*Ring, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: ring needs at least 1 node, got %d", n)
+	}
+	vnodes := opts.VNodes
+	if vnodes == 0 {
+		vnodes = 64
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("cluster: %d vnodes", vnodes)
+	}
+	if opts.Weights != nil && len(opts.Weights) != n {
+		return nil, fmt.Errorf("cluster: %d weights for %d nodes", len(opts.Weights), n)
+	}
+	r := &Ring{nodes: n, seed: opts.Seed}
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if opts.Weights != nil {
+			w = opts.Weights[i]
+			if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("cluster: node %d weight %v", i, w)
+			}
+		}
+		count := int(math.Round(w * float64(vnodes)))
+		if count < 1 {
+			count = 1
+		}
+		for v := 0; v < count; v++ {
+			h := mix64(opts.Seed ^ mix64(uint64(i)+1) ^ mix64(0x5bd1e995*uint64(v)+0x1b873593))
+			r.points = append(r.points, ringPoint{hash: h, node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// Nodes reports how many nodes the ring was built over.
+func (r *Ring) Nodes() int { return r.nodes }
+
+// Points reports the ring size (total virtual nodes).
+func (r *Ring) Points() int { return len(r.points) }
+
+// Successors returns the first k distinct nodes clockwise of key's
+// hash, primary first. k is clamped to the node count.
+func (r *Ring) Successors(key string, k int) []int {
+	if k > r.nodes {
+		k = r.nodes
+	}
+	if k < 1 {
+		k = 1
+	}
+	h := hashKey(r.seed, key)
+	// First point with hash >= h, wrapping.
+	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+	out := make([]int, 0, k)
+	seen := make(map[int]bool, k)
+	for j := 0; j < len(r.points) && len(out) < k; j++ {
+		p := r.points[(i+j)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// hashKey hashes a key string with the ring seed (FNV-1a core, then a
+// splitmix-style finalizer for avalanche).
+func hashKey(seed uint64, s string) uint64 {
+	h := uint64(14695981039346656037) ^ mix64(seed)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

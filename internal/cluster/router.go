@@ -1,0 +1,648 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recross/internal/embedding"
+	"recross/internal/serve"
+	"recross/internal/sim"
+	"recross/internal/trace"
+)
+
+// ErrRouterClosed reports a Lookup on a closed router.
+var ErrRouterClosed = errors.New("cluster: router closed")
+
+// NodeState is the router's view of one node.
+type NodeState int32
+
+const (
+	// NodeHealthy: serving normally.
+	NodeHealthy NodeState = iota
+	// NodeSuspect: recent failures (or freshly re-admitted); still
+	// dispatched to, but a replica is preferred when one is healthier.
+	NodeSuspect
+	// NodeDead: consecutive failures crossed FailThreshold; excluded
+	// from dispatch until the prober re-admits it.
+	NodeDead
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeHealthy:
+		return "healthy"
+	case NodeSuspect:
+		return "suspect"
+	case NodeDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// Options configures NewRouter.
+type Options struct {
+	// Nodes are the cluster members, indexed identically to
+	// Placement.Nodes (required, at least one).
+	Nodes []Node
+	// Placement maps tables to nodes (required; SetPlacement swaps it
+	// live).
+	Placement *Placement
+	// Layer is the router's own functional embedding layer, used to
+	// answer ops whose owning nodes are all unavailable (required).
+	// Procedural layers make the fallback bit-identical to any node.
+	Layer *embedding.Layer
+	// NodeTimeout bounds each sub-request (default 2s).
+	NodeTimeout time.Duration
+	// HedgeDelay controls hedged requests for ops with >1 available
+	// replica: 0 (default) derives the delay per node from its observed
+	// p99 sub-request latency; a positive value fixes it; negative
+	// disables hedging.
+	HedgeDelay time.Duration
+	// FailThreshold is how many consecutive sub-request failures mark a
+	// node dead (default 3).
+	FailThreshold int
+	// ProbeInterval paces the background prober that recomputes hedge
+	// delays and re-admits dead nodes (default 250ms; negative disables
+	// the prober).
+	ProbeInterval time.Duration
+	// Observer, when non-nil, sees every routed sample (the adaptive
+	// tracker's tap). Runs on the caller's goroutine; must be cheap and
+	// concurrency-safe.
+	Observer func(trace.Sample)
+}
+
+func (o Options) withDefaults() Options {
+	if o.NodeTimeout == 0 {
+		o.NodeTimeout = 2 * time.Second
+	}
+	if o.FailThreshold == 0 {
+		o.FailThreshold = 3
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = 250 * time.Millisecond
+	}
+	return o
+}
+
+// Result is one answered cluster lookup.
+type Result struct {
+	// Vectors holds the pooled vector of each op, in request order,
+	// bit-identical to embedding.Layer.Reduce on the same ops.
+	Vectors [][]float32
+	// Nodes is how many distinct nodes served sub-requests.
+	Nodes int
+	// Degraded marks an answer where at least one op came from the
+	// router's functional fallback because no owner was available.
+	Degraded bool
+	// DegradedOps counts those fallback ops.
+	DegradedOps int
+	// Hedged marks a request where at least one hedge fired.
+	Hedged bool
+	// Retries counts failed sub-requests retried on a replica.
+	Retries int
+	// ServiceCycles is the max simulated batch latency over the
+	// sub-requests — the parallel cluster's critical-path analogue.
+	ServiceCycles sim.Cycle
+	// Total is end-to-end wall time in the router.
+	Total time.Duration
+}
+
+// nodeState is the router's per-node bookkeeping.
+type nodeState struct {
+	node Node
+	idx  int
+
+	state       atomic.Int32
+	consecFails atomic.Int32
+	outstanding atomic.Int64 // in-flight sub-requests
+	sent        atomic.Int64 // cumulative dispatched sub-requests (tie-break)
+	lookups     atomic.Int64
+	failures    atomic.Int64
+	hedges      atomic.Int64
+
+	lat     *serve.Hist  // sub-request wall latency, ns
+	hedgeNs atomic.Int64 // current hedge delay, ns
+}
+
+func (ns *nodeState) available() bool {
+	return NodeState(ns.state.Load()) != NodeDead
+}
+
+func (ns *nodeState) ok() {
+	ns.consecFails.Store(0)
+	ns.state.Store(int32(NodeHealthy))
+	ns.lookups.Add(1)
+}
+
+func (ns *nodeState) fail(threshold int) {
+	ns.failures.Add(1)
+	if int(ns.consecFails.Add(1)) >= threshold {
+		ns.state.Store(int32(NodeDead))
+	} else {
+		ns.state.Store(int32(NodeSuspect))
+	}
+}
+
+// Router is the stateless scatter-gather front of a cluster: it splits
+// each sample by the placement, dispatches per-node sub-requests
+// concurrently under NodeTimeout, hedges slow sub-requests after a
+// p99-derived delay when a replica is available, retries failed
+// sub-requests on replicas, answers orphaned ops from the functional
+// layer, and reassembles results bit-identically in request order.
+// "Stateless" means it holds no table data — only routing state — so
+// any number of routers can front the same nodes. All methods are safe
+// for concurrent use.
+type Router struct {
+	opts    Options
+	nodes   []*nodeState
+	pl      atomic.Pointer[Placement]
+	metrics *routerMetrics
+	scratch sync.Pool // *embedding.Scratch for fallback reductions
+
+	closed   atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewRouter builds and starts a router (plus its background prober,
+// unless ProbeInterval is negative).
+func NewRouter(opts Options) (*Router, error) {
+	opts = opts.withDefaults()
+	if len(opts.Nodes) == 0 {
+		return nil, errors.New("cluster: router needs at least one node")
+	}
+	if opts.Layer == nil {
+		return nil, errors.New("cluster: router needs a functional layer")
+	}
+	if err := checkPlacement(opts.Placement, len(opts.Nodes), opts.Layer.Tables()); err != nil {
+		return nil, err
+	}
+	r := &Router{
+		opts:    opts,
+		metrics: newRouterMetrics(),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	r.scratch.New = func() any { return &embedding.Scratch{} }
+	r.pl.Store(opts.Placement)
+	for i, n := range opts.Nodes {
+		ns := &nodeState{node: n, idx: i, lat: serve.NewHist()}
+		ns.hedgeNs.Store(int64(defaultHedge))
+		r.nodes = append(r.nodes, ns)
+	}
+	if opts.ProbeInterval > 0 {
+		go r.probe()
+	} else {
+		close(r.done)
+	}
+	return r, nil
+}
+
+func checkPlacement(p *Placement, nodes, tables int) error {
+	if p == nil {
+		return errors.New("cluster: router needs a placement")
+	}
+	if len(p.Nodes) != nodes {
+		return fmt.Errorf("cluster: placement covers %d nodes, router has %d", len(p.Nodes), nodes)
+	}
+	if p.Tables() != tables {
+		return fmt.Errorf("cluster: placement covers %d tables, layer has %d", p.Tables(), tables)
+	}
+	for t, reps := range p.Replicas {
+		if len(reps) == 0 {
+			return fmt.Errorf("cluster: table %d has no owners", t)
+		}
+		for _, i := range reps {
+			if i < 0 || i >= nodes {
+				return fmt.Errorf("cluster: table %d owner %d out of [0,%d)", t, i, nodes)
+			}
+		}
+	}
+	return nil
+}
+
+// Placement returns the current placement.
+func (r *Router) Placement() *Placement { return r.pl.Load() }
+
+// SetPlacement swaps the routing table atomically; in-flight requests
+// finish on the placement they started with. Counts as a rebalance.
+func (r *Router) SetPlacement(p *Placement) error {
+	if err := checkPlacement(p, len(r.nodes), r.opts.Layer.Tables()); err != nil {
+		return err
+	}
+	r.pl.Store(p)
+	r.metrics.Rebalances.Add(1)
+	return nil
+}
+
+// Nodes reports the cluster size.
+func (r *Router) Nodes() int { return len(r.nodes) }
+
+// NodeState reports the router's view of node i.
+func (r *Router) NodeState(i int) NodeState {
+	return NodeState(r.nodes[i].state.Load())
+}
+
+// group is the per-node slice of one scattered sample.
+type group struct {
+	node int   // primary node index
+	ops  []int // op positions within the sample
+}
+
+// Lookup serves one sample across the cluster. Errors are reserved for
+// caller mistakes (bad ops) and closure; node loss never surfaces as an
+// error — orphaned ops are answered from the functional layer with
+// Result.Degraded set.
+func (r *Router) Lookup(ctx context.Context, sample trace.Sample) (*Result, error) {
+	if r.closed.Load() {
+		return nil, ErrRouterClosed
+	}
+	if len(sample) == 0 {
+		return nil, errors.New("cluster: empty sample")
+	}
+	pl := r.pl.Load()
+	for i, op := range sample {
+		if op.Table < 0 || op.Table >= pl.Tables() {
+			return nil, fmt.Errorf("cluster: op %d table %d out of [0,%d)", i, op.Table, pl.Tables())
+		}
+	}
+	if r.opts.Observer != nil {
+		r.opts.Observer(sample)
+	}
+	start := time.Now()
+	r.metrics.Requests.Add(1)
+
+	// Scatter plan: each op goes to the least-loaded available owner of
+	// its table; ops sharing a node ride one sub-request. pending tracks
+	// work assigned within this plan so a burst of ops on one hot table
+	// spreads across its replicas even at zero ambient concurrency.
+	assign := make([]int, len(sample))
+	pending := make([]int64, len(r.nodes))
+	for i, op := range sample {
+		assign[i] = r.pickNode(pl.Replicas[op.Table], pending, nil)
+		if assign[i] >= 0 {
+			pending[assign[i]]++
+		}
+	}
+	var groups []group
+	byNode := make(map[int]int, 4) // node -> index in groups
+	for i, n := range assign {
+		if n < 0 {
+			continue
+		}
+		gi, ok := byNode[n]
+		if !ok {
+			gi = len(groups)
+			byNode[n] = gi
+			groups = append(groups, group{node: n})
+		}
+		groups[gi].ops = append(groups[gi].ops, i)
+	}
+
+	res := &Result{Vectors: make([][]float32, len(sample))}
+	served := make(map[int]bool, len(groups)) // distinct serving nodes
+	failed, from := r.scatter(ctx, pl, sample, groups, res, served)
+
+	// Functional fallback candidates: ops with no available owner.
+	var failedOps []int
+	for i, n := range assign {
+		if n < 0 {
+			failedOps = append(failedOps, i)
+		}
+	}
+
+	// Per-op failover round: a failed group may mix tables that still
+	// have live owners elsewhere with tables unique to the failed node
+	// (serveGroup's whole-group alternate covers only the former case
+	// when the mix is pure). Re-plan each failed op individually off the
+	// node that failed it; only ops with nowhere left to go degrade.
+	if len(failed) > 0 {
+		pending2 := make([]int64, len(r.nodes))
+		var groups2 []group
+		byNode2 := make(map[int]int, 4)
+		for _, oi := range failed {
+			n := r.pickNode(pl.Replicas[sample[oi].Table], pending2, map[int]bool{from[oi]: true})
+			if n < 0 {
+				failedOps = append(failedOps, oi)
+				continue
+			}
+			pending2[n]++
+			gi, ok := byNode2[n]
+			if !ok {
+				gi = len(groups2)
+				byNode2[n] = gi
+				groups2 = append(groups2, group{node: n})
+			}
+			groups2[gi].ops = append(groups2[gi].ops, oi)
+		}
+		if len(groups2) > 0 {
+			r.metrics.Retries.Add(int64(len(groups2)))
+			res.Retries += len(groups2)
+			failed2, _ := r.scatter(ctx, pl, sample, groups2, res, served)
+			failedOps = append(failedOps, failed2...)
+		}
+	}
+	res.Nodes = len(served)
+	// Functional fallback: bit-identical to any node's answer — the
+	// tables are the same procedural functions.
+	if len(failedOps) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sc := r.scratch.Get().(*embedding.Scratch)
+		defer r.scratch.Put(sc)
+		for _, oi := range failedOps {
+			vec := make([]float32, r.opts.Layer.Table(sample[oi].Table).VecLen())
+			if err := r.opts.Layer.ReduceInto(vec, sample[oi], sc); err != nil {
+				r.metrics.Failed.Add(1)
+				return nil, fmt.Errorf("cluster: fallback reduce: %w", err)
+			}
+			res.Vectors[oi] = vec
+		}
+		res.Degraded = true
+		res.DegradedOps = len(failedOps)
+		r.metrics.Degraded.Add(1)
+		r.metrics.FallbackOps.Add(int64(len(failedOps)))
+	}
+
+	res.Total = time.Since(start)
+	r.metrics.E2E.Record(res.Total.Nanoseconds())
+	return res, nil
+}
+
+// scatter dispatches one round of per-node sub-requests (one goroutine
+// per group), merges successful answers into res and served, and
+// returns the ops whose sub-requests failed along with the node each
+// failed on (for the caller's per-op failover round).
+func (r *Router) scatter(ctx context.Context, pl *Placement, sample trace.Sample, groups []group, res *Result, served map[int]bool) (failed []int, from map[int]int) {
+	type outcome struct {
+		g       int
+		sres    *serve.Result
+		err     error
+		hedged  bool
+		retried bool
+	}
+	outc := make(chan outcome, len(groups))
+	for gi := range groups {
+		g := groups[gi]
+		sub := make(trace.Sample, len(g.ops))
+		for j, oi := range g.ops {
+			sub[j] = sample[oi]
+		}
+		go func(gi int, g group, sub trace.Sample) {
+			sres, hedged, retried, err := r.serveGroup(ctx, pl, g, sub)
+			outc <- outcome{g: gi, sres: sres, err: err, hedged: hedged, retried: retried}
+		}(gi, g, sub)
+	}
+	from = make(map[int]int, 4)
+	for range groups {
+		o := <-outc
+		g := groups[o.g]
+		if o.hedged {
+			res.Hedged = true
+		}
+		if o.retried {
+			res.Retries++
+		}
+		if o.err != nil {
+			failed = append(failed, g.ops...)
+			for _, oi := range g.ops {
+				from[oi] = g.node
+			}
+			continue
+		}
+		served[g.node] = true
+		for j, oi := range g.ops {
+			res.Vectors[oi] = o.sres.Vectors[j]
+		}
+		if o.sres.ServiceCycles > res.ServiceCycles {
+			res.ServiceCycles = o.sres.ServiceCycles
+		}
+	}
+	return failed, from
+}
+
+// pickNode selects the least-outstanding available node among cands
+// (ties: fewest cumulative sent, then lowest index), excluding `not`.
+// Returns -1 when no candidate is available.
+func (r *Router) pickNode(cands []int, pending []int64, not map[int]bool) int {
+	best := -1
+	var bestOut, bestSent int64
+	for _, c := range cands {
+		if not != nil && not[c] {
+			continue
+		}
+		ns := r.nodes[c]
+		if !ns.available() {
+			continue
+		}
+		out := ns.outstanding.Load()
+		if pending != nil {
+			out += pending[c]
+		}
+		sent := ns.sent.Load()
+		if best < 0 || out < bestOut || (out == bestOut && sent < bestSent) {
+			best, bestOut, bestSent = c, out, sent
+		}
+	}
+	return best
+}
+
+const (
+	defaultHedge = 25 * time.Millisecond
+	minHedge     = 200 * time.Microsecond
+)
+
+// serveGroup runs one per-node sub-request with hedging and one
+// failover retry. The alternates considered are nodes holding every
+// table of the group (for single-table groups: the table's replicas).
+func (r *Router) serveGroup(ctx context.Context, pl *Placement, g group, sub trace.Sample) (res *serve.Result, hedged, retried bool, err error) {
+	primary := r.nodes[g.node]
+
+	type reply struct {
+		res   *serve.Result
+		err   error
+		node  *nodeState
+		hedge bool
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	replies := make(chan reply, 2) // buffered: losers never block
+	var settled atomic.Bool
+
+	launch := func(ns *nodeState, hedge bool) {
+		go func() {
+			sres, cerr := r.callNode(cctx, ns, sub, &settled)
+			replies <- reply{res: sres, err: cerr, node: ns, hedge: hedge}
+		}()
+	}
+	launch(primary, false)
+
+	alt := r.alternate(pl, g, sub)
+	inflight := 1
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if alt != nil && r.opts.HedgeDelay >= 0 {
+		d := r.opts.HedgeDelay
+		if d == 0 {
+			d = time.Duration(primary.hedgeNs.Load())
+		}
+		if d < minHedge {
+			d = minHedge
+		}
+		hedgeTimer = time.NewTimer(d)
+		hedgeC = hedgeTimer.C
+		defer hedgeTimer.Stop()
+	}
+
+	var firstErr error
+	for inflight > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			if alt != nil {
+				r.metrics.HedgesFired.Add(1)
+				primary.hedges.Add(1)
+				hedged = true
+				launch(alt, true)
+				inflight++
+				alt = nil
+			}
+		case rep := <-replies:
+			inflight--
+			if rep.err == nil {
+				settled.Store(true)
+				cancel() // release the loser, if any
+				if rep.hedge {
+					r.metrics.HedgesWon.Add(1)
+				}
+				return rep.res, hedged, retried, nil
+			}
+			r.metrics.SubFailures.Add(1)
+			if firstErr == nil {
+				firstErr = rep.err
+			}
+			// Primary failed before the hedge fired: promote the
+			// alternate immediately as a failover retry.
+			if !rep.hedge && alt != nil {
+				hedgeC = nil
+				r.metrics.Retries.Add(1)
+				retried = true
+				launch(alt, false)
+				inflight++
+				alt = nil
+			}
+		case <-ctx.Done():
+			settled.Store(true)
+			return nil, hedged, retried, ctx.Err()
+		}
+	}
+	return nil, hedged, retried, firstErr
+}
+
+// alternate picks a second node able to serve the whole group, or nil.
+func (r *Router) alternate(pl *Placement, g group, sub trace.Sample) *nodeState {
+	cands := pl.Replicas[sub[0].Table]
+	not := map[int]bool{g.node: true}
+	for _, op := range sub[1:] {
+		// The alternate must hold every table of the group; intersect.
+		var kept []int
+		for _, c := range cands {
+			if pl.Holds(c, op.Table) {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+		if len(cands) == 0 {
+			return nil
+		}
+	}
+	if i := r.pickNode(cands, nil, not); i >= 0 {
+		return r.nodes[i]
+	}
+	return nil
+}
+
+// callNode runs one sub-request against a node, maintaining its health
+// and latency state. A failure observed after the group settled (we
+// canceled the call ourselves) does not mark the node.
+func (r *Router) callNode(ctx context.Context, ns *nodeState, sub trace.Sample, settled *atomic.Bool) (*serve.Result, error) {
+	cctx, cancel := context.WithTimeout(ctx, r.opts.NodeTimeout)
+	defer cancel()
+	ns.outstanding.Add(1)
+	ns.sent.Add(int64(len(sub)))
+	r.metrics.Subrequests.Add(1)
+	t0 := time.Now()
+	res, err := ns.node.Lookup(cctx, sub)
+	ns.outstanding.Add(-1)
+	if err != nil {
+		if !settled.Load() {
+			ns.fail(r.opts.FailThreshold)
+		}
+		return nil, err
+	}
+	ns.lat.Record(time.Since(t0).Nanoseconds())
+	ns.ok()
+	if len(res.Vectors) != len(sub) {
+		ns.fail(r.opts.FailThreshold)
+		return nil, fmt.Errorf("cluster: node %s returned %d vectors for %d ops", ns.node.ID(), len(res.Vectors), len(sub))
+	}
+	return res, nil
+}
+
+// probe is the background loop: it re-derives each node's hedge delay
+// from its observed p99 sub-request latency and health-checks dead
+// nodes, re-admitting them as suspect on a successful probe.
+func (r *Router) probe() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		maxHedge := r.opts.NodeTimeout / 2
+		for _, ns := range r.nodes {
+			snap := ns.lat.Snapshot()
+			if snap.Count > 0 {
+				d := time.Duration(snap.P99)
+				if d < minHedge {
+					d = minHedge
+				}
+				if d > maxHedge {
+					d = maxHedge
+				}
+				ns.hedgeNs.Store(int64(d))
+			}
+			if NodeState(ns.state.Load()) != NodeDead {
+				continue
+			}
+			r.metrics.Probes.Add(1)
+			ctx, cancel := context.WithTimeout(context.Background(), r.opts.NodeTimeout)
+			h, err := ns.node.Health(ctx)
+			cancel()
+			if err == nil && h.Status != "draining" {
+				ns.consecFails.Store(0)
+				ns.state.Store(int32(NodeSuspect))
+				r.metrics.Revivals.Add(1)
+			}
+		}
+	}
+}
+
+// Close stops the prober. It does not close the nodes — the router
+// does not own them (a Fleet or the caller does).
+func (r *Router) Close() error {
+	r.closed.Store(true)
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+	return nil
+}

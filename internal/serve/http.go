@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"recross/internal/embedding"
 	"recross/internal/trace"
 )
 
@@ -80,18 +81,26 @@ func parseKind(s string) (trace.ReduceKind, error) {
 // SampleOf converts a wire request into a trace.Sample, validating shape
 // against the server's embedding layer.
 func (s *Server) SampleOf(lr LookupRequest) (trace.Sample, error) {
+	return ParseSample(s.opts.Layer, lr)
+}
+
+// ParseSample converts a wire request into a trace.Sample, validating
+// shape against an embedding layer. It is the single decoder for the
+// /v1/lookup wire format, shared by this server's HTTP front-end and
+// the cluster router's.
+func ParseSample(layer *embedding.Layer, lr LookupRequest) (trace.Sample, error) {
 	if len(lr.Ops) == 0 {
 		return nil, errors.New("no ops in request")
 	}
 	sample := make(trace.Sample, 0, len(lr.Ops))
 	for i, o := range lr.Ops {
-		if o.Table < 0 || o.Table >= s.opts.Layer.Tables() {
-			return nil, fmt.Errorf("op %d: table %d out of [0,%d)", i, o.Table, s.opts.Layer.Tables())
+		if o.Table < 0 || o.Table >= layer.Tables() {
+			return nil, fmt.Errorf("op %d: table %d out of [0,%d)", i, o.Table, layer.Tables())
 		}
 		if len(o.Indices) == 0 {
 			return nil, fmt.Errorf("op %d: no indices", i)
 		}
-		rows := s.opts.Layer.Table(o.Table).Rows()
+		rows := layer.Table(o.Table).Rows()
 		for _, idx := range o.Indices {
 			if idx < 0 || idx >= rows {
 				return nil, fmt.Errorf("op %d: index %d out of [0,%d)", i, idx, rows)
@@ -116,6 +125,23 @@ func (s *Server) SampleOf(lr LookupRequest) (trace.Sample, error) {
 		sample = append(sample, trace.Op{Table: o.Table, Kind: kind, Indices: o.Indices, Weights: w})
 	}
 	return sample, nil
+}
+
+// WireRequest encodes a sample as the /v1/lookup wire form —
+// ParseSample's inverse, used by HTTP clients (the cluster's HTTPNode
+// transport driver). Weights ride verbatim so a round trip through
+// JSON float32 encoding stays bit-identical.
+func WireRequest(sample trace.Sample) LookupRequest {
+	lr := LookupRequest{Ops: make([]OpRequest, len(sample))}
+	for i, op := range sample {
+		lr.Ops[i] = OpRequest{
+			Table:   op.Table,
+			Kind:    op.Kind.String(),
+			Indices: op.Indices,
+			Weights: op.Weights,
+		}
+	}
+	return lr
 }
 
 // Handler returns the HTTP front-end:

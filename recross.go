@@ -30,6 +30,7 @@
 package recross
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync/atomic"
@@ -39,6 +40,7 @@ import (
 	"recross/internal/arch"
 	"recross/internal/baseline"
 	"recross/internal/chaos"
+	"recross/internal/cluster"
 	"recross/internal/coldstore"
 	"recross/internal/core"
 	"recross/internal/dram"
@@ -191,6 +193,46 @@ type (
 	FaultInjector = chaos.Injector
 	// FaultySystem wraps any System with deterministic fault injection.
 	FaultySystem = chaos.FaultySystem
+
+	// ClusterNode is the cluster transport driver interface
+	// (Lookup/Health/Stats/Close) — implemented in-process, by a
+	// goroutine fleet, and by HTTP peers.
+	ClusterNode = cluster.Node
+	// ClusterRouter is the stateless scatter-gather front of a cluster:
+	// placement-driven batch splitting, per-node deadlines, hedged
+	// requests, least-outstanding replica dispatch, functional fallback.
+	ClusterRouter = cluster.Router
+	// ClusterRouterOptions configures a router built directly over nodes.
+	ClusterRouterOptions = cluster.Options
+	// ClusterFleet is N serve.Servers in one binary, each a ClusterNode,
+	// with Kill/Restart lifecycle control.
+	ClusterFleet = cluster.Fleet
+	// ClusterPlacement maps tables to owning nodes (primary first).
+	ClusterPlacement = cluster.Placement
+	// ClusterPlacementOptions configures ring/cost placement builds.
+	ClusterPlacementOptions = cluster.PlacementOptions
+	// ClusterResult is one answered cluster lookup.
+	ClusterResult = cluster.Result
+	// ClusterHealth is the aggregated /healthz report of a cluster.
+	ClusterHealth = cluster.Health
+	// ClusterStats is the router's counter snapshot.
+	ClusterStats = cluster.Stats
+	// ClusterReport is the cluster load generator's summary.
+	ClusterReport = cluster.Report
+	// HTTPNode is the real-network transport driver (a /v1/lookup peer).
+	HTTPNode = cluster.HTTPNode
+	// LocalNode is the in-process transport driver (wraps a Server).
+	LocalNode = cluster.LocalNode
+
+	// NodeFaultConfig configures cluster-tier fault injection (kill,
+	// partition, slow) for FaultyNode.
+	NodeFaultConfig = chaos.NodeConfig
+	// NodeFaultRates are per-Lookup node fault probabilities.
+	NodeFaultRates = chaos.NodeRates
+	// NodeFaultRule scripts one exact node fault.
+	NodeFaultRule = chaos.NodeRule
+	// FaultyNode is the deterministic fault-injecting ClusterNode wrapper.
+	FaultyNode = cluster.FaultyNode
 )
 
 // The injectable fault kinds.
@@ -205,6 +247,11 @@ const (
 	FaultColdStall       = chaos.Stall
 	FaultColdCorruptPage = chaos.CorruptPage
 	FaultColdTornWrite   = chaos.TornWrite
+
+	// Cluster-tier fault kinds (FaultyNode).
+	FaultNodeKill      = chaos.NodeKill
+	FaultNodePartition = chaos.NodePartition
+	FaultNodeSlow      = chaos.NodeSlow
 )
 
 // Serving layer overload policies and errors, re-exported.
@@ -819,6 +866,11 @@ func NewAdaptiveServer(a Arch, cfg Config, n int, sopts ServeOptions, aopts Adap
 	return srv, ctrl, nil
 }
 
+// NewFaultInjector returns an enabled injector — share one across the
+// fault wrappers of a campaign so counters and the on/off switch span
+// every tier (replica batches, device pages, cluster nodes).
+func NewFaultInjector() *FaultInjector { return chaos.NewInjector() }
+
 // WrapFaulty wraps one System with deterministic fault injection for
 // replica id; inj may be shared across a fleet (nil makes a fresh one).
 func WrapFaulty(sys System, fc FaultConfig, id int, inj *FaultInjector) *FaultySystem {
@@ -890,6 +942,329 @@ func NewChaosServer(a Arch, cfg Config, n int, opts ServeOptions, fc FaultConfig
 // throughput and latency percentiles.
 func Loadgen(s *Server, opts LoadgenOptions) (*LoadgenReport, error) {
 	return serve.Loadgen(s, opts)
+}
+
+// ClusterConfig configures NewClusterServer: cluster shape (goroutine
+// fleet or HTTP peers), placement policy, hot-table replication, and
+// router timing knobs. Zero values take sensible defaults.
+type ClusterConfig struct {
+	// Nodes is the goroutine-fleet size (default 4). Ignored when Peers
+	// is set.
+	Nodes int
+	// Peers, when non-empty, switches to the real-network transport:
+	// one HTTPNode per base URL (each a plain `recross-serve -addr`
+	// process) instead of an in-binary fleet.
+	Peers []string
+	// ReplicasPerNode is each fleet node's serve-pool size (default 1).
+	ReplicasPerNode int
+
+	// Placement selects the partitioning mode: "ring" (default;
+	// consistent hashing with weighted vnodes, stable under node loss)
+	// or "cost" (LPT descent over per-table access volumes, priced
+	// against the fractional LP optimum).
+	Placement string
+	// Replication is the replica count for hot tables (default 2).
+	Replication int
+	// HotTopK replicates the k largest-volume tables (default
+	// max(1, tables/4); negative replicates none).
+	HotTopK int
+	// VNodes is the ring's virtual nodes per unit weight (default 64).
+	VNodes int
+	// Weights scales node capacity (default all 1).
+	Weights []float64
+	// Seed perturbs ring hashes (default 0).
+	Seed uint64
+
+	// NodeTimeout bounds each per-node sub-request (default 2s).
+	NodeTimeout time.Duration
+	// HedgeDelay: 0 derives per-node hedge delays from observed p99s,
+	// positive fixes the delay, negative disables hedging.
+	HedgeDelay time.Duration
+	// ProbeInterval paces hedge-delay refresh and dead-node re-admission
+	// probes (default 250ms; negative disables).
+	ProbeInterval time.Duration
+
+	// RebalanceEvery, when positive, re-derives the hot set (and, in
+	// cost mode, the whole placement) from the live frequency sketches
+	// on this cadence and swaps it into the router.
+	RebalanceEvery time.Duration
+	// TrackerTopK is the sketch capacity feeding the rebalancer
+	// (default 512).
+	TrackerTopK int
+
+	// Serve carries per-node serving knobs (batching, queueing, quorum,
+	// row cache); Systems/Layer/Rebuild are filled per node. Fleet mode
+	// only.
+	Serve ServeOptions
+
+	// WrapNode, when set, interposes on every node handle before the
+	// router sees it — the cluster fault-injection seam (wrap with
+	// WrapFaultyNode for chaos campaigns).
+	WrapNode func(i int, n ClusterNode) ClusterNode
+}
+
+func (cc ClusterConfig) withDefaults() ClusterConfig {
+	if cc.Nodes == 0 {
+		cc.Nodes = 4
+	}
+	if cc.ReplicasPerNode == 0 {
+		cc.ReplicasPerNode = 1
+	}
+	if cc.Placement == "" {
+		cc.Placement = "ring"
+	}
+	if cc.Replication == 0 {
+		cc.Replication = 2
+	}
+	if cc.TrackerTopK == 0 {
+		cc.TrackerTopK = 512
+	}
+	return cc
+}
+
+// ClusterServer is a running cluster: the router (the only handle
+// request traffic needs), the fleet when the nodes live in this binary
+// (nil in Peers mode), and the frequency tracker feeding the
+// rebalancer. Close stops the rebalance loop, the router, and the
+// fleet, in that order.
+type ClusterServer struct {
+	Router  *ClusterRouter
+	Fleet   *ClusterFleet
+	Tracker *FreqTracker
+
+	stop chaosOnce
+}
+
+// chaosOnce is a tiny stop-channel helper (close-once semantics).
+type chaosOnce struct {
+	ch   chan struct{}
+	done chan struct{}
+	once atomic.Bool
+}
+
+// NewClusterServer builds the cluster tier: N full-spec nodes (every
+// table is procedurally defined by its global index, so holding all
+// tables costs a node nothing at rest — the placement partitions
+// serving load, not functional capacity, and bit-identity holds on
+// every path), a placement replicating the largest-volume tables on
+// Replication nodes, and a router fronting it all. With
+// RebalanceEvery set, a background loop re-derives table volumes from
+// the live frequency sketches and swaps refreshed placements into the
+// router — the cluster-scope analogue of the adaptive repartitioner.
+func NewClusterServer(a Arch, cfg Config, cc ClusterConfig) (*ClusterServer, error) {
+	cc = cc.withDefaults()
+	if cfg.Cold != nil {
+		return nil, fmt.Errorf("recross: the cold tier is per-node; run cluster nodes as separate -cold processes and front them with Peers")
+	}
+	cfg, err := cfg.profiled(a)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec := cfg.Spec
+
+	// Assemble the node set: an in-binary fleet, or HTTP peers.
+	var fleet *ClusterFleet
+	var nodes []ClusterNode
+	var ids []string
+	if len(cc.Peers) > 0 {
+		for _, base := range cc.Peers {
+			n := cluster.NewHTTPNode(base, base, nil)
+			nodes = append(nodes, n)
+			ids = append(ids, n.ID())
+		}
+	} else {
+		fleet, err = cluster.NewFleet(cc.Nodes, func(i int) (*Server, error) {
+			systems, err := cfg.ReplicaSystems(a, cc.ReplicasPerNode)
+			if err != nil {
+				return nil, err
+			}
+			layer, err := NewLayer(spec)
+			if err != nil {
+				return nil, err
+			}
+			opts := cc.Serve
+			opts.Systems = systems
+			opts.Layer = layer
+			if opts.Rebuild == nil {
+				rebuildCfg := cfg
+				opts.Rebuild = func(int) (System, error) { return NewSystem(a, rebuildCfg) }
+			}
+			return serve.New(opts)
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes = fleet.Nodes()
+		for _, n := range nodes {
+			ids = append(ids, n.ID())
+		}
+	}
+	if cc.WrapNode != nil {
+		for i := range nodes {
+			nodes[i] = cc.WrapNode(i, nodes[i])
+		}
+	}
+
+	pl, err := clusterPlacement(spec, ids, cc, nil)
+	if err != nil {
+		if fleet != nil {
+			_ = fleet.Close()
+		}
+		return nil, err
+	}
+
+	tracker, err := adapt.NewTracker(spec, adapt.TrackerOptions{TopK: cc.TrackerTopK})
+	if err != nil {
+		if fleet != nil {
+			_ = fleet.Close()
+		}
+		return nil, err
+	}
+	routerLayer, err := NewLayer(spec)
+	if err != nil {
+		if fleet != nil {
+			_ = fleet.Close()
+		}
+		return nil, err
+	}
+	router, err := cluster.NewRouter(cluster.Options{
+		Nodes:         nodes,
+		Placement:     pl,
+		Layer:         routerLayer,
+		NodeTimeout:   cc.NodeTimeout,
+		HedgeDelay:    cc.HedgeDelay,
+		ProbeInterval: cc.ProbeInterval,
+		Observer:      tracker.Observe,
+	})
+	if err != nil {
+		if fleet != nil {
+			_ = fleet.Close()
+		}
+		return nil, err
+	}
+
+	cs := &ClusterServer{Router: router, Fleet: fleet, Tracker: tracker}
+	cs.stop.ch = make(chan struct{})
+	cs.stop.done = make(chan struct{})
+	if cc.RebalanceEvery > 0 {
+		go cs.rebalance(spec, ids, cc)
+	} else {
+		close(cs.stop.done)
+	}
+	return cs, nil
+}
+
+// rebalance is the background loop swapping sketch-derived placements
+// into the router.
+func (cs *ClusterServer) rebalance(spec ModelSpec, ids []string, cc ClusterConfig) {
+	defer close(cs.stop.done)
+	ticker := time.NewTicker(cc.RebalanceEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-cs.stop.ch:
+			return
+		case <-ticker.C:
+		}
+		totals := cs.Tracker.Totals()
+		var sum int64
+		for _, t := range totals {
+			sum += t
+		}
+		if sum == 0 {
+			continue // no live signal yet
+		}
+		pl, err := clusterPlacement(spec, ids, cc, totals)
+		if err != nil {
+			continue
+		}
+		if !cs.Router.Placement().Equal(pl) {
+			_ = cs.Router.SetPlacement(pl)
+		}
+	}
+}
+
+// clusterPlacement builds a placement per the config. totals, when
+// non-nil, are live per-table access counts overriding the offline
+// volume estimate (scaled by row bytes so volumes stay byte-weighted).
+func clusterPlacement(spec ModelSpec, ids []string, cc ClusterConfig, totals []int64) (*ClusterPlacement, error) {
+	vols := partition.AccessVolumes(spec, batchOf(cc.Serve.MaxBatch))
+	if totals != nil {
+		for i := range vols {
+			if i < len(totals) {
+				vols[i] = float64(totals[i]) * float64(spec.Tables[i].VecLen) * 4
+			}
+		}
+	}
+	k := cc.HotTopK
+	switch {
+	case k < 0:
+		k = 0
+	case k == 0:
+		k = len(spec.Tables) / 4
+		if k < 1 {
+			k = 1
+		}
+	}
+	popts := ClusterPlacementOptions{
+		Replication: cc.Replication,
+		Hot:         cluster.HotTopK(vols, k),
+		VNodes:      cc.VNodes,
+		Weights:     cc.Weights,
+		Seed:        cc.Seed,
+	}
+	switch cc.Placement {
+	case "ring":
+		return cluster.RingPlacement(len(spec.Tables), ids, popts)
+	case "cost":
+		return cluster.CostPlacement(vols, ids, popts)
+	default:
+		return nil, fmt.Errorf("recross: unknown placement mode %q", cc.Placement)
+	}
+}
+
+func batchOf(maxBatch int) int {
+	if maxBatch > 0 {
+		return maxBatch
+	}
+	return 32
+}
+
+// Lookup serves one sample through the router.
+func (cs *ClusterServer) Lookup(ctx context.Context, sample Sample) (*ClusterResult, error) {
+	return cs.Router.Lookup(ctx, sample)
+}
+
+// Close stops the rebalance loop, the router, then the fleet.
+func (cs *ClusterServer) Close() error {
+	if cs.stop.once.CompareAndSwap(false, true) {
+		close(cs.stop.ch)
+	}
+	<-cs.stop.done
+	err := cs.Router.Close()
+	if cs.Fleet != nil {
+		if ferr := cs.Fleet.Close(); err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// ClusterLoadgen drives the router with closed-loop clients.
+func ClusterLoadgen(r *ClusterRouter, opts LoadgenOptions) (*ClusterReport, error) {
+	return cluster.Loadgen(r, opts)
+}
+
+// WrapFaultyNode wraps one ClusterNode with deterministic node-level
+// fault injection (kill, partition, slow) for node id; inj may be
+// shared across a cluster (nil makes a fresh one). Install through
+// ClusterConfig.WrapNode, keeping the handles for manual
+// Kill/Revive/Partition control.
+func WrapFaultyNode(n ClusterNode, fc NodeFaultConfig, id int, inj *FaultInjector) *FaultyNode {
+	return cluster.WrapFaultyNode(n, fc, id, inj)
 }
 
 // NewReCross builds a fully customized ReCross instance (PE population,
