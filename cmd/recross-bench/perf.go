@@ -17,6 +17,7 @@ import (
 	"recross/internal/core"
 	"recross/internal/dram"
 	"recross/internal/embedding"
+	"recross/internal/kernels"
 	"recross/internal/memctrl"
 	"recross/internal/serve"
 	"recross/internal/sim"
@@ -25,8 +26,9 @@ import (
 
 // The -perf suite measures the scheduler hot path in isolation and end to
 // end, on both the fast arbiter and the Reference scan scheduler, and
-// writes the results as a JSON perf-trajectory file (BENCH_PR4.json in
-// this PR) so future changes have a recorded baseline to regress against.
+// writes the results as a JSON perf-trajectory file (BENCH_PR<n>.json per
+// PR; BENCH_PR9.json currently) so future changes have a recorded
+// baseline to regress against.
 
 // perfEntry is one benchmark's record.
 type perfEntry struct {
@@ -46,6 +48,12 @@ type perfEntry struct {
 	// SpeedupVs1Node is LookupsPerMCycle relative to the same run's
 	// one-node entry.
 	SpeedupVs1Node float64 `json:"speedup_vs_1node,omitempty"`
+	// P99Ns is the serve-path tail latency from a closed-loop load run
+	// (the serve_p99_* entries; NsPerOp holds the p50).
+	P99Ns float64 `json:"p99_ns,omitempty"`
+	// CyclesPerBatch is the raw simulated batch latency for the e2e
+	// entries that compare placements rather than wall time.
+	CyclesPerBatch int64 `json:"cycles_per_batch,omitempty"`
 }
 
 // perfDoc is the trajectory file.
@@ -184,6 +192,17 @@ func runPerf(path string) error {
 		func() (perfEntry, error) { return perfColdReduce(false) },
 		func() (perfEntry, error) { return perfColdE2E(false, "recross_e2e_nocold") },
 		func() (perfEntry, error) { return perfColdE2E(true, "recross_e2e_cold") },
+		func() (perfEntry, error) { return perfQuantReduce(kernels.FP32, "reduce_quant_fp32") },
+		func() (perfEntry, error) { return perfQuantReduce(kernels.FP16, "reduce_quant_fp16") },
+		func() (perfEntry, error) { return perfQuantReduce(kernels.INT8, "reduce_quant_int8") },
+		func() (perfEntry, error) { return perfQuantColdScan(kernels.FP32, "coldstore_scan_fp32") },
+		func() (perfEntry, error) { return perfQuantColdScan(kernels.FP16, "coldstore_scan_fp16") },
+		func() (perfEntry, error) { return perfQuantColdScan(kernels.INT8, "coldstore_scan_int8") },
+		func() (perfEntry, error) { return perfQuantServeP99(kernels.FP32, "serve_p99_fp32") },
+		func() (perfEntry, error) { return perfQuantServeP99(kernels.FP16, "serve_p99_fp16") },
+		func() (perfEntry, error) { return perfQuantServeP99(kernels.INT8, "serve_p99_int8") },
+		func() (perfEntry, error) { return perfQuantE2E(kernels.FP32, "recross_e2e_oversub_fp32") },
+		func() (perfEntry, error) { return perfQuantE2E(kernels.INT8, "recross_e2e_oversub_int8") },
 	}
 	for _, f := range suite {
 		e, err := f()
@@ -857,4 +876,215 @@ func perfClusterSuite() ([]perfEntry, error) {
 		out = append(out, e)
 	}
 	return out, nil
+}
+
+// ---- PR9: quantized storage benchmarks ----
+
+// perfQuantLayer builds a layer over spec at the given storage precision.
+// The fp32 baseline is materialized into dense slabs so every precision
+// reads rows from resident memory, not the procedural hash — the entries
+// compare storage codecs, not row-generation cost.
+func perfQuantLayer(spec trace.ModelSpec, prec kernels.Precision) (*embedding.Layer, error) {
+	layer, err := embedding.NewLayer(spec)
+	if err != nil {
+		return nil, err
+	}
+	if prec != kernels.FP32 {
+		if err := layer.SetPrecision(prec); err != nil {
+			return nil, err
+		}
+		return layer, nil
+	}
+	tables := make([]embedding.Table, len(spec.Tables))
+	for ti := range spec.Tables {
+		src := layer.Table(ti)
+		dense, err := embedding.NewDense(src.Rows(), src.VecLen())
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float32, src.VecLen())
+		for i := int64(0); i < src.Rows(); i++ {
+			src.Row(i, row)
+			if err := dense.SetRow(i, row); err != nil {
+				return nil, err
+			}
+		}
+		tables[ti] = dense
+	}
+	return embedding.NewLayerFromTables(tables)
+}
+
+// perfQuantReduce benchmarks the fused dequantize-accumulate reduce at
+// each storage precision on one 4096-gather weighted sum over a 200k x 64
+// table, uncached so every row goes through the storage format. The
+// int8-over-fp32 ratio of these entries is the PR9 kernel-throughput
+// acceptance figure.
+func perfQuantReduce(prec kernels.Precision, name string) (perfEntry, error) {
+	spec := trace.ModelSpec{Name: "perf-quant", Tables: []trace.TableSpec{
+		{Name: "t0", Rows: 200000, VecLen: 64, Pooling: 80, Prob: 1, Skew: 1.2},
+	}}
+	layer, err := perfQuantLayer(spec, prec)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	rng := rand.New(rand.NewSource(11))
+	idx := make([]int64, 4096)
+	w := make([]float32, len(idx))
+	for i := range idx {
+		idx[i] = rng.Int63n(200000)
+		w[i] = rng.Float32()
+	}
+	op := trace.Op{Table: 0, Kind: trace.WeightedSum, Indices: idx, Weights: w}
+	dst := make([]float32, 64)
+	var scr embedding.Scratch
+	if err := layer.ReduceInto(dst, op, &scr); err != nil { // build slabs
+		return perfEntry{}, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := layer.ReduceInto(dst, op, &scr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return mkEntry(name, r, 0), nil
+}
+
+// perfQuantColdScan benchmarks the cold tier's effective page-read
+// bandwidth at each page precision: a sequential row scan over a one-frame
+// page cache, so each device page is read (and checksummed, and decoded)
+// once and then drained row by row. Quantized pages pack more rows each,
+// so the per-logical-row cost — the inverse of effective bandwidth —
+// drops with the codec ratio. The int8-over-fp32 ratio here is the PR9
+// cold-bandwidth acceptance figure.
+func perfQuantColdScan(prec kernels.Precision, name string) (perfEntry, error) {
+	spec := trace.ModelSpec{Name: "perf-cold", Tables: []trace.TableSpec{
+		{Name: "t0", Rows: 200000, VecLen: 64, Pooling: 80, Prob: 1, Skew: 1.2},
+	}}
+	layer, err := embedding.NewLayer(spec)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	dir, err := os.MkdirTemp("", "recross-bench-quant")
+	if err != nil {
+		return perfEntry{}, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := coldstore.Open(coldstore.Config{
+		Dir: dir, CacheBytes: 1, Precision: prec,
+	}, []coldstore.RowSource{layer.Table(0)})
+	if err != nil {
+		return perfEntry{}, err
+	}
+	defer store.Close()
+	dst := make([]float32, store.VecLen())
+	rows := int64(200000)
+	// Populate every page once so the scan measures reads, not the
+	// one-time lazy generation.
+	for i := int64(0); i < rows; i += int64(store.RowsPerPage()) {
+		store.ReadRow(0, i, dst)
+	}
+	var idx int64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			store.ReadRow(0, idx, dst)
+			if idx++; idx == rows {
+				idx = 0
+			}
+		}
+	})
+	return mkEntry(name, r, 0), nil
+}
+
+// perfQuantServeP99 measures the serve-path tail at a fixed DRAM budget —
+// a 4 MiB hot-row cache over the two-table serve workload — with backing
+// tables stored at prec. Each entry is the production configuration at
+// that precision (hot rows cached fp32 everywhere, misses through the
+// storage format), so the series records what quantized backing tables do
+// to the serving tail, not an isolated codec cost (reduce_quant_* is
+// that).
+func perfQuantServeP99(prec kernels.Precision, name string) (perfEntry, error) {
+	spec := trace.ModelSpec{Name: "perf-serve", Tables: []trace.TableSpec{
+		{Name: "t0", Rows: 100000, VecLen: 64, Pooling: 80, Prob: 1, Skew: 1.2},
+		{Name: "t1", Rows: 100000, VecLen: 64, Pooling: 80, Prob: 1, Skew: 1.2},
+	}}
+	layer, err := embedding.NewLayer(spec)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	if prec != kernels.FP32 {
+		if err := layer.SetPrecision(prec); err != nil {
+			return perfEntry{}, err
+		}
+	}
+	srv, err := serve.New(serve.Options{
+		Systems:       []arch.System{perfServeSystem{}},
+		Layer:         layer,
+		MaxBatch:      8,
+		RowCacheBytes: 4 << 20,
+	})
+	if err != nil {
+		return perfEntry{}, err
+	}
+	defer srv.Close()
+	rep, err := serve.Loadgen(srv, serve.LoadgenOptions{
+		Spec: spec, Clients: 4, Duration: 1500 * time.Millisecond,
+	})
+	if err != nil {
+		return perfEntry{}, err
+	}
+	return perfEntry{
+		Name:    name,
+		N:       int(rep.Requests),
+		NsPerOp: float64(rep.P50.Nanoseconds()),
+		P99Ns:   float64(rep.P99.Nanoseconds()),
+	}, nil
+}
+
+// perfQuantE2E runs the ReCross timing model on a table set that
+// oversubscribes the DRAM resident budget at fp32 (the overflow spills to
+// the flash tier) but fits back into DRAM at int8, where the partitioner
+// sees every region hold 2x the logical bytes. The cycles_per_batch pair
+// is the PR9 pulled-back-into-residency figure: the int8 entry pays
+// neither flash page reads nor link transfer.
+func perfQuantE2E(prec kernels.Precision, name string) (perfEntry, error) {
+	spec := trace.ModelSpec{Name: "perf-quant-e2e", Tables: []trace.TableSpec{
+		{Name: "a", Rows: 25000, VecLen: 64, Pooling: 48, Prob: 1, Skew: 1.3},
+		{Name: "b", Rows: 12000, VecLen: 64, Pooling: 32, Prob: 1, Skew: 1.2},
+	}}
+	cfg := core.DefaultConfig(spec)
+	cfg.ProfileSamples = 500
+	cfg.Precision = prec
+	cfg.ColdPrecision = prec
+	cfg.ColdTier = &coldstore.TierSpec{
+		CapBytes:            64 << 20,
+		ResidentBudgetBytes: 5 << 20,
+		InStorageReduce:     true,
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	gen, err := trace.NewGenerator(spec, 7)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	batch := gen.Batch(32)
+	rs, err := sys.Run(batch)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Run(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	e := mkEntry(name, r, int64(rs.Cycles))
+	e.CyclesPerBatch = int64(rs.Cycles)
+	return e, nil
 }

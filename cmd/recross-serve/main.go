@@ -51,6 +51,13 @@
 // Watch /metrics for recross_adapt_drift_score,
 // recross_adapt_repartitions_total and recross_adapt_realized_gain.
 //
+// Quantized storage (-precision fp16|int8) stores the embedding tables in
+// an encoded row format that the reduce path dequantizes inline; the
+// hot-row cache keeps fp32 rows, so /metrics reports the resident-vs-
+// logical compression on recross_dataplane_row_compression_ratio.
+// -cold-precision applies the same choice to the cold tier's pages
+// independently (more rows per device read).
+//
 // Cold-tier mode (-cold, arch recross only) adds the flash-backed fourth
 // placement level: -cold-budget-mb clamps DRAM residency so the cold tail
 // of the tables spills to a file-backed store with frequency-based page
@@ -117,6 +124,8 @@ func main() {
 	maxRetries := flag.Int("max-retries", 2, "per-request retry budget after a replica failure")
 	wedgeTimeout := flag.Duration("wedge-timeout", 5*time.Second, "declare a replica wedged after one batch runs this long (keep well above the worst-case batch wall time, or slow legitimate batches are treated as wedges and the pool thrashes)")
 	rowCacheMB := flag.Int64("row-cache-mb", 64, "hot-row cache budget in MiB for materialized embedding rows (0 disables); watch recross_dataplane_row_cache_* on /metrics")
+	precision := flag.String("precision", "fp32", "DRAM-tier embedding row storage format: fp32, fp16 or int8; watch recross_dataplane_row_bytes_* on /metrics")
+	coldPrecision := flag.String("cold-precision", "fp32", "cold-tier page row format: fp32, fp16 or int8 (needs -cold)")
 	reduceWorkers := flag.Int("reduce-workers", 0, "embedding-reduction worker goroutines (0 = min(4, GOMAXPROCS))")
 
 	chaosPanic := flag.Float64("chaos-panic", 0, "chaos: per-batch replica panic probability")
@@ -204,9 +213,18 @@ func main() {
 	if *terabyte {
 		spec = recross.CriteoTerabyte(*veclen, *pooling)
 	}
+	prec, err := recross.ParsePrecision(*precision)
+	if err != nil {
+		fail(err)
+	}
+	coldPrec, err := recross.ParsePrecision(*coldPrecision)
+	if err != nil {
+		fail(err)
+	}
 	cfg := recross.Config{
 		Spec: spec, Ranks: *ranks, Channels: *channels,
 		Batch: *maxBatch, ProfileSamples: *profSamples,
+		Precision: prec,
 	}
 	coldChaosOn := *chaosColdReadErr > 0 || *chaosColdStallP > 0 || *chaosColdCorrupt > 0 || *chaosColdTorn > 0
 	var coldDev *recross.FaultyColdDevice
@@ -226,6 +244,7 @@ func main() {
 			BreakerThreshold:    *coldBrkThreshold,
 			BreakerCooldown:     *coldBrkCooldown,
 			BreakerProbes:       *coldBrkProbes,
+			Precision:           coldPrec,
 		}
 		if coldChaosOn {
 			cfc := recross.ColdFaultConfig{

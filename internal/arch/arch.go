@@ -205,7 +205,14 @@ func RunChannel(spec ChannelSpec, reqs []memctrl.Request, resultBursts int) (sim
 // Bursts returns the RD bursts per vector of vecLen FP32 elements, at least
 // one.
 func Bursts(geo dram.Geometry, vecLen int) int {
-	b := (vecLen*4 + geo.BurstBytes - 1) / geo.BurstBytes
+	return BurstsBytes(geo, vecLen*4)
+}
+
+// BurstsBytes returns the RD bursts covering rowBytes bytes, at least one —
+// the quantized-storage analogue of Bursts, for vectors stored in an
+// encoded row format smaller than fp32.
+func BurstsBytes(geo dram.Geometry, rowBytes int) int {
+	b := (rowBytes + geo.BurstBytes - 1) / geo.BurstBytes
 	if b < 1 {
 		b = 1
 	}

@@ -26,14 +26,14 @@
 package coldstore
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"recross/internal/kernels"
 )
 
 // RowSource supplies reference rows for lazy page population. It matches
@@ -62,6 +62,13 @@ type Config struct {
 	// PageBytes is the device page size (default 16 KiB). Must hold at
 	// least one vector; rows never straddle pages.
 	PageBytes int
+	// Precision is the on-device row format (default kernels.FP32). With
+	// FP16 or INT8, pages hold kernels.EncodeRow images — smaller rows, so
+	// more rows per page and fewer device reads per gather — and every
+	// read serves the canonical dequantized value. Block checksums cover
+	// the encoded bytes; quantized pages are verified whole at device-read
+	// time (the first-serve re-encode check is only exact for fp32).
+	Precision kernels.Precision
 	// CacheBytes is the host-side page-cache budget (default 64 pages).
 	CacheBytes int64
 	// Prefetch is the async prefetch queue depth (default 64; 0 disables
@@ -278,7 +285,8 @@ type Store struct {
 	cfg       Config
 	tables    []RowSource
 	vecLen    int
-	vecBytes  int
+	prec      kernels.Precision
+	rowBytes  int // encoded row size at prec
 	rpp       int // rows per page
 	blockRows int // rows per checksum block (~4 KiB of row bytes)
 	bpp       int // checksum blocks per page
@@ -351,16 +359,17 @@ func Open(cfg Config, tables []RowSource) (*Store, error) {
 			return nil, fmt.Errorf("coldstore: table %d has no rows", i)
 		}
 	}
-	vecBytes := vecLen * 4
-	if cfg.PageBytes < vecBytes {
-		return nil, fmt.Errorf("coldstore: page %d B below vector %d B", cfg.PageBytes, vecBytes)
+	rowBytes := cfg.Precision.RowBytes(vecLen)
+	if cfg.PageBytes < rowBytes {
+		return nil, fmt.Errorf("coldstore: page %d B below %v row %d B", cfg.PageBytes, cfg.Precision, rowBytes)
 	}
 	s := &Store{
 		cfg:      cfg,
 		tables:   tables,
 		vecLen:   vecLen,
-		vecBytes: vecBytes,
-		rpp:      cfg.PageBytes / vecBytes,
+		prec:     cfg.Precision,
+		rowBytes: rowBytes,
+		rpp:      cfg.PageBytes / rowBytes,
 		pageBase: make([]int64, len(tables)),
 		maps:     make([]*tableMap, len(tables)),
 	}
@@ -368,7 +377,7 @@ func Open(cfg Config, tables []RowSource) (*Store, error) {
 	// verify on the fill path is a fraction of the device read, large
 	// enough for the hardware CRC's multi-stream kernel. Small pages
 	// collapse to one block covering the whole page.
-	s.blockRows = blockTargetBytes / vecBytes
+	s.blockRows = blockTargetBytes / rowBytes
 	if s.blockRows < 1 {
 		s.blockRows = 1
 	}
@@ -388,8 +397,12 @@ func Open(cfg Config, tables []RowSource) (*Store, error) {
 	if cachePages < 1 {
 		cachePages = 1
 	}
+	// The first-serve cache hook re-encodes cached floats to device bytes,
+	// which is only exact for the bijective fp32 format; quantized pages
+	// are instead verified whole at device-read time and enter the cache
+	// fully verified.
 	verify := s.verifyCachedBlock
-	if cfg.DisableChecksum {
+	if cfg.DisableChecksum || cfg.Precision != kernels.FP32 {
 		verify = nil
 	}
 	s.cache = newPageCache(cachePages, s.rpp*vecLen, s.bpp, s.blockRows*vecLen, verify)
@@ -534,6 +547,9 @@ func (s *Store) ReadRow(table int, idx int64, dst []float32) bool {
 	if !s.breaker.allow() {
 		s.breakerRejects.Add(1)
 		return false
+	}
+	if s.prec != kernels.FP32 {
+		blk = verifyAll
 	}
 	vals, vblk, ok := s.readPage(page, blk)
 	if !ok {
@@ -717,7 +733,7 @@ func (s *Store) readPage(page int64, block int) ([]float32, int, bool) {
 		s.cache.pageReads.Add(1)
 		return vals, putAllVerified, true
 	}
-	vals := decodePage(buf, s.rpp*s.vecLen)
+	vals := s.decodePage(buf)
 	s.bufs.Put(bp)
 	s.breaker.onSuccess()
 	s.cache.pageReads.Add(1)
@@ -783,9 +799,7 @@ func (s *Store) fillPage(page int64, buf []byte) {
 			break
 		}
 		s.tables[ti].Row(m.rowOf(slot), row)
-		for j, v := range row {
-			binary.LittleEndian.PutUint32(buf[(k*s.vecLen+j)*4:], math.Float32bits(v))
-		}
+		kernels.EncodeRow(s.prec, buf[k*s.rowBytes:], row)
 	}
 }
 
@@ -808,7 +822,7 @@ func (s *Store) populate(page int64) (vals []float32, persisted bool) {
 	if err := s.dev.WritePage(page, buf); err != nil {
 		s.writeFailures.Add(1)
 		s.breaker.onFailure()
-		vals = decodePage(buf, s.rpp*s.vecLen)
+		vals = s.decodePage(buf)
 		s.bufs.Put(bp)
 		return vals, false
 	}
@@ -839,17 +853,19 @@ func (s *Store) repair(page int64) []float32 {
 		s.storeSums(page, buf)
 		s.state[page].Store(pageReady)
 	}
-	vals := decodePage(buf, s.rpp*s.vecLen)
+	vals := s.decodePage(buf)
 	s.bufs.Put(bp)
 	s.repairs.Add(1)
 	return vals
 }
 
-// decodePage converts a page's little-endian bytes to n float32 values.
-func decodePage(buf []byte, n int) []float32 {
-	vals := make([]float32, n)
-	for i := range vals {
-		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+// decodePage converts a page's encoded rows to rpp*vecLen float32 values
+// — for fp32 the raw little-endian bits, for fp16/int8 the canonical
+// dequantized value of each row (unoccupied row slots decode to zeros).
+func (s *Store) decodePage(buf []byte) []float32 {
+	vals := make([]float32, s.rpp*s.vecLen)
+	for k := 0; k < s.rpp; k++ {
+		kernels.DecodeRow(s.prec, vals[k*s.vecLen:(k+1)*s.vecLen], buf[k*s.rowBytes:])
 	}
 	return vals
 }

@@ -69,9 +69,9 @@ const blockTargetBytes = 4096
 // page slack past the last row (when PageBytes is not a multiple of the
 // vector size) is never served and carries no checksum.
 func (s *Store) blockSpan(b int) (lo, hi int) {
-	lo = b * s.blockRows * s.vecBytes
-	hi = lo + s.blockRows*s.vecBytes
-	if max := s.rpp * s.vecBytes; hi > max {
+	lo = b * s.blockRows * s.rowBytes
+	hi = lo + s.blockRows*s.rowBytes
+	if max := s.rpp * s.rowBytes; hi > max {
 		hi = max
 	}
 	return lo, hi
@@ -104,9 +104,11 @@ func (s *Store) verifyBuf(page int64, buf []byte, block int) bool {
 }
 
 // verifyCachedBlock is the page cache's first-serve integrity hook: it
-// re-encodes a cached block's floats to their device byte image (decode is
-// bijective, so this is exact) and checks the block checksum. Runs under
-// the cache mutex, which pins the frame for the duration.
+// re-encodes a cached block's floats to their device byte image (fp32
+// decode is bijective, so this is exact; the hook is disabled for
+// quantized stores, whose pages verify whole at device-read time) and
+// checks the block checksum. Runs under the cache mutex, which pins the
+// frame for the duration.
 func (s *Store) verifyCachedBlock(page int64, block int, blockVals []float32) bool {
 	bp := s.bufs.Get().(*[]byte)
 	buf := (*bp)[:len(blockVals)*4]

@@ -15,6 +15,7 @@ import (
 	"recross/internal/coldstore"
 	"recross/internal/dram"
 	"recross/internal/energy"
+	"recross/internal/kernels"
 	"recross/internal/memctrl"
 	"recross/internal/nmp"
 	"recross/internal/partition"
@@ -71,6 +72,16 @@ type Config struct {
 	// DRAM regions' capacities are clamped to the budget so the table
 	// tail overflows onto flash instead of failing to fit.
 	ColdTier *coldstore.TierSpec
+	// Precision is the DRAM regions' row storage format. Quantized rows
+	// shrink each gather's bus occupancy to the encoded burst count and
+	// multiply region capacity by the same ratio; partial sums climbing
+	// the PE tree and results returned to the host stay fp32. The zero
+	// value is FP32 (the pre-quantization model, bit-identical).
+	Precision kernels.Precision
+	// ColdPrecision is the flash tier's page row format: it packs more
+	// rows per device page (raising effective gather bandwidth) and
+	// multiplies the tier's capacity by the codec ratio.
+	ColdPrecision kernels.Precision
 }
 
 // DefaultConfig returns the paper's ReCross-d: 1 rank PE, 4 bank-group PEs
@@ -123,6 +134,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: cold tier needs positive capacity, got %d", c.ColdTier.CapBytes)
 	case c.ColdTier != nil && c.ColdTier.ResidentBudgetBytes < 0:
 		return fmt.Errorf("core: negative resident budget %d", c.ColdTier.ResidentBudgetBytes)
+	case c.Precision > kernels.INT8:
+		return fmt.Errorf("core: unknown precision %v", c.Precision)
+	case c.ColdPrecision > kernels.INT8:
+		return fmt.Errorf("core: unknown cold precision %v", c.ColdPrecision)
 	}
 	return c.Spec.Validate()
 }
@@ -147,9 +162,13 @@ type ReCross struct {
 	pl   *partition.Placement
 	// regionBanks[j] lists the flat banks of region j.
 	regionBanks [3][]int
-	bursts      int
-	vecLen      int
-	consumers   [3]dram.Consumer
+	// bursts is a gather's bus occupancy: the encoded row's burst count
+	// under cfg.Precision. psumBursts is an fp32 vector's burst count —
+	// partial sums and host results are always full precision.
+	bursts     int
+	psumBursts int
+	vecLen     int
+	consumers  [3]dram.Consumer
 	// coldSim is the flash tier's per-replica timing model (nil without a
 	// cold tier); like the channel sim it is owned by the Run goroutine.
 	coldSim *coldstore.Sim
@@ -224,16 +243,18 @@ func New(cfg Config) (*ReCross, error) {
 		geo.RowsPerSubarray = geo.RowsPerBank() / cfg.Subarrays
 		geo.Subarrays = cfg.Subarrays
 	}
+	vecLen := cfg.Spec.Tables[0].VecLen
 	r := &ReCross{
-		cfg:       cfg,
-		geo:       geo,
-		vecLen:    cfg.Spec.Tables[0].VecLen,
-		bursts:    arch.Bursts(geo, cfg.Spec.Tables[0].VecLen),
-		consumers: [3]dram.Consumer{dram.ToRankPE, dram.ToBankGroupPE, dram.ToBankPE},
+		cfg:        cfg,
+		geo:        geo,
+		vecLen:     vecLen,
+		bursts:     arch.BurstsBytes(geo, cfg.Precision.RowBytes(vecLen)),
+		psumBursts: arch.Bursts(geo, vecLen),
+		consumers:  [3]dram.Consumer{dram.ToRankPE, dram.ToBankGroupPE, dram.ToBankPE},
 	}
 	r.assignBanks()
 	if cfg.ColdTier != nil {
-		r.coldSim = coldstore.NewSim(*cfg.ColdTier, r.vecLen*4)
+		r.coldSim = coldstore.NewSim(*cfg.ColdTier, cfg.ColdPrecision.RowBytes(vecLen))
 	}
 
 	prof := cfg.Profile
@@ -383,10 +404,15 @@ func (r *ReCross) Regions() []partition.Region {
 	}
 
 	capOf := func(banks []int) int64 { return int64(len(banks)) * geo.BankBytes() }
+	// Quantized DRAM rows shrink each gather to the encoded burst count:
+	// the regions hold proportionally more vectors and move proportionally
+	// fewer bytes per access. The ratio is in burst counts (what the bus
+	// actually issues), so fp32 stays exactly 1.
+	comp := float64(r.psumBursts) / float64(r.bursts)
 	regions := []partition.Region{
-		{Name: "R", Level: nmp.LevelRank, CapBytes: capOf(r.regionBanks[RegionR]), BW: rBW, FixedCycles: fixedR},
-		{Name: "G", Level: nmp.LevelBankGroup, CapBytes: capOf(r.regionBanks[RegionG]), BW: gBW, FixedCycles: fixedG},
-		{Name: "B", Level: nmp.LevelBank, CapBytes: capOf(r.regionBanks[RegionB]), BW: bBW},
+		{Name: "R", Level: nmp.LevelRank, CapBytes: capOf(r.regionBanks[RegionR]), BW: rBW, FixedCycles: fixedR, Compression: comp},
+		{Name: "G", Level: nmp.LevelBankGroup, CapBytes: capOf(r.regionBanks[RegionG]), BW: gBW, FixedCycles: fixedG, Compression: comp},
+		{Name: "B", Level: nmp.LevelBank, CapBytes: capOf(r.regionBanks[RegionB]), BW: bBW, Compression: comp},
 	}
 	if r.cfg.ColdTier == nil {
 		return regions
@@ -408,11 +434,15 @@ func (r *ReCross) Regions() []partition.Region {
 			}
 		}
 	}
+	// The cold tier packs encoded rows into device pages with no burst
+	// rounding, so its ratio is the codec's exact byte ratio.
+	coldRowBytes := r.cfg.ColdPrecision.RowBytes(r.vecLen)
 	return append(regions, partition.Region{
-		Name:     "C",
-		Level:    nmp.LevelCold,
-		CapBytes: spec.CapBytes,
-		BW:       spec.Model.EffectiveBW(r.vecLen*4, spec.InStorageReduce),
+		Name:        "C",
+		Level:       nmp.LevelCold,
+		CapBytes:    spec.CapBytes,
+		BW:          spec.Model.EffectiveBW(coldRowBytes, spec.InStorageReduce),
+		Compression: r.cfg.ColdPrecision.Ratio(r.vecLen),
 	})
 }
 
@@ -523,13 +553,14 @@ func (r *ReCross) Run(b trace.Batch) (*arch.RunStats, error) {
 			for fb, v := range touchedBank {
 				if v {
 					bankPsums++
-					bankPsumBursts[fb/geo.Banks] += int64(r.bursts)
+					// Partial sums are fp32 regardless of storage precision.
+					bankPsumBursts[fb/geo.Banks] += int64(r.psumBursts)
 				}
 			}
 			for fbg, v := range touchedBG {
 				if v {
 					bgPsums++
-					bgPsumBursts[fbg/geo.BankGroups] += int64(r.bursts)
+					bgPsumBursts[fbg/geo.BankGroups] += int64(r.psumBursts)
 				}
 			}
 			if opCold {
@@ -548,7 +579,7 @@ func (r *ReCross) Run(b trace.Batch) (*arch.RunStats, error) {
 	// The rank summarizer returns one vector per op to the host — only for
 	// ops that touched DRAM at all; fully-cold ops return over the flash
 	// link, which the cold Sim prices.
-	finish, st, res, err := r.runChannel(reqs, int(dramOps)*r.bursts)
+	finish, st, res, err := r.runChannel(reqs, int(dramOps)*r.psumBursts)
 	if err != nil {
 		return nil, err
 	}

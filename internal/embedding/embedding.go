@@ -131,6 +131,10 @@ type coldRoute struct {
 // Layer is the embedding layer of one model: one table per sparse feature.
 type Layer struct {
 	tables []Table
+	// prec is the backing-store precision: FP32 serves tables as-is,
+	// FP16/INT8 wrap them in QuantTables (SetPrecision). The RowCache
+	// always holds dequantized fp32 rows regardless.
+	prec kernels.Precision
 	// cache, when attached, memoizes materialized rows of procedural
 	// tables so hot rows are hashed once instead of per lookup.
 	cache *RowCache
@@ -171,18 +175,67 @@ func NewLayerFromTables(tables []Table) (*Layer, error) {
 	return &Layer{tables: tables}, nil
 }
 
+// SetPrecision re-backs every table at prec: FP16/INT8 wrap the tables
+// in quantized backing (QuantTable), FP32 unwraps back to the originals.
+// After this, every read path serves the canonical quantize-dequantize
+// value, and ReduceInto accumulates misses straight from the quantized
+// codes (fused dequantize — no materialize-then-reduce round trip).
+// Call before AttachRowCache and before serving begins; the admitted hot
+// rows stay fp32 in the cache while the backing tables hold codes.
+func (l *Layer) SetPrecision(prec kernels.Precision) error {
+	if l.cache != nil {
+		return fmt.Errorf("embedding: set precision before attaching a row cache")
+	}
+	if prec == l.prec {
+		return nil
+	}
+	for i, t := range l.tables {
+		if qt, ok := t.(*QuantTable); ok {
+			t = qt.Source() // re-quantize from the full-precision source
+		}
+		if prec == kernels.FP32 {
+			l.tables[i] = t
+			continue
+		}
+		qt, err := NewQuantTable(t, prec)
+		if err != nil {
+			return err
+		}
+		l.tables[i] = qt
+	}
+	l.prec = prec
+	return nil
+}
+
+// Precision returns the backing-store precision (FP32 by default).
+func (l *Layer) Precision() kernels.Precision { return l.prec }
+
 // Tables returns the number of tables.
 func (l *Layer) Tables() int { return len(l.tables) }
 
 // Table returns table ti.
 func (l *Layer) Table(ti int) Table { return l.tables[ti] }
 
-// AttachRowCache memoizes materialized rows of the layer's procedural
-// tables in c: hot rows are generated once and then served by copy instead
-// of being re-hashed element-by-element on every lookup. Dense tables are
-// left uncached (their Row is already a plain copy). c's vector length
-// must match the layer's tables. Attach before serving begins; afterwards
-// the layer (cache included) is safe for concurrent reads.
+// SourceTable returns table ti's full-precision source: the table itself
+// for fp32 layers, or the table a QuantTable encodes. The cold tier's
+// backing store reads rows through this so its codec applies exactly once
+// to fp32 data — encoding an already-decoded quantized row would re-derive
+// the quantization grid from grid points and drift from the canonical
+// value the warm path serves.
+func (l *Layer) SourceTable(ti int) Table {
+	if qt, ok := l.tables[ti].(*QuantTable); ok {
+		return qt.Source()
+	}
+	return l.tables[ti]
+}
+
+// AttachRowCache memoizes materialized rows of the layer's procedural and
+// quantized tables in c: hot rows are generated (or dequantized) once and
+// then served by fp32 copy instead of being re-hashed or re-decoded on
+// every lookup. Dense tables are left uncached (their Row is already a
+// plain copy). c's vector length must match the layer's tables. Attach
+// before serving begins; afterwards the layer (cache included) is safe
+// for concurrent reads.
 func (l *Layer) AttachRowCache(c *RowCache) error {
 	if c == nil {
 		l.cache, l.cached = nil, nil
@@ -191,7 +244,9 @@ func (l *Layer) AttachRowCache(c *RowCache) error {
 	cached := make([]bool, len(l.tables))
 	any := false
 	for i, t := range l.tables {
-		if _, procedural := t.(*Procedural); !procedural {
+		switch t.(type) {
+		case *Procedural, *QuantTable:
+		default:
 			continue
 		}
 		if t.VecLen() != c.VecLen() {
@@ -204,6 +259,9 @@ func (l *Layer) AttachRowCache(c *RowCache) error {
 	if !any {
 		return fmt.Errorf("embedding: no procedural tables to cache")
 	}
+	// Resident rows are always fp32; the logical (backing-precision) size
+	// feeds the cache's compression accounting.
+	c.SetLogicalRowBytes(int64(l.prec.RowBytes(c.VecLen())))
 	l.cache, l.cached = c, cached
 	return nil
 }
@@ -259,13 +317,17 @@ func (l *Layer) MaterializeRow(ti int, idx int64, dst []float32) {
 func (l *Layer) ColdFallbacks() int64 { return l.coldFallbacks.Load() }
 
 // Scratch is a per-caller arena for the zero-allocation reduce path: the
-// row gather buffer plus a growable flat arena that ReduceSampleInto
-// carves per-op output vectors from. One Scratch serves one goroutine;
-// its buffers are reused across calls, so steady-state serving performs
-// zero data-plane allocations.
+// row gather buffer, a growable flat arena, and the sample-output arena
+// that ReduceSampleInto carves per-op result vectors from. One Scratch
+// serves one goroutine; its buffers are reused across calls, so
+// steady-state serving performs zero data-plane allocations.
 type Scratch struct {
 	row   []float32
 	arena []float32
+	// sample/out back ReduceSampleInto's result vectors; they are
+	// overwritten by the next ReduceSampleInto call on this Scratch.
+	sample []float32
+	out    [][]float32
 }
 
 // rowBuf returns the scratch gather buffer sized to n.
@@ -330,38 +392,113 @@ func (l *Layer) ReduceInto(dst []float32, op trace.Op, s *Scratch) error {
 	kernels.Zero(dst)
 	rows := t.Rows()
 	row := s.rowBuf(t.VecLen())
+	qt, _ := t.(*QuantTable)
 	for k, idx := range op.Indices {
 		if idx < 0 || idx >= rows {
 			return fmt.Errorf("embedding: index %d out of [0,%d)", idx, rows)
 		}
-		l.MaterializeRow(op.Table, idx, row)
-		switch op.Kind {
-		case trace.Sum:
-			kernels.Add(dst, row)
-		case trace.Max:
-			if k == 0 {
-				copy(dst, row)
-			} else {
-				kernels.Max(dst, row)
-			}
-		default: // trace.WeightedSum
-			kernels.Axpy(dst, row, op.Weights[k])
+		if qt != nil {
+			l.reduceQuantRow(dst, op, k, idx, qt, row)
+			continue
 		}
+		l.MaterializeRow(op.Table, idx, row)
+		l.accumulate(dst, row, op, k)
 	}
 	return nil
 }
 
+// accumulate folds one materialized fp32 row into dst under op.Kind.
+func (l *Layer) accumulate(dst, row []float32, op trace.Op, k int) {
+	switch op.Kind {
+	case trace.Sum:
+		kernels.Add(dst, row)
+	case trace.Max:
+		if k == 0 {
+			copy(dst, row)
+		} else {
+			kernels.Max(dst, row)
+		}
+	default: // trace.WeightedSum
+		kernels.Axpy(dst, row, op.Weights[k])
+	}
+}
+
+// reduceQuantRow folds row idx of quantized table qt into dst: RowCache
+// hit serves the resident fp32 (dequantized) row, cold-placed rows read
+// through the cold tier, and everything else accumulates straight from
+// the quantized codes with the fused dequantize-scale-accumulate kernels.
+// The fused lane expression is the one Row/DecodeI8/DecodeF16 use, so the
+// hit, cold and fused paths agree bit-for-bit on healthy devices.
+func (l *Layer) reduceQuantRow(dst []float32, op trace.Op, k int, idx int64, qt *QuantTable, row []float32) {
+	ti := op.Table
+	cached := l.cache != nil && l.cached[ti]
+	if cached && l.cache.Get(ti, idx, row) {
+		l.accumulate(dst, row, op, k)
+		return
+	}
+	if cr := l.cold.Load(); cr != nil && cr.isCold(ti, idx) {
+		if cr.reader.ReadColdRow(ti, idx, row) {
+			if cached {
+				l.cache.Put(ti, idx, row)
+			}
+			l.accumulate(dst, row, op, k)
+			return
+		}
+		l.coldFallbacks.Add(1)
+	}
+	if qt.prec == kernels.INT8 {
+		q, scale, zero := qt.rowI8(idx)
+		switch op.Kind {
+		case trace.Sum:
+			kernels.AddI8(dst, q, scale, zero)
+		case trace.Max:
+			if k == 0 {
+				kernels.DecodeI8(dst, q, scale, zero)
+			} else {
+				kernels.MaxI8(dst, q, scale, zero)
+			}
+		default: // trace.WeightedSum
+			kernels.AxpyI8(dst, q, op.Weights[k], scale, zero)
+		}
+		if cached {
+			kernels.DecodeI8(row, q, scale, zero)
+			l.cache.Put(ti, idx, row)
+		}
+		return
+	}
+	q := qt.rowF16(idx)
+	switch op.Kind {
+	case trace.Sum:
+		kernels.AddF16(dst, q)
+	case trace.Max:
+		if k == 0 {
+			kernels.DecodeF16(dst, q)
+		} else {
+			kernels.MaxF16(dst, q)
+		}
+	default: // trace.WeightedSum
+		kernels.AxpyF16(dst, q, op.Weights[k])
+	}
+	if cached {
+		kernels.DecodeF16(row, q)
+		l.cache.Put(ti, idx, row)
+	}
+}
+
 // ReduceSample reduces every op of a sample, returning one vector per op.
+// The result is carved from a sample-private arena, so the caller owns it.
 func (l *Layer) ReduceSample(s trace.Sample) ([][]float32, error) {
 	var scr Scratch
 	return l.reduceSample(s, &scr)
 }
 
-// ReduceSampleInto reduces every op of a sample using s for scratch. The
-// returned per-op vectors are carved from one freshly allocated flat
-// arena (two allocations total — the header slice and the arena — both
-// owned by the caller; s's buffers are only scratch and are reusable
-// immediately).
+// ReduceSampleInto reduces every op of a sample using s for scratch —
+// zero allocations per call in steady state: the per-op result vectors
+// are carved from s's own reused sample arena, so they stay valid only
+// until the next ReduceSampleInto (or ReduceSample-via-this-Scratch)
+// call. A caller that must keep the vectors beyond that — handing them to
+// another goroutine, marshalling them later — copies them out first
+// (CloneVectors).
 func (l *Layer) ReduceSampleInto(smp trace.Sample, s *Scratch) ([][]float32, error) {
 	return l.reduceSample(smp, s)
 }
@@ -374,8 +511,14 @@ func (l *Layer) reduceSample(smp trace.Sample, s *Scratch) ([][]float32, error) 
 		}
 		total += l.tables[op.Table].VecLen()
 	}
-	arena := make([]float32, total)
-	out := make([][]float32, len(smp))
+	if cap(s.sample) < total {
+		s.sample = make([]float32, total)
+	}
+	if cap(s.out) < len(smp) {
+		s.out = make([][]float32, len(smp))
+	}
+	arena := s.sample[:total]
+	out := s.out[:len(smp)]
 	off := 0
 	for i, op := range smp {
 		n := l.tables[op.Table].VecLen()
@@ -387,6 +530,26 @@ func (l *Layer) reduceSample(smp trace.Sample, s *Scratch) ([][]float32, error) 
 		off += n
 	}
 	return out, nil
+}
+
+// CloneVectors deep-copies a ReduceSampleInto result into caller-owned
+// memory (one header plus one flat arena allocation), for results that
+// must outlive the Scratch's next call.
+func CloneVectors(v [][]float32) [][]float32 {
+	total := 0
+	for _, x := range v {
+		total += len(x)
+	}
+	arena := make([]float32, total)
+	out := make([][]float32, len(v))
+	off := 0
+	for i, x := range v {
+		dst := arena[off : off+len(x) : off+len(x)]
+		copy(dst, x)
+		out[i] = dst
+		off += len(x)
+	}
+	return out
 }
 
 // AlmostEqual reports whether two vectors agree within tol elementwise —

@@ -47,6 +47,13 @@ type RowCache struct {
 	// adaptive controller can install it after serving has started).
 	admit atomic.Pointer[func(table int, idx int64) bool]
 
+	// logicalRowBytes is the serialized size one cached row occupies in
+	// the backing store (quantized layers: the code size, not the resident
+	// fp32 footprint). Drives the Stats compression accounting; defaults
+	// to vecLen*4. Atomic so attaching a quantized layer after
+	// construction is race-safe against Stats readers.
+	logicalRowBytes atomic.Int64
+
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
@@ -103,7 +110,18 @@ func NewRowCache(sizeBytes int64, vecLen int) (*RowCache, error) {
 			idx:  make(map[uint64]int32, slots),
 		}
 	}
+	c.logicalRowBytes.Store(rowBytes)
 	return c, nil
+}
+
+// SetLogicalRowBytes records the backing-store (precision-aware) size of
+// one row, for the Stats compression accounting. Resident rows are always
+// fp32; this only changes what LogicalBytes reports. Safe while serving.
+func (c *RowCache) SetLogicalRowBytes(n int64) {
+	if n <= 0 {
+		n = int64(c.vecLen) * 4
+	}
+	c.logicalRowBytes.Store(n)
 }
 
 // SetAdmit installs the frequency admission hint: fills for rows the hint
@@ -202,11 +220,25 @@ type RowCacheStats struct {
 	Hits, Misses int64
 	// Evictions counts CLOCK replacements of resident rows.
 	Evictions int64
-	// Entries is the resident row count; Bytes its footprint.
+	// Entries is the resident row count; Bytes its resident fp32
+	// footprint (cached rows are always dequantized float32).
 	Entries int64
 	Bytes   int64
+	// LogicalBytes is what the same rows occupy at the backing store's
+	// precision (SetLogicalRowBytes); equal to Bytes for fp32 layers.
+	LogicalBytes int64
 	// CapBytes is the cache's row-data capacity.
 	CapBytes int64
+}
+
+// CompressionRatio is Bytes/LogicalBytes — how much larger the resident
+// fp32 rows are than their backing-store form (1 for fp32 layers, 0
+// before any fill).
+func (s RowCacheStats) CompressionRatio() float64 {
+	if s.LogicalBytes == 0 {
+		return 0
+	}
+	return float64(s.Bytes) / float64(s.LogicalBytes)
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any probe.
@@ -223,11 +255,12 @@ func (c *RowCache) Stats() RowCacheStats {
 	entries := c.entries.Load()
 	rowBytes := int64(c.vecLen) * 4
 	return RowCacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   entries,
-		Bytes:     entries * rowBytes,
-		CapBytes:  int64(c.slots) * rowCacheShards * rowBytes,
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Evictions:    c.evictions.Load(),
+		Entries:      entries,
+		Bytes:        entries * rowBytes,
+		LogicalBytes: entries * c.logicalRowBytes.Load(),
+		CapBytes:     int64(c.slots) * rowCacheShards * rowBytes,
 	}
 }

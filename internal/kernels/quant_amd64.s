@@ -1,0 +1,380 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Vectorized quantized kernels (AVX2 int8, AVX+F16C fp16), 8 lanes per
+// iteration with a scalar tail. Bit-identity discipline:
+//
+//   - no FMA: dequantize-multiply and accumulate-add are separate
+//     instructions, each rounding once, in the generic code's per-lane
+//     order ((q-zero)*scale, then *w, then +dst);
+//   - VPSUBD/VCVTDQ2PS are exact for |q-zero| <= 510, identical to the
+//     generic int32 subtract + float32 conversion;
+//   - max uses VCMPPS(GT_OQ)+VBLENDVPS, keeping the generic "replace only
+//     when strictly greater" semantics for NaN and signed-zero ties
+//     (VMAXPS would differ on both);
+//   - scalar tails run the same single-rounded expressions with legacy
+//     SSE after VZEROUPPER.
+
+// func cpuidAsm(op, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// ---- int8 family ----
+// Y2 = zero (int32 lanes), Y3 = scale, Y4 = w. Per 8 lanes:
+// VPMOVZXBD -> VPSUBD -> VCVTDQ2PS -> VMULPS(scale) [-> VMULPS(w)].
+
+// func decodeI8AVX2(dst []float32, q []uint8, scale float32, zero int32)
+TEXT ·decodeI8AVX2(SB), NOSPLIT, $0-56
+	MOVQ         dst_base+0(FP), DI
+	MOVQ         dst_len+8(FP), CX
+	MOVQ         q_base+24(FP), SI
+	VBROADCASTSS scale+48(FP), Y3
+	MOVL         zero+52(FP), R8
+	VMOVD        R8, X2
+	VPBROADCASTD X2, Y2
+
+i8dec8:
+	CMPQ      CX, $8
+	JL        i8dectail
+	VPMOVZXBD (SI), Y0
+	VPSUBD    Y2, Y0, Y0
+	VCVTDQ2PS Y0, Y0
+	VMULPS    Y3, Y0, Y0
+	VMOVUPS   Y0, (DI)
+	ADDQ      $8, SI
+	ADDQ      $32, DI
+	SUBQ      $8, CX
+	JMP       i8dec8
+
+i8dectail:
+	VZEROUPPER
+	TESTQ CX, CX
+	JZ    i8decdone
+
+i8dec1:
+	MOVBLZX  (SI), AX
+	SUBL     R8, AX
+	CVTSL2SS AX, X0
+	MULSS    X3, X0
+	MOVSS    X0, (DI)
+	ADDQ     $1, SI
+	ADDQ     $4, DI
+	SUBQ     $1, CX
+	JNZ      i8dec1
+
+i8decdone:
+	RET
+
+// func addI8AVX2(dst []float32, q []uint8, scale float32, zero int32)
+TEXT ·addI8AVX2(SB), NOSPLIT, $0-56
+	MOVQ         dst_base+0(FP), DI
+	MOVQ         dst_len+8(FP), CX
+	MOVQ         q_base+24(FP), SI
+	VBROADCASTSS scale+48(FP), Y3
+	MOVL         zero+52(FP), R8
+	VMOVD        R8, X2
+	VPBROADCASTD X2, Y2
+
+i8add8:
+	CMPQ      CX, $8
+	JL        i8addtail
+	VPMOVZXBD (SI), Y0
+	VPSUBD    Y2, Y0, Y0
+	VCVTDQ2PS Y0, Y0
+	VMULPS    Y3, Y0, Y0
+	VADDPS    (DI), Y0, Y0
+	VMOVUPS   Y0, (DI)
+	ADDQ      $8, SI
+	ADDQ      $32, DI
+	SUBQ      $8, CX
+	JMP       i8add8
+
+i8addtail:
+	VZEROUPPER
+	TESTQ CX, CX
+	JZ    i8adddone
+
+i8add1:
+	MOVBLZX  (SI), AX
+	SUBL     R8, AX
+	CVTSL2SS AX, X0
+	MULSS    X3, X0
+	MOVSS    (DI), X1
+	ADDSS    X1, X0
+	MOVSS    X0, (DI)
+	ADDQ     $1, SI
+	ADDQ     $4, DI
+	SUBQ     $1, CX
+	JNZ      i8add1
+
+i8adddone:
+	RET
+
+// func axpyI8AVX2(dst []float32, q []uint8, w, scale float32, zero int32)
+TEXT ·axpyI8AVX2(SB), NOSPLIT, $0-60
+	MOVQ         dst_base+0(FP), DI
+	MOVQ         dst_len+8(FP), CX
+	MOVQ         q_base+24(FP), SI
+	VBROADCASTSS w+48(FP), Y4
+	VBROADCASTSS scale+52(FP), Y3
+	MOVL         zero+56(FP), R8
+	VMOVD        R8, X2
+	VPBROADCASTD X2, Y2
+
+i8axpy8:
+	CMPQ      CX, $8
+	JL        i8axpytail
+	VPMOVZXBD (SI), Y0
+	VPSUBD    Y2, Y0, Y0
+	VCVTDQ2PS Y0, Y0
+	VMULPS    Y3, Y0, Y0
+	VMULPS    Y4, Y0, Y0
+	VADDPS    (DI), Y0, Y0
+	VMOVUPS   Y0, (DI)
+	ADDQ      $8, SI
+	ADDQ      $32, DI
+	SUBQ      $8, CX
+	JMP       i8axpy8
+
+i8axpytail:
+	VZEROUPPER
+	TESTQ CX, CX
+	JZ    i8axpydone
+
+i8axpy1:
+	MOVBLZX  (SI), AX
+	SUBL     R8, AX
+	CVTSL2SS AX, X0
+	MULSS    X3, X0
+	MULSS    X4, X0
+	MOVSS    (DI), X1
+	ADDSS    X1, X0
+	MOVSS    X0, (DI)
+	ADDQ     $1, SI
+	ADDQ     $4, DI
+	SUBQ     $1, CX
+	JNZ      i8axpy1
+
+i8axpydone:
+	RET
+
+// func maxI8AVX2(dst []float32, q []uint8, scale float32, zero int32)
+TEXT ·maxI8AVX2(SB), NOSPLIT, $0-56
+	MOVQ         dst_base+0(FP), DI
+	MOVQ         dst_len+8(FP), CX
+	MOVQ         q_base+24(FP), SI
+	VBROADCASTSS scale+48(FP), Y3
+	MOVL         zero+52(FP), R8
+	VMOVD        R8, X2
+	VPBROADCASTD X2, Y2
+
+i8max8:
+	CMPQ      CX, $8
+	JL        i8maxtail
+	VPMOVZXBD (SI), Y0
+	VPSUBD    Y2, Y0, Y0
+	VCVTDQ2PS Y0, Y0
+	VMULPS    Y3, Y0, Y0
+	VMOVUPS   (DI), Y1
+	VCMPPS    $0x1e, Y1, Y0, Y5
+	VBLENDVPS Y5, Y0, Y1, Y1
+	VMOVUPS   Y1, (DI)
+	ADDQ      $8, SI
+	ADDQ      $32, DI
+	SUBQ      $8, CX
+	JMP       i8max8
+
+i8maxtail:
+	VZEROUPPER
+	TESTQ CX, CX
+	JZ    i8maxdone
+
+i8max1:
+	MOVBLZX  (SI), AX
+	SUBL     R8, AX
+	CVTSL2SS AX, X0
+	MULSS    X3, X0
+	UCOMISS  (DI), X0
+	JBE      i8maxskip
+	MOVSS    X0, (DI)
+
+i8maxskip:
+	ADDQ $1, SI
+	ADDQ $4, DI
+	SUBQ $1, CX
+	JNZ  i8max1
+
+i8maxdone:
+	RET
+
+// ---- fp16 family ----
+// VCVTPH2PS is the exact IEEE binary16 -> binary32 conversion, identical
+// to the generic F16ToF32 on every one of the 65536 inputs.
+
+// func decodeF16AVX(dst []float32, q []uint16)
+TEXT ·decodeF16AVX(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ q_base+24(FP), SI
+
+f16dec8:
+	CMPQ      CX, $8
+	JL        f16dectail
+	VCVTPH2PS (SI), Y0
+	VMOVUPS   Y0, (DI)
+	ADDQ      $16, SI
+	ADDQ      $32, DI
+	SUBQ      $8, CX
+	JMP       f16dec8
+
+f16dectail:
+	VZEROUPPER
+	TESTQ CX, CX
+	JZ    f16decdone
+
+f16dec1:
+	MOVWLZX   (SI), AX
+	MOVQ      AX, X0
+	VCVTPH2PS X0, X0
+	MOVSS     X0, (DI)
+	ADDQ      $2, SI
+	ADDQ      $4, DI
+	SUBQ      $1, CX
+	JNZ       f16dec1
+
+f16decdone:
+	RET
+
+// func addF16AVX(dst []float32, q []uint16)
+TEXT ·addF16AVX(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ q_base+24(FP), SI
+
+f16add8:
+	CMPQ      CX, $8
+	JL        f16addtail
+	VCVTPH2PS (SI), Y0
+	VADDPS    (DI), Y0, Y0
+	VMOVUPS   Y0, (DI)
+	ADDQ      $16, SI
+	ADDQ      $32, DI
+	SUBQ      $8, CX
+	JMP       f16add8
+
+f16addtail:
+	VZEROUPPER
+	TESTQ CX, CX
+	JZ    f16adddone
+
+f16add1:
+	MOVWLZX   (SI), AX
+	MOVQ      AX, X0
+	VCVTPH2PS X0, X0
+	MOVSS     (DI), X1
+	ADDSS     X1, X0
+	MOVSS     X0, (DI)
+	ADDQ      $2, SI
+	ADDQ      $4, DI
+	SUBQ      $1, CX
+	JNZ       f16add1
+
+f16adddone:
+	RET
+
+// func axpyF16AVX(dst []float32, q []uint16, w float32)
+TEXT ·axpyF16AVX(SB), NOSPLIT, $0-52
+	MOVQ         dst_base+0(FP), DI
+	MOVQ         dst_len+8(FP), CX
+	MOVQ         q_base+24(FP), SI
+	VBROADCASTSS w+48(FP), Y4
+
+f16axpy8:
+	CMPQ      CX, $8
+	JL        f16axpytail
+	VCVTPH2PS (SI), Y0
+	VMULPS    Y4, Y0, Y0
+	VADDPS    (DI), Y0, Y0
+	VMOVUPS   Y0, (DI)
+	ADDQ      $16, SI
+	ADDQ      $32, DI
+	SUBQ      $8, CX
+	JMP       f16axpy8
+
+f16axpytail:
+	VZEROUPPER
+	TESTQ CX, CX
+	JZ    f16axpydone
+
+f16axpy1:
+	MOVWLZX   (SI), AX
+	MOVQ      AX, X0
+	VCVTPH2PS X0, X0
+	MULSS     X4, X0
+	MOVSS     (DI), X1
+	ADDSS     X1, X0
+	MOVSS     X0, (DI)
+	ADDQ      $2, SI
+	ADDQ      $4, DI
+	SUBQ      $1, CX
+	JNZ       f16axpy1
+
+f16axpydone:
+	RET
+
+// func maxF16AVX(dst []float32, q []uint16)
+TEXT ·maxF16AVX(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ q_base+24(FP), SI
+
+f16max8:
+	CMPQ      CX, $8
+	JL        f16maxtail
+	VCVTPH2PS (SI), Y0
+	VMOVUPS   (DI), Y1
+	VCMPPS    $0x1e, Y1, Y0, Y5
+	VBLENDVPS Y5, Y0, Y1, Y1
+	VMOVUPS   Y1, (DI)
+	ADDQ      $16, SI
+	ADDQ      $32, DI
+	SUBQ      $8, CX
+	JMP       f16max8
+
+f16maxtail:
+	VZEROUPPER
+	TESTQ CX, CX
+	JZ    f16maxdone
+
+f16max1:
+	MOVWLZX   (SI), AX
+	MOVQ      AX, X0
+	VCVTPH2PS X0, X0
+	UCOMISS   (DI), X0
+	JBE       f16maxskip
+	MOVSS     X0, (DI)
+
+f16maxskip:
+	ADDQ $2, SI
+	ADDQ $4, DI
+	SUBQ $1, CX
+	JNZ  f16max1
+
+f16maxdone:
+	RET

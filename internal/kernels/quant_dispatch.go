@@ -1,0 +1,100 @@
+package kernels
+
+// Dispatch layer for the quantized kernels. Each exported kernel routes
+// to a hand-vectorized implementation when the CPU supports it (AVX2 for
+// the int8 family, AVX+F16C for the fp16 family — see quant_amd64.s) and
+// to the portable 8-wide Go loops in quant.go otherwise.
+//
+// The vector paths preserve the package's bit-identity contract: no FMA
+// contraction, multiplies and adds in the exact per-lane order of the
+// generic code, and max with ordered-greater-than compare-and-blend
+// (VMAXPS alone would flip NaN and signed-zero ties). Every dispatched
+// kernel is therefore bit-identical to its generic twin on all inputs —
+// TestKernelDispatchMatchesGeneric enforces it.
+
+// useAVX2 and useF16C are set at init on amd64 when the OS and CPU
+// support the respective vector paths (quant_dispatch_amd64.go).
+
+// DecodeF16 decodes q elementwise into dst (len(q) >= len(dst)).
+func DecodeF16(dst []float32, q []uint16) {
+	if useF16C {
+		decodeF16AVX(dst, q)
+		return
+	}
+	decodeF16Generic(dst, q)
+}
+
+// AddF16 accumulates a binary16 row into dst: dst[i] += decode(q[i]).
+// Bit-identical to DecodeF16 followed by Add.
+func AddF16(dst []float32, q []uint16) {
+	if useF16C {
+		addF16AVX(dst, q)
+		return
+	}
+	addF16Generic(dst, q)
+}
+
+// AxpyF16 accumulates a scaled binary16 row: dst[i] += w*decode(q[i]).
+// The decode result is a float32 value, so multiply-then-add matches
+// Axpy on the decoded row exactly.
+func AxpyF16(dst []float32, q []uint16, w float32) {
+	if useF16C {
+		axpyF16AVX(dst, q, w)
+		return
+	}
+	axpyF16Generic(dst, q, w)
+}
+
+// MaxF16 folds a binary16 row into dst under max, with the scalar
+// reference's comparison semantics on the decoded values.
+func MaxF16(dst []float32, q []uint16) {
+	if useF16C {
+		maxF16AVX(dst, q)
+		return
+	}
+	maxF16Generic(dst, q)
+}
+
+// DecodeI8 dequantizes q into dst (len(q) >= len(dst)):
+// dst[i] = float32(int32(q[i])-zero) * scale. The int-to-float conversion
+// is exact (|q-zero| <= 510 < 2^24), so the only rounding is the final
+// product — the same single-rounded expression every fused kernel uses.
+func DecodeI8(dst []float32, q []uint8, scale float32, zero int32) {
+	if useAVX2 {
+		decodeI8AVX2(dst, q, scale, zero)
+		return
+	}
+	decodeI8Generic(dst, q, scale, zero)
+}
+
+// AddI8 accumulates a quantized row into dst: dst[i] += dequant(q[i]).
+// Bit-identical to DecodeI8 followed by Add.
+func AddI8(dst []float32, q []uint8, scale float32, zero int32) {
+	if useAVX2 {
+		addI8AVX2(dst, q, scale, zero)
+		return
+	}
+	addI8Generic(dst, q, scale, zero)
+}
+
+// AxpyI8 accumulates a scaled quantized row: dst[i] += w*dequant(q[i]).
+// The dequantized lane is rounded to float32 before the weight multiply
+// (v := dequant; dst += w*v), matching Axpy on the decoded row exactly —
+// w is never folded into scale.
+func AxpyI8(dst []float32, q []uint8, w, scale float32, zero int32) {
+	if useAVX2 {
+		axpyI8AVX2(dst, q, w, scale, zero)
+		return
+	}
+	axpyI8Generic(dst, q, w, scale, zero)
+}
+
+// MaxI8 folds a quantized row into dst under max on the dequantized
+// values, with the scalar reference's comparison semantics.
+func MaxI8(dst []float32, q []uint8, scale float32, zero int32) {
+	if useAVX2 {
+		maxI8AVX2(dst, q, scale, zero)
+		return
+	}
+	maxI8Generic(dst, q, scale, zero)
+}

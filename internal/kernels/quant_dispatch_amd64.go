@@ -1,0 +1,62 @@
+//go:build amd64
+
+package kernels
+
+// CPU feature detection for the vectorized quantized kernels. Plain
+// CPUID/XGETBV probing (quant_amd64.s) so the package stays free of
+// external dependencies; the OS must have enabled YMM state saving
+// (OSXSAVE + XCR0 bits 1-2) before any AVX path is taken.
+
+var (
+	useAVX2 bool // int8 family: AVX2 (VPMOVZXBD/VPBROADCASTD) + AVX
+	useF16C bool // fp16 family: F16C (VCVTPH2PS) + AVX
+)
+
+func cpuidAsm(op, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbvAsm() (eax, edx uint32)
+
+func init() {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 7 {
+		return
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const (
+		osxsave = 1 << 27
+		avx     = 1 << 28
+		f16c    = 1 << 29
+	)
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return
+	}
+	if xeax, _ := xgetbvAsm(); xeax&0x6 != 0x6 {
+		return // OS does not save XMM+YMM state
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	useAVX2 = ebx7&(1<<5) != 0
+	useF16C = ecx1&f16c != 0
+}
+
+//go:noescape
+func decodeF16AVX(dst []float32, q []uint16)
+
+//go:noescape
+func addF16AVX(dst []float32, q []uint16)
+
+//go:noescape
+func axpyF16AVX(dst []float32, q []uint16, w float32)
+
+//go:noescape
+func maxF16AVX(dst []float32, q []uint16)
+
+//go:noescape
+func decodeI8AVX2(dst []float32, q []uint8, scale float32, zero int32)
+
+//go:noescape
+func addI8AVX2(dst []float32, q []uint8, scale float32, zero int32)
+
+//go:noescape
+func axpyI8AVX2(dst []float32, q []uint8, w, scale float32, zero int32)
+
+//go:noescape
+func maxI8AVX2(dst []float32, q []uint8, scale float32, zero int32)

@@ -1,0 +1,22 @@
+//go:build !amd64
+
+package kernels
+
+// Non-amd64 builds always take the portable Go kernels; the stubs below
+// are unreachable (both flags are constant false).
+
+const (
+	useAVX2 = false
+	useF16C = false
+)
+
+func decodeF16AVX(dst []float32, q []uint16)                           { panic("unreachable") }
+func addF16AVX(dst []float32, q []uint16)                              { panic("unreachable") }
+func axpyF16AVX(dst []float32, q []uint16, w float32)                  { panic("unreachable") }
+func maxF16AVX(dst []float32, q []uint16)                              { panic("unreachable") }
+func decodeI8AVX2(dst []float32, q []uint8, scale float32, zero int32) { panic("unreachable") }
+func addI8AVX2(dst []float32, q []uint8, scale float32, zero int32)    { panic("unreachable") }
+func axpyI8AVX2(dst []float32, q []uint8, w, scale float32, zero int32) {
+	panic("unreachable")
+}
+func maxI8AVX2(dst []float32, q []uint8, scale float32, zero int32) { panic("unreachable") }

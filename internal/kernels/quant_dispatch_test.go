@@ -1,0 +1,127 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The dispatched kernels (vectorized on capable CPUs) must be
+// bit-identical to the portable generic loops on every input — including
+// NaN, signed zeros, subnormals and odd tails. On machines without the
+// vector paths these tests compare the generic code with itself and pass
+// trivially.
+
+// dispatchSpecials salts random test vectors with the values most likely
+// to expose semantic drift between scalar and vector code.
+var dispatchSpecials = []float32{
+	0, float32(math.Copysign(0, -1)), 1, -1,
+	float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()),
+	math.Float32frombits(1),          // smallest subnormal
+	math.Float32frombits(0x7f7fffff), // largest finite
+	65504, -65504, 65520, 6.1e-5, -6.1e-5,
+}
+
+func saltedRow(rng *rand.Rand, n int) []float32 {
+	row := make([]float32, n)
+	for i := range row {
+		if rng.Intn(4) == 0 {
+			row[i] = dispatchSpecials[rng.Intn(len(dispatchSpecials))]
+		} else {
+			row[i] = rng.Float32()*200 - 100
+		}
+	}
+	return row
+}
+
+func requireBits(t *testing.T, name string, n int, got, want []float32) {
+	t.Helper()
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			// NaN payload/sign propagation through *arithmetic* is pinned
+			// by neither IEEE 754 nor Go: when both addends are NaN, which
+			// one survives depends on operand order, and the compiler may
+			// commute a float add (codegen differs under -race, for
+			// instance). Any-NaN vs any-NaN is therefore equal here;
+			// NaN vs number, and every non-NaN bit pattern (signed zeros,
+			// infs, subnormals), must still match exactly.
+			g, w := got[i], want[i]
+			if g != g && w != w {
+				continue
+			}
+			t.Fatalf("%s n=%d lane %d: got %08x want %08x",
+				name, n, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+		}
+	}
+}
+
+func TestKernelDispatchMatchesGeneric(t *testing.T) {
+	if !useAVX2 && !useF16C {
+		t.Log("no vector paths on this CPU; comparing generic with itself")
+	}
+	rng := rand.New(rand.NewSource(21))
+	for n := 0; n <= 67; n++ {
+		for trial := 0; trial < 8; trial++ {
+			src := saltedRow(rng, n)
+			acc := saltedRow(rng, n)
+			w := rng.Float32()*4 - 2
+
+			q16 := make([]uint16, n)
+			QuantizeF16(q16, src)
+			q8 := make([]uint8, n)
+			scale, zero := QuantizeI8(q8, src)
+
+			check := func(name string, disp, gen func(d []float32)) {
+				got := append([]float32(nil), acc...)
+				want := append([]float32(nil), acc...)
+				disp(got)
+				gen(want)
+				requireBits(t, name, n, got, want)
+			}
+			check("DecodeF16",
+				func(d []float32) { DecodeF16(d, q16) },
+				func(d []float32) { decodeF16Generic(d, q16) })
+			check("AddF16",
+				func(d []float32) { AddF16(d, q16) },
+				func(d []float32) { addF16Generic(d, q16) })
+			check("AxpyF16",
+				func(d []float32) { AxpyF16(d, q16, w) },
+				func(d []float32) { axpyF16Generic(d, q16, w) })
+			check("MaxF16",
+				func(d []float32) { MaxF16(d, q16) },
+				func(d []float32) { maxF16Generic(d, q16) })
+			check("DecodeI8",
+				func(d []float32) { DecodeI8(d, q8, scale, zero) },
+				func(d []float32) { decodeI8Generic(d, q8, scale, zero) })
+			check("AddI8",
+				func(d []float32) { AddI8(d, q8, scale, zero) },
+				func(d []float32) { addI8Generic(d, q8, scale, zero) })
+			check("AxpyI8",
+				func(d []float32) { AxpyI8(d, q8, w, scale, zero) },
+				func(d []float32) { axpyI8Generic(d, q8, w, scale, zero) })
+			check("MaxI8",
+				func(d []float32) { MaxI8(d, q8, scale, zero) },
+				func(d []float32) { maxI8Generic(d, q8, scale, zero) })
+		}
+	}
+}
+
+// TestDecodeF16DispatchExhaustive pins the dispatched single-value decode
+// against the exhaustively-verified scalar F16ToF32 over every binary16
+// bit pattern (NaNs compare by bits too: the hardware conversion must
+// preserve quiet-NaN payloads exactly as the scalar path does).
+func TestDecodeF16DispatchExhaustive(t *testing.T) {
+	q := make([]uint16, 1<<16)
+	for i := range q {
+		q[i] = uint16(i)
+	}
+	dst := make([]float32, len(q))
+	DecodeF16(dst, q)
+	for i, h := range q {
+		want := F16ToF32(h)
+		if math.Float32bits(dst[i]) != math.Float32bits(want) {
+			t.Fatalf("h=%04x: dispatched decode %08x, scalar %08x",
+				h, math.Float32bits(dst[i]), math.Float32bits(want))
+		}
+	}
+}

@@ -30,6 +30,22 @@ type Region struct {
 	// lower-level PEs sharing the region's data path (§3.3). The LP's
 	// latency bound becomes load/BW + FixedCycles <= t.
 	FixedCycles float64
+	// Compression is the region's storage-precision ratio: fp32 row bytes
+	// divided by encoded row bytes for rows resident in this region (e.g.
+	// ~3.5 for int8 with its per-row header, 2 for fp16). It acts as a
+	// capacity multiplier — the region holds Compression× more logical
+	// fp32 bytes — and a bandwidth divisor on gathered load, because the
+	// encoded bytes are what cross the region's data path. Zero means
+	// uncompressed (fp32, ratio 1).
+	Compression float64
+}
+
+// compression returns the effective precision ratio (zero ⇒ 1).
+func (r Region) compression() float64 {
+	if r.Compression <= 0 {
+		return 1
+	}
+	return r.Compression
 }
 
 // Validate reports the first problem with the region.
@@ -42,6 +58,9 @@ func (r Region) Validate() error {
 	}
 	if r.FixedCycles < 0 {
 		return fmt.Errorf("partition: region %q has negative fixed cycles", r.Name)
+	}
+	if r.Compression < 0 {
+		return fmt.Errorf("partition: region %q has negative compression ratio", r.Name)
 	}
 	return nil
 }
@@ -122,7 +141,7 @@ func Estimate(p *Profile, d *Decision, batch int) (loads []float64, t float64, e
 		}
 		for s, seg := range segs {
 			for j := range d.Regions {
-				loads[j] += seg.accessShare * vol * d.SegFrac[i][s][j]
+				loads[j] += seg.accessShare * vol * d.SegFrac[i][s][j] / d.Regions[j].compression()
 			}
 		}
 	}
@@ -159,7 +178,7 @@ func EstimateShares(d *Decision, vols []float64, shares [][]float64) (loads []fl
 		}
 		for s := range d.SegFrac[i] {
 			for j := range d.Regions {
-				loads[j] += shares[i][s] * vols[i] * d.SegFrac[i][s][j]
+				loads[j] += shares[i][s] * vols[i] * d.SegFrac[i][s][j] / d.Regions[j].compression()
 			}
 		}
 	}
@@ -231,7 +250,9 @@ type Decision struct {
 	// SegFrac[i][s][j] is the fraction of segment s of table i assigned
 	// to region j (sums to 1 over j).
 	SegFrac [][][]float64
-	// Load[j] is the estimated bytes gathered from region j per batch.
+	// Load[j] is the estimated bytes gathered from region j per batch, in
+	// the region's storage precision (logical fp32 bytes divided by the
+	// region's compression ratio — encoded bytes are what move).
 	Load []float64
 	// T is the estimated batch latency bound max_j Load[j]/BW[j], the LP
 	// objective of §4.3.
@@ -245,7 +266,7 @@ func (d *Decision) estimate(p *Profile, batch int) {
 		vol := p.tableAccessBytes(i, batch)
 		for s, seg := range p.segmentsOf(i) {
 			for j := range d.Regions {
-				d.Load[j] += seg.accessShare * vol * d.SegFrac[i][s][j]
+				d.Load[j] += seg.accessShare * vol * d.SegFrac[i][s][j] / d.Regions[j].compression()
 			}
 		}
 	}
@@ -372,8 +393,10 @@ func SolveLP(p *Profile, regions []Region, batch int) (*Decision, error) {
 		for i := 0; i < nT; i++ {
 			vol := p.tableAccessBytes(i, batch)
 			for s, sg := range segs[i] {
-				load[idx[i][s]+j] = sg.accessShare * vol
-				capRow[idx[i][s]+j] = sg.bytes
+				// Encoded bytes cross the region's path and occupy its
+				// capacity: the precision ratio scales both down.
+				load[idx[i][s]+j] = sg.accessShare * vol / regions[j].compression()
+				capRow[idx[i][s]+j] = sg.bytes / regions[j].compression()
 			}
 		}
 		if regions[j].BW > 0 {
@@ -442,7 +465,9 @@ func Greedy(p *Profile, regions []Region, batch int) (*Decision, error) {
 	nR := len(regions)
 	free := make([]float64, nR)
 	for j, r := range regions {
-		free[j] = float64(r.CapBytes)
+		// Capacities in logical fp32 bytes: a compressed region holds
+		// Compression× more of the model.
+		free[j] = float64(r.CapBytes) * r.compression()
 	}
 	// Fill order: DRAM regions from the last backwards, then cold regions.
 	order := make([]int, 0, nR)
@@ -497,7 +522,7 @@ func SingleRegion(p *Profile, regions []Region, j, batch int) (*Decision, error)
 	if j < 0 || j >= len(regions) {
 		return nil, fmt.Errorf("partition: region %d out of range", j)
 	}
-	if float64(regions[j].CapBytes) < float64(p.Spec.TotalBytes()) {
+	if float64(regions[j].CapBytes)*regions[j].compression() < float64(p.Spec.TotalBytes()) {
 		return nil, fmt.Errorf("partition: model (%d bytes) exceeds region capacity (%d)",
 			p.Spec.TotalBytes(), regions[j].CapBytes)
 	}
@@ -526,15 +551,15 @@ func validateInput(p *Profile, regions []Region, batch int) error {
 	if batch <= 0 {
 		return fmt.Errorf("partition: batch must be positive, got %d", batch)
 	}
-	var totalCap int64
+	var totalCap float64
 	for _, r := range regions {
 		if err := r.Validate(); err != nil {
 			return err
 		}
-		totalCap += r.CapBytes
+		totalCap += float64(r.CapBytes) * r.compression()
 	}
-	if totalCap < p.Spec.TotalBytes() {
-		return fmt.Errorf("partition: model (%d bytes) exceeds total region capacity (%d)",
+	if totalCap < float64(p.Spec.TotalBytes()) {
+		return fmt.Errorf("partition: model (%d bytes) exceeds total region capacity (%.0f)",
 			p.Spec.TotalBytes(), totalCap)
 	}
 	return nil

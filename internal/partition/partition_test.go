@@ -406,3 +406,74 @@ func TestCriteoScaleLPSolvable(t *testing.T) {
 	}
 	checkDecision(t, p, d)
 }
+
+// TestCompressionCapacityMultiplier checks a compressed region admits a
+// model that would not fit uncompressed, in both partitioners.
+func TestCompressionCapacityMultiplier(t *testing.T) {
+	p := smallProfile(t)
+	total := p.Spec.TotalBytes()
+	// One region at 40% of the model's fp32 bytes: infeasible at fp32,
+	// feasible once 4x compression multiplies its capacity.
+	tight := []Region{{Name: "R", Level: nmp.LevelRank, CapBytes: total * 2 / 5, BW: 8}}
+	if _, err := SolveLP(p, tight, 256); err == nil {
+		t.Fatal("fp32 solve fit a region holding 40% of the model")
+	}
+	tight[0].Compression = 4
+	if _, err := SolveLP(p, tight, 256); err != nil {
+		t.Fatalf("compressed solve: %v", err)
+	}
+	if _, err := Greedy(p, tight, 256); err != nil {
+		t.Fatalf("compressed greedy: %v", err)
+	}
+	if _, err := SingleRegion(p, tight, 0, 256); err != nil {
+		t.Fatalf("compressed single-region: %v", err)
+	}
+	pl, err := Build(p, mustSolve(t, p, tight, 256))
+	if err != nil {
+		t.Fatalf("compressed placement: %v", err)
+	}
+	if slots, want := pl.capSlots[0], tight[0].CapBytes*4/64; slots != want {
+		t.Fatalf("compressed capSlots %d, want %d (4x the fp32 slot count)", slots, want)
+	}
+}
+
+func mustSolve(t *testing.T, p *Profile, regions []Region, batch int) *Decision {
+	t.Helper()
+	d, err := SolveLP(p, regions, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestCompressionBandwidthDivisor checks gathered load is priced in
+// encoded bytes: compressing a region divides its load and hence the
+// latency bound.
+func TestCompressionBandwidthDivisor(t *testing.T) {
+	p := smallProfile(t)
+	one := []Region{{Name: "R", Level: nmp.LevelRank, CapBytes: p.Spec.TotalBytes() * 2, BW: 8}}
+	base, err := SolveLP(p, one, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one[0].Compression = 2
+	half, err := SolveLP(p, one, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(half.T-base.T/2) > 1e-6*base.T {
+		t.Fatalf("2x compression: T %.3f, want half of %.3f", half.T, base.T)
+	}
+	if math.Abs(half.Load[0]-base.Load[0]/2) > 1e-6*base.Load[0] {
+		t.Fatalf("2x compression: load %.1f, want half of %.1f", half.Load[0], base.Load[0])
+	}
+	// Estimate and EstimateShares must price the same decision identically.
+	loads, tt, err := Estimate(p, half, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loads[0]-half.Load[0]) > 1e-6*half.Load[0] || math.Abs(tt-half.T) > 1e-6*half.T {
+		t.Fatalf("Estimate disagrees with solve: load %.1f vs %.1f, t %.3f vs %.3f",
+			loads[0], half.Load[0], tt, half.T)
+	}
+}

@@ -63,7 +63,9 @@ func Build(p *Profile, d *Decision) (*Placement, error) {
 		capSlots: make([]int64, len(d.Regions)),
 	}
 	for j, r := range d.Regions {
-		pl.capSlots[j] = r.CapBytes / vecBytes
+		// A compressed region stores its vectors encoded, so it holds
+		// compression× more logical vector slots than CapBytes/vecBytes.
+		pl.capSlots[j] = int64(float64(r.CapBytes) * r.compression() / float64(vecBytes))
 	}
 	for j := len(d.Regions) - 1; j >= 0; j-- {
 		if d.Regions[j].Level != nmp.LevelCold {

@@ -68,13 +68,20 @@ func newReducerPool(layer *embedding.Layer, workers int) *reducerPool {
 	return p
 }
 
-// worker owns one Scratch for its lifetime, so steady-state reductions
-// allocate only each sample's result arena (owned by the caller).
+// worker owns one Scratch for its lifetime. ReduceSampleInto's result
+// vectors live in that Scratch (valid only until its next call), while a
+// served Result's vectors escape indefinitely — to HTTP marshalling,
+// caller futures — so each sample's answer is cloned into caller-owned
+// memory before the job completes.
 func (p *reducerPool) worker() {
 	defer p.wg.Done()
 	var scratch embedding.Scratch
 	for j := range p.jobs {
-		*j.out, *j.err = p.layer.ReduceSampleInto(j.sample, &scratch)
+		vecs, err := p.layer.ReduceSampleInto(j.sample, &scratch)
+		if err == nil {
+			vecs = embedding.CloneVectors(vecs)
+		}
+		*j.out, *j.err = vecs, err
 		j.wg.Done()
 	}
 }
@@ -147,5 +154,11 @@ func (s *Server) dataplaneExpo() string {
 	gauge("recross_dataplane_row_cache_bytes", float64(st.Bytes))
 	gauge("recross_dataplane_row_cache_capacity_bytes", float64(st.CapBytes))
 	gauge("recross_dataplane_row_cache_hit_rate", st.HitRate())
+	// Precision accounting: resident rows are always fp32; the quantized
+	// series is what the same rows occupy in the backing store, and the
+	// ratio is the effective compression a quantized layer buys.
+	gauge("recross_dataplane_row_bytes_fp32", float64(st.Bytes))
+	gauge("recross_dataplane_row_bytes_quantized", float64(st.LogicalBytes))
+	gauge("recross_dataplane_row_compression_ratio", st.CompressionRatio())
 	return string(b)
 }

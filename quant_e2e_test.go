@@ -1,0 +1,128 @@
+package recross
+
+import (
+	"context"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQuantizedServeE2E is the acceptance run for per-tier precision: an
+// int8 DRAM tier over an int8 cold tier serves answers bit-identical to a
+// standalone quantized reference layer (quantization error is
+// representational, never path-dependent), stays within the codec's
+// derived error bound of the fp32 reference, and reports the
+// fp32-resident vs quantized-logical byte split on /metrics.
+func TestQuantizedServeE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second acceptance run")
+	}
+	spec := coldSpec()
+	cold := coldTierConfig()
+	cold.Precision = INT8
+	cfg := Config{
+		Spec: spec, ProfileSamples: 1500, Batch: 32,
+		Precision: INT8, Cold: cold,
+	}
+	srv, err := NewServer(ReCross, cfg, 2, ServeOptions{
+		MaxBatch:      32,
+		MaxDelay:      50 * time.Millisecond,
+		RowCacheBytes: 8 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Quantized reference: a fresh layer at the same precision, no cold
+	// route, no cache — the canonical decoded values.
+	ref, err := NewLayer(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetPrecision(INT8); err != nil {
+		t.Fatal(err)
+	}
+	fp32, err := NewLayer(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := NewGenerator(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		sample := gen.Sample()
+		res, err := srv.Lookup(context.Background(), sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.ReduceSample(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := fp32.ReduceSample(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if !AlmostEqual(res.Vectors[k], want[k], 0) {
+				t.Fatalf("sample %d op %d: served vector differs from the quantized reference", i, k)
+			}
+			// Sanity-bound the codec error versus fp32: synthetic rows are
+			// in [-1, 1), so per-row int8 error is under scale/2 + eps ~
+			// 2/255/2, times the pooling factor for a weighted sum with
+			// |w| <= 1.
+			pool := float64(len(sample[k].Indices))
+			bound := pool * (2.0/255.0/2.0 + 1e-3)
+			for j := range exact[k] {
+				if d := math.Abs(float64(res.Vectors[k][j] - exact[k][j])); d > bound {
+					t.Fatalf("sample %d op %d lane %d: |served-fp32| = %g above %g", i, k, j, d, bound)
+				}
+			}
+		}
+	}
+
+	// The data plane reports the precision split: resident fp32 bytes,
+	// quantized logical bytes, and a compression ratio above 1.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"recross_dataplane_row_bytes_fp32",
+		"recross_dataplane_row_bytes_quantized",
+		"recross_dataplane_row_compression_ratio",
+		"recross_coldstore_row_reads_total",
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Fatalf("/metrics missing %q", series)
+		}
+	}
+	var ratio float64
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, "recross_dataplane_row_compression_ratio "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("unparsable ratio line %q: %v", line, err)
+			}
+			ratio = v
+		}
+	}
+	if ratio <= 1 {
+		t.Fatalf("compression ratio %v, want > 1 for int8 backing tables", ratio)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"recross/internal/dram"
 	"recross/internal/embedding"
 	"recross/internal/energy"
+	"recross/internal/kernels"
 	"recross/internal/partition"
 	"recross/internal/serve"
 	"recross/internal/trace"
@@ -91,6 +92,10 @@ type (
 	ReCrossConfig = core.Config
 	// Profile carries the offline access statistics the partitioners use.
 	Profile = partition.Profile
+	// Precision selects an embedding row storage format: FP32 (native),
+	// FP16 (IEEE binary16) or INT8 (per-row affine quantization with an
+	// 8-byte scale/zero-point header).
+	Precision = kernels.Precision
 
 	// ColdStore is the flash-backed cold tier's functional store: a
 	// file/mmap-backed, page-granular embedding store with frequency-based
@@ -275,6 +280,16 @@ const (
 	ShedOnOverload = serve.Shed
 )
 
+// Row storage precisions (Config.Precision, ColdTierConfig.Precision).
+const (
+	FP32 = kernels.FP32
+	FP16 = kernels.FP16
+	INT8 = kernels.INT8
+)
+
+// ParsePrecision parses "fp32", "fp16" or "int8".
+func ParsePrecision(s string) (Precision, error) { return kernels.ParsePrecision(s) }
+
 // CriteoKaggle returns the 26-table Criteo Kaggle workload spec.
 func CriteoKaggle(vecLen, pooling int) ModelSpec {
 	return trace.CriteoKaggle(vecLen, pooling)
@@ -363,6 +378,14 @@ type Config struct {
 	// additionally open the functional backing store and route cold-placed
 	// row reads through it.
 	Cold *ColdTierConfig
+	// Precision is the DRAM tiers' embedding row storage format (default
+	// FP32). Quantized layers hold encoded backing tables that the reduce
+	// path dequantizes inline (the hot-row cache stays fp32), and the
+	// ReCross timing model charges the encoded burst count per gather
+	// while the partitioner sees compressed region capacity/bandwidth.
+	// ReCross only on the timing side; the functional layer quantizes for
+	// every architecture.
+	Precision Precision
 }
 
 // ColdTierConfig configures the flash-backed cold tier (Config.Cold): the
@@ -392,6 +415,12 @@ type ColdTierConfig struct {
 	// Dir is the backing file's directory (default os.TempDir()); the file
 	// is created on server construction and removed on Server.Close.
 	Dir string
+	// Precision is the cold tier's page row format (default FP32,
+	// independent of Config.Precision). Quantized pages pack more rows per
+	// device read — the effective page-read bandwidth the partitioner
+	// prices cold placements with rises by the codec ratio — and served
+	// rows are the canonical decoded values.
+	Precision Precision
 	// CacheBytes is the host-side page-cache budget (default 64 pages).
 	CacheBytes int64
 	// Mmap maps the backing file instead of using pread.
@@ -501,8 +530,10 @@ func NewSystem(a Arch, cfg Config) (System, error) {
 		rcfg.ProfileSamples = cfg.ProfileSamples
 		rcfg.Seed = cfg.ProfileSeed
 		rcfg.Profile = cfg.Profile
+		rcfg.Precision = cfg.Precision
 		if cfg.Cold != nil {
 			rcfg.ColdTier = cfg.Cold.tierSpec()
+			rcfg.ColdPrecision = cfg.Cold.Precision
 		}
 		return core.New(rcfg)
 	default:
@@ -555,6 +586,23 @@ func (c Config) profiled(a Arch) (Config, error) {
 	return c, nil
 }
 
+// newLayer builds the functional layer at the config's storage precision.
+// Quantization happens here, before the serving layer attaches a hot-row
+// cache (SetPrecision rejects later changes), so warm and cold paths agree
+// on the canonical decoded values from the first lookup.
+func (c Config) newLayer() (*Layer, error) {
+	layer, err := NewLayer(c.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if c.Precision != FP32 {
+		if err := layer.SetPrecision(c.Precision); err != nil {
+			return nil, err
+		}
+	}
+	return layer, nil
+}
+
 // coldReader adapts the store to the embedding layer's ColdReader.
 type coldReader struct{ s *coldstore.Store }
 
@@ -570,12 +618,18 @@ func openColdStore(cold *ColdTierConfig, layer *Layer) (*coldstore.Store, error)
 	if dir == "" {
 		dir = os.TempDir()
 	}
+	// The store reads full-precision sources: its codec (cold.Precision)
+	// must apply exactly once to fp32 rows. When the tier precisions
+	// match, the cold path therefore serves the same canonical decoded
+	// bits as the warm quantized tables; when they differ, cold-placed
+	// rows carry the cold codec's representation.
 	srcs := make([]coldstore.RowSource, layer.Tables())
 	for i := range srcs {
-		srcs[i] = layer.Table(i)
+		srcs[i] = layer.SourceTable(i)
 	}
 	return coldstore.Open(coldstore.Config{
 		Dir:              dir,
+		Precision:        cold.Precision,
 		PageBytes:        cold.PageBytes,
 		CacheBytes:       cold.CacheBytes,
 		Prefetch:         cold.Prefetch,
@@ -647,7 +701,7 @@ func NewServer(a Arch, cfg Config, n int, opts ServeOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	layer, err := NewLayer(cfg.Spec)
+	layer, err := cfg.newLayer()
 	if err != nil {
 		return nil, err
 	}
@@ -717,7 +771,7 @@ func NewAdaptiveServer(a Arch, cfg Config, n int, sopts ServeOptions, aopts Adap
 	if err != nil {
 		return nil, nil, err
 	}
-	layer, err := NewLayer(cfg.Spec)
+	layer, err := cfg.newLayer()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -902,7 +956,7 @@ func NewChaosServer(a Arch, cfg Config, n int, opts ServeOptions, fc FaultConfig
 	if err != nil {
 		return nil, nil, err
 	}
-	layer, err := NewLayer(cfg.Spec)
+	layer, err := cfg.newLayer()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -1081,7 +1135,7 @@ func NewClusterServer(a Arch, cfg Config, cc ClusterConfig) (*ClusterServer, err
 			if err != nil {
 				return nil, err
 			}
-			layer, err := NewLayer(spec)
+			layer, err := cfg.newLayer()
 			if err != nil {
 				return nil, err
 			}
@@ -1123,7 +1177,7 @@ func NewClusterServer(a Arch, cfg Config, cc ClusterConfig) (*ClusterServer, err
 		}
 		return nil, err
 	}
-	routerLayer, err := NewLayer(spec)
+	routerLayer, err := cfg.newLayer()
 	if err != nil {
 		if fleet != nil {
 			_ = fleet.Close()
