@@ -54,6 +54,13 @@ type perfEntry struct {
 	// CyclesPerBatch is the raw simulated batch latency for the e2e
 	// entries that compare placements rather than wall time.
 	CyclesPerBatch int64 `json:"cycles_per_batch,omitempty"`
+	// ThroughputRPS is completed requests per wall-clock second from a
+	// closed-loop load run (the cluster_wire_4node_* entries).
+	ThroughputRPS float64 `json:"throughput_rps,omitempty"`
+	// WireBytesPerLookup is transport bytes (both directions, headers
+	// included) per completed lookup — the JSON-vs-binary data-movement
+	// contrast the PR10 wire entries record.
+	WireBytesPerLookup float64 `json:"wire_bytes_per_lookup,omitempty"`
 }
 
 // perfDoc is the trajectory file.
@@ -220,6 +227,15 @@ func runPerf(path string) error {
 	for _, e := range centries {
 		fmt.Fprintf(os.Stderr, "perf: %-24s %12.0f ns/op %10.1f lookups/Mcycle %8.2fx vs 1 node\n",
 			e.Name, e.NsPerOp, e.LookupsPerMCycle, e.SpeedupVs1Node)
+		doc.Entries = append(doc.Entries, e)
+	}
+	wentries, err := perfWireSuite()
+	if err != nil {
+		return err
+	}
+	for _, e := range wentries {
+		fmt.Fprintf(os.Stderr, "perf: %-28s %12.0f ns p50 %10.0f B/lookup %10.0f req/s\n",
+			e.Name, e.NsPerOp, e.WireBytesPerLookup, e.ThroughputRPS)
 		doc.Entries = append(doc.Entries, e)
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")

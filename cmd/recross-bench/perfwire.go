@@ -1,0 +1,276 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"recross/internal/arch"
+	"recross/internal/cluster"
+	"recross/internal/embedding"
+	"recross/internal/kernels"
+	"recross/internal/serve"
+	"recross/internal/trace"
+)
+
+// ---- PR10: binary wire protocol benchmarks ----
+//
+// The cluster_wire_* series prices the two transports against each
+// other over real loopback TCP with a no-op timing model behind them,
+// so what's measured is the wire: encode/decode, framing, connection
+// handling. Bytes are counted at the socket (headers included) on both
+// wires — recross_cluster_wire_* counters for binary, a counting
+// net.Conn under the HTTP client for JSON.
+
+// perfWireSpec is the wire workload: a Criteo-style many-table
+// multi-hot shape — 16 sum-pooled categorical tables, a few gathers
+// each, 16-dim vectors — so a 4-node router scatters every lookup into
+// four sub-requests whose payloads look like production scatter
+// slices: small enough that HTTP/1's per-request envelope (headers,
+// field names, per-sub-request JSON meta) is a real fraction of the
+// JSON wire's cost, which is exactly the tax the multiplexed binary
+// transport exists to remove.
+func perfWireSpec() trace.ModelSpec {
+	tabs := make([]trace.TableSpec, 16)
+	for i := range tabs {
+		tabs[i] = trace.TableSpec{
+			Name: fmt.Sprintf("t%d", i), Rows: 200000, VecLen: 16,
+			Pooling: 4, Prob: 1, Skew: 1.2, Kind: trace.Sum,
+		}
+	}
+	return trace.ModelSpec{Name: "perf-wire", Tables: tabs}
+}
+
+// countingConn counts socket bytes both ways, so the JSON wire's cost
+// includes HTTP headers — the same accounting the binary side's frame
+// counters use.
+type countingConn struct {
+	net.Conn
+	in, out *atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}
+
+func countingHTTPClient(in, out *atomic.Int64) *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			var d net.Dialer
+			c, err := d.DialContext(ctx, network, addr)
+			if err != nil {
+				return nil, err
+			}
+			return &countingConn{Conn: c, in: in, out: out}, nil
+		},
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	}}
+}
+
+// perfWirePeers stands up k serving peers over a shared layer, fronted
+// by the requested wire, and returns the transport nodes plus a
+// socket-byte reader covering every peer.
+func perfWirePeers(spec trace.ModelSpec, layer *embedding.Layer, k int, wire string, prec kernels.Precision) (nodes []cluster.Node, ids []string, bytesFn func() int64, cleanup func(), err error) {
+	var closers []func()
+	cleanup = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	var in, out atomic.Int64
+	httpClient := countingHTTPClient(&in, &out)
+	var bins []*cluster.BinNode
+	for i := 0; i < k; i++ {
+		srv, serr := serve.New(serve.Options{
+			Systems: []arch.System{perfServeSystem{}}, Layer: layer, MaxBatch: 1,
+		})
+		if serr != nil {
+			cleanup()
+			return nil, nil, nil, nil, serr
+		}
+		closers = append(closers, func() { srv.Close() })
+		id := fmt.Sprintf("n%d", i)
+		ids = append(ids, id)
+		switch wire {
+		case "json":
+			ts := httptest.NewServer(srv.Handler())
+			closers = append(closers, ts.Close)
+			nodes = append(nodes, cluster.NewHTTPNode(id, ts.URL, httpClient))
+		default: // binary
+			bs, berr := cluster.NewBinServer(cluster.BinServerOptions{Backend: srv, Layer: layer})
+			if berr != nil {
+				cleanup()
+				return nil, nil, nil, nil, berr
+			}
+			lis, lerr := net.Listen("tcp", "127.0.0.1:0")
+			if lerr != nil {
+				cleanup()
+				return nil, nil, nil, nil, lerr
+			}
+			go bs.Serve(lis)
+			closers = append(closers, func() { bs.Close() })
+			bn := cluster.NewBinNode(id, lis.Addr().String(), cluster.BinNodeOptions{Precision: prec})
+			bins = append(bins, bn)
+			nodes = append(nodes, bn)
+		}
+	}
+	bytesFn = func() int64 {
+		if wire == "json" {
+			return in.Load() + out.Load()
+		}
+		var total int64
+		for _, bn := range bins {
+			m := bn.WireMetrics()
+			total += m.BytesIn.Load() + m.BytesOut.Load()
+		}
+		return total
+	}
+	return nodes, ids, bytesFn, cleanup, nil
+}
+
+// perfWireNode measures one point-to-point transport: sequential
+// lookups against a single peer, recording wall ns, client allocs and
+// socket bytes per lookup.
+func perfWireNode(wire string, prec kernels.Precision, name string) (perfEntry, error) {
+	spec := perfWireSpec()
+	layer, err := embedding.NewLayer(spec)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	nodes, _, bytesFn, cleanup, err := perfWirePeers(spec, layer, 1, wire, prec)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	defer cleanup()
+	node := nodes[0]
+	defer node.Close()
+
+	gen, err := trace.NewGenerator(spec, 23)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	samples := make([]trace.Sample, 64)
+	for i := range samples {
+		samples[i] = gen.Sample()
+	}
+	ctx := context.Background()
+	if _, err := node.Lookup(ctx, samples[0]); err != nil { // warm conns + pools
+		return perfEntry{}, err
+	}
+	var bytesPerLookup float64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		start := bytesFn()
+		for i := 0; i < b.N; i++ {
+			if _, err := node.Lookup(ctx, samples[i%len(samples)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		bytesPerLookup = float64(bytesFn()-start) / float64(b.N)
+	})
+	e := mkEntry(name, r, 0)
+	e.WireBytesPerLookup = bytesPerLookup
+	return e, nil
+}
+
+// perfWireCluster measures the 4-node scale-out contrast: a router
+// scatter-gathering every lookup across four peers over the given wire,
+// under a closed-loop load run. ThroughputRPS is the headline number;
+// bytes/lookup divides every peer's socket traffic by completed
+// lookups (scatter sub-requests included — that is the point).
+func perfWireCluster(wire string, prec kernels.Precision, name string) (perfEntry, error) {
+	spec := perfWireSpec()
+	layer, err := embedding.NewLayer(spec)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	nodes, ids, bytesFn, cleanup, err := perfWirePeers(spec, layer, 4, wire, prec)
+	if err != nil {
+		return perfEntry{}, err
+	}
+	defer cleanup()
+	pl, err := cluster.RingPlacement(len(spec.Tables), ids, cluster.PlacementOptions{})
+	if err != nil {
+		return perfEntry{}, err
+	}
+	r, err := cluster.NewRouter(cluster.Options{
+		Nodes: nodes, Placement: pl, Layer: layer,
+		ProbeInterval: -1, HedgeDelay: -1,
+	})
+	if err != nil {
+		return perfEntry{}, err
+	}
+	defer r.Close()
+
+	start := bytesFn()
+	rep, err := cluster.Loadgen(r, serve.LoadgenOptions{
+		Spec: spec, Clients: 16, Duration: 1500 * time.Millisecond, Seed: 3,
+	})
+	if err != nil {
+		return perfEntry{}, err
+	}
+	e := perfEntry{
+		Name:          name,
+		N:             int(rep.Requests),
+		NsPerOp:       float64(rep.P50.Nanoseconds()),
+		P99Ns:         float64(rep.P99.Nanoseconds()),
+		ThroughputRPS: rep.Thru,
+	}
+	if rep.Requests > 0 {
+		e.WireBytesPerLookup = float64(bytesFn()-start) / float64(rep.Requests)
+	}
+	return e, nil
+}
+
+// perfWireSuite runs the JSON-vs-binary series: point-to-point at fp32
+// plus the fp16 wire-compression point, then the 4-node scale-out run
+// on each transport.
+func perfWireSuite() ([]perfEntry, error) {
+	var out []perfEntry
+	for _, c := range []struct {
+		wire string
+		prec kernels.Precision
+		name string
+	}{
+		{"json", kernels.FP32, "cluster_wire_node_json"},
+		{"binary", kernels.FP32, "cluster_wire_node_binary"},
+		{"binary", kernels.FP16, "cluster_wire_node_binary_fp16"},
+	} {
+		e, err := perfWireNode(c.wire, c.prec, c.name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	for _, c := range []struct {
+		wire string
+		prec kernels.Precision
+		name string
+	}{
+		{"json", kernels.FP32, "cluster_wire_4node_json"},
+		{"binary", kernels.FP32, "cluster_wire_4node_binary"},
+		{"binary", kernels.FP16, "cluster_wire_4node_binary_fp16"},
+	} {
+		e, err := perfWireCluster(c.wire, c.prec, c.name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

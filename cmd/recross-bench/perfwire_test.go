@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"recross/internal/kernels"
+)
+
+// TestPerfWireSmoke exercises both wire benchmark rigs end to end at
+// minimal scale, so the -perf cluster_wire series cannot rot between
+// full runs: entries must produce positive latency and byte figures,
+// and the binary wire must move fewer bytes per lookup than JSON.
+func TestPerfWireSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up real TCP peers")
+	}
+	je, err := perfWireNode("json", kernels.FP32, "smoke_json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := perfWireNode("binary", kernels.FP32, "smoke_binary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []perfEntry{je, be} {
+		if e.NsPerOp <= 0 || e.WireBytesPerLookup <= 0 {
+			t.Fatalf("%s: degenerate entry %+v", e.Name, e)
+		}
+	}
+	if be.WireBytesPerLookup >= je.WireBytesPerLookup {
+		t.Errorf("binary wire moved %.0f B/lookup vs JSON %.0f — no byte win",
+			be.WireBytesPerLookup, je.WireBytesPerLookup)
+	}
+}

@@ -92,6 +92,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux (-pprof-addr)
 	"os"
@@ -166,7 +167,11 @@ func main() {
 	chaosColdStall := flag.Duration("chaos-cold-stall", 2*time.Millisecond, "chaos: injected cold device stall duration")
 
 	clusterN := flag.Int("cluster", 0, "cluster mode: front an in-process fleet of this many nodes with a scatter-gather router (0 = single-node mode)")
-	clusterPeers := flag.String("cluster-peers", "", "cluster mode: comma-separated peer base URLs (plain `recross-serve -addr` processes, e.g. http://h1:8080,http://h2:8080) fronted over HTTP instead of an in-process fleet")
+	clusterPeers := flag.String("cluster-peers", "", "cluster mode: comma-separated peer addresses fronted instead of an in-process fleet; http://host:port peers speak JSON over HTTP (plain `recross-serve -addr` processes), bin://host:port or bare host:port peers speak the binary wire (`recross-serve -bin-addr` listeners)")
+	wireMode := flag.String("wire", "auto", "cluster: peer transport: auto (by address scheme), json, or binary")
+	wireConns := flag.Int("wire-conns", 2, "cluster: binary-transport connection pool size per peer")
+	wirePrecision := flag.String("wire-precision", "fp32", "cluster: binary-wire response vector encoding: fp32 (bit-identical), fp16 or int8 (storage-codec rounding, opt-in)")
+	binAddr := flag.String("bin-addr", "", "binary wire-protocol listen address (e.g. :9090); serves lookups beside the HTTP front-end in both single-node and cluster-router modes (empty disables)")
 	clusterReplication := flag.Int("cluster-replication", 2, "cluster: replica count for hot tables")
 	clusterPlacementMode := flag.String("cluster-placement", "ring", "cluster: placement mode: ring (consistent hashing) or cost (LPT over access volumes, LP-priced)")
 	clusterHotK := flag.Int("cluster-hot-k", 0, "cluster: replicate the k largest-volume tables (0 = tables/4, negative = none)")
@@ -181,6 +186,10 @@ func main() {
 	chaosNodeSlow := flag.Float64("chaos-node-slow", 0, "chaos: per-lookup node slow-call probability (cluster mode)")
 	chaosNodeStall := flag.Duration("chaos-node-stall", 2*time.Millisecond, "chaos: node slow-call stall duration")
 	chaosNodeDowntime := flag.Duration("chaos-node-downtime", 2*time.Second, "chaos: auto-revive a killed node after this long (0 = down until the process exits)")
+	chaosConnTorn := flag.Float64("chaos-conn-torn", 0, "chaos: per-frame-write torn-frame probability on binary-wire conns (cluster mode, binary peers)")
+	chaosConnReset := flag.Float64("chaos-conn-reset", 0, "chaos: per-frame-write conn-reset probability on binary-wire conns (cluster mode, binary peers)")
+	chaosConnStallP := flag.Float64("chaos-conn-stall", 0, "chaos: per-frame-write slow-writer stall probability on binary-wire conns (cluster mode, binary peers)")
+	chaosConnStall := flag.Duration("chaos-conn-stall-dur", time.Millisecond, "chaos: injected conn write-stall duration")
 
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
@@ -308,6 +317,9 @@ func main() {
 		cc := recross.ClusterConfig{
 			Nodes:           *clusterN,
 			ReplicasPerNode: *replicas,
+			Wire:            *wireMode,
+			WireConns:       *wireConns,
+			WirePrecision:   *wirePrecision,
 			Placement:       *clusterPlacementMode,
 			Replication:     *clusterReplication,
 			HotTopK:         *clusterHotK,
@@ -322,7 +334,8 @@ func main() {
 			cc.Peers = strings.Split(*clusterPeers, ",")
 		}
 		var nodeInj *recross.FaultInjector
-		if *chaosNodeKill > 0 || *chaosNodePartition > 0 || *chaosNodeSlow > 0 {
+		connChaosOn := *chaosConnTorn > 0 || *chaosConnReset > 0 || *chaosConnStallP > 0
+		if *chaosNodeKill > 0 || *chaosNodePartition > 0 || *chaosNodeSlow > 0 || connChaosOn {
 			nodeInj = recross.NewFaultInjector()
 			nfc := recross.NodeFaultConfig{
 				Rates: recross.NodeFaultRates{
@@ -330,12 +343,23 @@ func main() {
 					Partition: *chaosNodePartition,
 					Slow:      *chaosNodeSlow,
 				},
-				Stall:    *chaosNodeStall,
-				Downtime: *chaosNodeDowntime,
-				Seed:     *chaosSeed,
+				Conn: recross.ConnFaultRates{
+					Torn:  *chaosConnTorn,
+					Reset: *chaosConnReset,
+					Stall: *chaosConnStallP,
+				},
+				Stall:      *chaosNodeStall,
+				WriteStall: *chaosConnStall,
+				Downtime:   *chaosNodeDowntime,
+				Seed:       *chaosSeed,
 			}
 			cc.WrapNode = func(i int, n recross.ClusterNode) recross.ClusterNode {
 				return recross.WrapFaultyNode(n, nfc, i, nodeInj)
+			}
+			if connChaosOn {
+				cc.WrapDial = func(i int, d recross.BinDial) recross.BinDial {
+					return recross.WrapFaultyBinDial(d, nfc, i, nodeInj)
+				}
 			}
 		}
 		fmt.Fprintf(os.Stderr, "recross-serve: building cluster (nodes %d, peers %d, placement %s, replication %d, hedge %v)...\n",
@@ -355,7 +379,7 @@ func main() {
 			runClusterLoadgen(cs, spec, *clients, *duration, *seed, *timeout, *shiftAt, *shiftSalt, *tailMass)
 			return
 		}
-		serveClusterHTTP(cs, *addr)
+		serveClusterHTTP(cs, *addr, *binAddr)
 		return
 	}
 
@@ -411,7 +435,23 @@ func main() {
 		runLoadgen(srv, ctrl, spec, *clients, *duration, *seed, *timeout, *shiftAt, *shiftSalt, *tailMass)
 		return
 	}
-	serveHTTP(srv, *addr)
+	serveHTTP(srv, *addr, *binAddr)
+}
+
+// startBinServer opens the binary wire-protocol listener beside the
+// HTTP front-end. Returns nil when binAddr is empty.
+func startBinServer(bs *recross.BinServer, binAddr string) *recross.BinServer {
+	lis, err := net.Listen("tcp", binAddr)
+	if err != nil {
+		fail(err)
+	}
+	go func() {
+		fmt.Fprintf(os.Stderr, "recross-serve: binary wire listening on %s\n", lis.Addr())
+		if err := bs.Serve(lis); err != nil {
+			fmt.Fprintln(os.Stderr, "recross-serve: bin server:", err)
+		}
+	}()
+	return bs
 }
 
 func runLoadgen(srv *recross.Server, ctrl *recross.AdaptController, spec recross.ModelSpec,
@@ -493,7 +533,15 @@ func runClusterLoadgen(cs *recross.ClusterServer, spec recross.ModelSpec,
 		h.Available, h.Nodes, rep.Stats.HedgesFired, rep.Stats.HedgesWon, rep.Stats.Revivals)
 }
 
-func serveClusterHTTP(cs *recross.ClusterServer, addr string) {
+func serveClusterHTTP(cs *recross.ClusterServer, addr, binAddr string) {
+	var bs *recross.BinServer
+	if binAddr != "" {
+		nbs, err := recross.NewClusterBinServer(cs.Router)
+		if err != nil {
+			fail(err)
+		}
+		bs = startBinServer(nbs, binAddr)
+	}
 	hs := &http.Server{Addr: addr, Handler: cs.Router.Handler()}
 	errc := make(chan error, 1)
 	go func() {
@@ -515,6 +563,9 @@ func serveClusterHTTP(cs *recross.ClusterServer, addr string) {
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "recross-serve: shutdown:", err)
 	}
+	if bs != nil {
+		_ = bs.Close()
+	}
 	st := cs.Router.Stats()
 	if err := cs.Close(); err != nil {
 		fail(err)
@@ -523,7 +574,16 @@ func serveClusterHTTP(cs *recross.ClusterServer, addr string) {
 		st.Requests, st.Subrequests, st.Degraded)
 }
 
-func serveHTTP(srv *recross.Server, addr string) {
+func serveHTTP(srv *recross.Server, addr, binAddr string) {
+	var bs *recross.BinServer
+	if binAddr != "" {
+		nbs, err := recross.NewBinServer(srv)
+		if err != nil {
+			fail(err)
+		}
+		bs = startBinServer(nbs, binAddr)
+		srv.RegisterExpo(bs.Expo)
+	}
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() {
@@ -546,6 +606,9 @@ func serveHTTP(srv *recross.Server, addr string) {
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "recross-serve: shutdown:", err)
+	}
+	if bs != nil {
+		_ = bs.Close()
 	}
 	if err := srv.Close(); err != nil {
 		fail(err)

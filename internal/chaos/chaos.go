@@ -70,6 +70,21 @@ const (
 	// forwarding it — a node on a congested link.
 	NodeSlow
 
+	// Connection-tier kinds, injected by the cluster tier's FaultyConn
+	// wrapper at the net.Conn seam under the binary wire protocol —
+	// faults a per-call wrapper cannot express because they damage the
+	// shared transport, not one request.
+
+	// ConnTorn writes a prefix of a frame and severs the connection —
+	// a peer dying mid-write; the reader sees a truncated frame.
+	ConnTorn
+	// ConnReset severs the connection before the write — an abrupt
+	// RST; every in-flight request on that conn fails at once.
+	ConnReset
+	// ConnStall delays a write by the configured stall — a congested
+	// or half-broken link backing up the writer loop.
+	ConnStall
+
 	numKinds
 )
 
@@ -97,6 +112,12 @@ func (k Kind) String() string {
 		return "node-partition"
 	case NodeSlow:
 		return "node-slow"
+	case ConnTorn:
+		return "conn-torn"
+	case ConnReset:
+		return "conn-reset"
+	case ConnStall:
+		return "conn-stall"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -42,12 +42,33 @@ type NodeRule struct {
 	Kind Kind
 }
 
+// ConnRates are per-frame-write injection probabilities in [0,1] for
+// the binary transport, checked in the order Torn, Reset, Stall (at
+// most one fault per write). They fault the shared connection under
+// the multiplexer, not one call: a torn frame or reset fails every
+// request in flight on that conn, which is exactly the blast radius
+// the per-conn pending tables must contain.
+type ConnRates struct {
+	Torn, Reset, Stall float64
+}
+
+// Zero reports whether no conn-level injection is configured.
+func (r ConnRates) Zero() bool {
+	return r.Torn == 0 && r.Reset == 0 && r.Stall == 0
+}
+
 // NodeConfig configures node-level fault injection.
 type NodeConfig struct {
 	// Rates are the per-Lookup fault probabilities.
 	Rates NodeRates
+	// Conn are the per-frame-write fault probabilities applied by the
+	// binary transport's FaultyConn wrapper (JSON/HTTP peers ignore
+	// them; the HTTP stack owns its own sockets).
+	Conn ConnRates
 	// Stall is the NodeSlow stall duration (default 2ms).
 	Stall time.Duration
+	// WriteStall is the ConnStall write delay (default 1ms).
+	WriteStall time.Duration
 	// Schedule scripts exact per-node faults on top of Rates.
 	Schedule []NodeRule
 	// Downtime auto-revives a killed node once this much time has
@@ -64,6 +85,9 @@ type NodeConfig struct {
 func (c NodeConfig) WithDefaults() NodeConfig {
 	if c.Stall == 0 {
 		c.Stall = 2 * time.Millisecond
+	}
+	if c.WriteStall == 0 {
+		c.WriteStall = time.Millisecond
 	}
 	if c.Seed == 0 {
 		c.Seed = 1

@@ -74,8 +74,7 @@ func (r *Router) handleLookup(w http.ResponseWriter, req *http.Request) {
 		httpErr(w, code, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(serve.LookupResponse{
+	serve.WriteJSON(w, 0, serve.LookupResponse{
 		Vectors:       res.Vectors,
 		BatchSize:     len(sample),
 		ServiceCycles: int64(res.ServiceCycles),
@@ -87,9 +86,7 @@ func (r *Router) handleLookup(w http.ResponseWriter, req *http.Request) {
 }
 
 func httpErr(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	serve.WriteJSON(w, code, map[string]string{"error": err.Error()})
 }
 
 // HTTPNode is the real-network transport driver: a cluster.Node backed
@@ -108,12 +105,26 @@ type HTTPNode struct {
 	cycles   atomic.Int64
 }
 
+// defaultHTTPClient is HTTPNode's keep-alive-tuned default: a hot
+// cluster pushes hundreds of concurrent sub-requests per peer, and
+// http.DefaultTransport's 2-conns-per-host idle cap would discard —
+// and redial — most of them. Per-call deadlines still come from the
+// router's contexts, so no Client.Timeout.
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
 // NewHTTPNode builds a node for the peer at base (e.g.
-// "http://10.0.0.7:8080"). client may be nil for http.DefaultClient;
-// per-call deadlines come from the router's contexts either way.
+// "http://10.0.0.7:8080"). client may be nil for a shared
+// keep-alive-tuned default; per-call deadlines come from the router's
+// contexts either way.
 func NewHTTPNode(id, base string, client *http.Client) *HTTPNode {
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultHTTPClient
 	}
 	for len(base) > 0 && base[len(base)-1] == '/' {
 		base = base[:len(base)-1]
@@ -149,6 +160,7 @@ func (n *HTTPNode) Lookup(ctx context.Context, sample trace.Sample) (*serve.Resu
 			Error string `json:"error"`
 		}
 		_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e)
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		if e.Error == "" {
 			e.Error = resp.Status
 		}
@@ -159,6 +171,10 @@ func (n *HTTPNode) Lookup(ctx context.Context, sample trace.Sample) (*serve.Resu
 		n.failures.Add(1)
 		return nil, fmt.Errorf("cluster: node %s: %w", n.id, err)
 	}
+	// Drain the trailing newline the decoder leaves behind — an
+	// un-drained body forfeits keep-alive reuse and forces a fresh dial
+	// on the next sub-request.
+	_, _ = io.Copy(io.Discard, resp.Body)
 	n.lookups.Add(1)
 	n.cycles.Add(lr.ServiceCycles)
 	return &serve.Result{
@@ -190,6 +206,7 @@ func (n *HTTPNode) Health(ctx context.Context) (serve.HealthReport, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		return serve.HealthReport{}, fmt.Errorf("cluster: node %s healthz: %w", n.id, err)
 	}
+	_, _ = io.Copy(io.Discard, resp.Body)
 	return h, nil
 }
 

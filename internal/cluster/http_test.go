@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -78,6 +80,45 @@ func TestHTTPNodeBitIdentity(t *testing.T) {
 	h, err := nodes[0].Health(context.Background())
 	if err != nil || h.Status == "" {
 		t.Errorf("HTTP health = %+v, %v", h, err)
+	}
+}
+
+// TestHTTPNodeKeepAlive: sequential lookups and probes reuse one TCP
+// connection — draining response bodies and the tuned idle-conn pool
+// mean no per-request dial on the JSON wire.
+func TestHTTPNodeKeepAlive(t *testing.T) {
+	layer := clusterLayer(t)
+	srv, err := serve.New(serve.Options{Systems: []arch.System{fakeArch{}}, Layer: layer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var dials atomic.Int64
+	tr := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			dials.Add(1)
+			var d net.Dialer
+			return d.DialContext(ctx, network, addr)
+		},
+		MaxIdleConnsPerHost: 4,
+	}
+	n := NewHTTPNode("ka", ts.URL, &http.Client{Transport: tr})
+
+	for _, sample := range clusterSamples(t, 20) {
+		if _, err := n.Lookup(context.Background(), sample); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := n.Health(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := dials.Load(); d != 1 {
+		t.Errorf("25 sequential requests dialed %d times, want 1 (keep-alive broken)", d)
 	}
 }
 

@@ -164,5 +164,45 @@ func (r *Router) Expo() string {
 	fmt.Fprintf(&b, "recross_cluster_latency_seconds{quantile=\"0.95\"} %g\n", e2e.P95/1e9)
 	fmt.Fprintf(&b, "recross_cluster_latency_seconds{quantile=\"0.99\"} %g\n", e2e.P99/1e9)
 	fmt.Fprintf(&b, "recross_cluster_latency_seconds_count %d\n", e2e.Count)
+
+	// Transport drivers owning wire counters (BinNode) contribute a
+	// recross_cluster_wire_* series per node.
+	var wires []wireExpoEntry
+	for _, ns := range r.nodes {
+		if src, ok := ns.node.(interface{ WireMetrics() *WireMetrics }); ok {
+			wires = append(wires, wireExpoEntry{
+				labels: fmt.Sprintf("node=%q,role=\"client\"", ns.node.ID()),
+				m:      src.WireMetrics(),
+			})
+		}
+	}
+	b.WriteString(wireExpo(wires))
+	return b.String()
+}
+
+// wireExpoEntry labels one endpoint's wire counters for exposition.
+type wireExpoEntry struct {
+	labels string
+	m      *WireMetrics
+}
+
+// wireExpo renders recross_cluster_wire_* for a set of endpoints —
+// HELP/TYPE once per metric, one labeled sample per endpoint.
+func wireExpo(entries []wireExpoEntry) string {
+	if len(entries) == 0 {
+		return ""
+	}
+	snaps := make([][10]int64, len(entries))
+	for i, e := range entries {
+		snaps[i] = e.m.snapshot()
+	}
+	var b strings.Builder
+	for mi, def := range wireMetricDefs {
+		fmt.Fprintf(&b, "# HELP recross_cluster_wire_%s %s\n# TYPE recross_cluster_wire_%s %s\n",
+			def.name, def.help, def.name, def.kind)
+		for i, e := range entries {
+			fmt.Fprintf(&b, "recross_cluster_wire_%s{%s} %d\n", def.name, e.labels, snaps[i][mi])
+		}
+	}
 	return b.String()
 }

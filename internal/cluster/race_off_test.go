@@ -1,0 +1,8 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled reports whether the race detector is on — its shadow
+// memory instrumentation allocates, so allocation-exactness tests skip
+// themselves under -race.
+const raceEnabled = false

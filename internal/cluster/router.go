@@ -244,6 +244,10 @@ func (r *Router) SetPlacement(p *Placement) error {
 // Nodes reports the cluster size.
 func (r *Router) Nodes() int { return len(r.nodes) }
 
+// Layer returns the router's functional embedding layer (shared with
+// the binary listener for request validation).
+func (r *Router) Layer() *embedding.Layer { return r.opts.Layer }
+
 // NodeState reports the router's view of node i.
 func (r *Router) NodeState(i int) NodeState {
 	return NodeState(r.nodes[i].state.Load())

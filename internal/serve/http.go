@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 
 	"recross/internal/embedding"
 	"recross/internal/trace"
@@ -129,16 +132,22 @@ func ParseSample(layer *embedding.Layer, lr LookupRequest) (trace.Sample, error)
 
 // WireRequest encodes a sample as the /v1/lookup wire form —
 // ParseSample's inverse, used by HTTP clients (the cluster's HTTPNode
-// transport driver). Weights ride verbatim so a round trip through
-// JSON float32 encoding stays bit-identical.
+// transport driver). Weighted-sum weights ride verbatim so a round
+// trip through JSON float32 encoding stays bit-identical; sum and max
+// ops drop theirs (the reduction ignores weights, ParseSample
+// re-defaults the omitted field) so neither wire ships ignored bytes.
 func WireRequest(sample trace.Sample) LookupRequest {
 	lr := LookupRequest{Ops: make([]OpRequest, len(sample))}
 	for i, op := range sample {
+		w := op.Weights
+		if op.Kind != trace.WeightedSum {
+			w = nil
+		}
 		lr.Ops[i] = OpRequest{
 			Table:   op.Table,
 			Kind:    op.Kind.String(),
 			Indices: op.Indices,
-			Weights: op.Weights,
+			Weights: w,
 		}
 	}
 	return lr
@@ -177,8 +186,7 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, statusOf(err), err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(LookupResponse{
+	WriteJSON(w, 0, LookupResponse{
 		Vectors:       res.Vectors,
 		BatchSize:     res.BatchSize,
 		ServiceCycles: int64(res.ServiceCycles),
@@ -189,6 +197,42 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		QueueMicros:   float64(res.QueueWait.Nanoseconds()) / 1e3,
 		TotalMicros:   float64(res.Total.Nanoseconds()) / 1e3,
 	})
+}
+
+// jsonBufPool pools the lookup handler's encode buffers. Response
+// bodies are dominated by vector text (tens of KiB per lookup), so
+// encoding straight into the ResponseWriter re-grows that buffer in
+// net/http on every request; pooling it makes the handler's encode
+// path allocation-flat in steady state. Buffers that ballooned past
+// maxPooledJSONBuf are dropped rather than pinned.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledJSONBuf = 1 << 20
+
+// WriteJSON encodes v into a pooled buffer and writes it as a JSON
+// response with an explicit Content-Length (no chunked framing — the
+// body length is known, and keep-alive clients reuse the conn without
+// trailer handling). code 0 means 200. Shared with the cluster
+// router's HTTP front-end, which serves the same wire format.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Encode of our own response types cannot fail; keep the
+		// fallback honest anyway.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		jsonBufPool.Put(buf)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	if code != 0 {
+		w.WriteHeader(code)
+	}
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledJSONBuf {
+		jsonBufPool.Put(buf)
+	}
 }
 
 // statusOf maps serving errors to HTTP statuses.
@@ -233,7 +277,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+	WriteJSON(w, code, errorResponse{Error: err.Error()})
 }

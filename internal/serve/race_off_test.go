@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector is on; allocation-
+// exactness tests skip themselves under -race.
+const raceEnabled = false

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+)
+
+// discardWriter is a header-only ResponseWriter so the measurement sees
+// WriteJSON's own allocations, not net/http's.
+type discardWriter struct{ h http.Header }
+
+func (w *discardWriter) Header() http.Header         { return w.h }
+func (w *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *discardWriter) WriteHeader(int)             {}
+
+// TestWriteJSONAllocFlat: the pooled encode buffer makes the lookup
+// handler's hot path allocation-flat — a response two orders of
+// magnitude larger must not cost more steady-state allocations than a
+// tiny one, because the body bytes live in the recycled buffer.
+func TestWriteJSONAllocFlat(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	small := LookupResponse{Vectors: [][]float32{{1, 2}}, BatchSize: 1}
+	large := LookupResponse{BatchSize: 1, Vectors: make([][]float32, 32)}
+	for i := range large.Vectors {
+		large.Vectors[i] = make([]float32, 256)
+		for j := range large.Vectors[i] {
+			large.Vectors[i][j] = float32(i*256+j) * 0.317
+		}
+	}
+	measure := func(v any) float64 {
+		w := &discardWriter{h: make(http.Header)}
+		for i := 0; i < 20; i++ { // warm the pool past the large body size
+			WriteJSON(w, 0, v)
+		}
+		return testing.AllocsPerRun(200, func() { WriteJSON(w, 0, v) })
+	}
+	as, al := measure(small), measure(large)
+	if al > as+8 {
+		t.Errorf("large response costs %.1f allocs/op vs %.1f small — encode buffer not pooled", al, as)
+	}
+	if al > 32 {
+		t.Errorf("large response costs %.1f allocs/op, want a small constant", al)
+	}
+}

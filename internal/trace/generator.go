@@ -164,6 +164,7 @@ func (g *Generator) Sample() Sample {
 		}
 		op := Op{
 			Table:   ti,
+			Kind:    t.Kind,
 			Indices: make([]int64, t.Pooling),
 			Weights: make([]float32, t.Pooling),
 		}

@@ -29,6 +29,10 @@ type TableSpec struct {
 	// Skew is the Zipf exponent of the access distribution. Larger means
 	// more skewed; 0 means uniform.
 	Skew float64
+	// Kind selects the pooling reduction generated for this table's ops.
+	// The zero value is WeightedSum (the historical default); Sum models
+	// the common unweighted multi-hot pooling case.
+	Kind ReduceKind
 }
 
 // Bytes returns the table's memory footprint in bytes (FP32 elements).
@@ -47,6 +51,8 @@ func (t TableSpec) Validate() error {
 		return fmt.Errorf("table %q: probability out of [0,1]: %g", t.Name, t.Prob)
 	case t.Skew < 0:
 		return fmt.Errorf("table %q: negative skew %g", t.Name, t.Skew)
+	case t.Kind > Max:
+		return fmt.Errorf("table %q: unknown reduce kind %d", t.Name, t.Kind)
 	}
 	return nil
 }

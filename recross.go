@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -228,12 +229,28 @@ type (
 	HTTPNode = cluster.HTTPNode
 	// LocalNode is the in-process transport driver (wraps a Server).
 	LocalNode = cluster.LocalNode
+	// BinNode is the binary-protocol transport driver: multiplexed
+	// lookups over pooled long-lived conns to a peer's binary listener.
+	BinNode = cluster.BinNode
+	// BinNodeOptions tunes a BinNode (pool size, wire precision, dialer).
+	BinNodeOptions = cluster.BinNodeOptions
+	// BinServer is the binary-protocol listener (server half of BinNode).
+	BinServer = cluster.BinServer
+	// BinServerOptions configures a binary listener.
+	BinServerOptions = cluster.BinServerOptions
+	// BinDial dials one binary transport connection (the chaos seam).
+	BinDial = cluster.BinDial
+	// ClusterWireMetrics are one wire endpoint's transport counters.
+	ClusterWireMetrics = cluster.WireMetrics
 
 	// NodeFaultConfig configures cluster-tier fault injection (kill,
-	// partition, slow) for FaultyNode.
+	// partition, slow, plus conn-level binary-wire faults) for
+	// FaultyNode and WrapFaultyBinDial.
 	NodeFaultConfig = chaos.NodeConfig
 	// NodeFaultRates are per-Lookup node fault probabilities.
 	NodeFaultRates = chaos.NodeRates
+	// ConnFaultRates are per-frame-write binary-wire fault probabilities.
+	ConnFaultRates = chaos.ConnRates
 	// NodeFaultRule scripts one exact node fault.
 	NodeFaultRule = chaos.NodeRule
 	// FaultyNode is the deterministic fault-injecting ClusterNode wrapper.
@@ -257,6 +274,11 @@ const (
 	FaultNodeKill      = chaos.NodeKill
 	FaultNodePartition = chaos.NodePartition
 	FaultNodeSlow      = chaos.NodeSlow
+
+	// Connection-tier fault kinds (WrapFaultyBinDial, binary wire only).
+	FaultConnTorn  = chaos.ConnTorn
+	FaultConnReset = chaos.ConnReset
+	FaultConnStall = chaos.ConnStall
 )
 
 // Serving layer overload policies and errors, re-exported.
@@ -1006,9 +1028,25 @@ type ClusterConfig struct {
 	// is set.
 	Nodes int
 	// Peers, when non-empty, switches to the real-network transport:
-	// one HTTPNode per base URL (each a plain `recross-serve -addr`
-	// process) instead of an in-binary fleet.
+	// one node per peer address instead of an in-binary fleet. The
+	// transport per peer follows Wire: "http://host:port" speaks JSON
+	// over HTTP (a plain `recross-serve -addr` process),
+	// "bin://host:port" or a bare "host:port" speaks the binary
+	// protocol (a `recross-serve -bin-addr` listener).
 	Peers []string
+	// Wire selects the peer transport: "auto" (default; by address
+	// scheme), "json" (HTTP for every peer) or "binary".
+	Wire string
+	// WireConns is each BinNode's connection-pool size (default 2).
+	WireConns int
+	// WirePrecision compresses binary-wire response vectors: "fp32"
+	// (default; raw bits, bit-identical), "fp16" or "int8" (the storage
+	// codecs' single rounding, opt-in and non-canonical).
+	WirePrecision string
+	// WrapDial, when set, interposes on every binary-transport dial —
+	// the conn-level fault-injection seam (wrap with WrapFaultyBinDial
+	// for chaos campaigns). nil means plain TCP.
+	WrapDial func(i int, d BinDial) BinDial
 	// ReplicasPerNode is each fleet node's serve-pool size (default 1).
 	ReplicasPerNode int
 
@@ -1124,8 +1162,33 @@ func NewClusterServer(a Arch, cfg Config, cc ClusterConfig) (*ClusterServer, err
 	var nodes []ClusterNode
 	var ids []string
 	if len(cc.Peers) > 0 {
-		for _, base := range cc.Peers {
-			n := cluster.NewHTTPNode(base, base, nil)
+		prec, perr := kernels.ParsePrecision(cc.WirePrecision)
+		if cc.WirePrecision != "" && perr != nil {
+			return nil, fmt.Errorf("recross: wire precision: %w", perr)
+		}
+		for i, base := range cc.Peers {
+			binary := false
+			switch cc.Wire {
+			case "", "auto":
+				// By scheme: explicit http stays JSON; bin:// or a bare
+				// host:port means the binary listener.
+				binary = !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://")
+			case "json":
+			case "binary":
+				binary = true
+			default:
+				return nil, fmt.Errorf("recross: unknown wire %q (auto, json, binary)", cc.Wire)
+			}
+			var n ClusterNode
+			if binary {
+				bo := BinNodeOptions{Conns: cc.WireConns, Precision: prec}
+				if cc.WrapDial != nil {
+					bo.Dial = cc.WrapDial(i, nil)
+				}
+				n = cluster.NewBinNode(base, base, bo)
+			} else {
+				n = cluster.NewHTTPNode(base, base, nil)
+			}
 			nodes = append(nodes, n)
 			ids = append(ids, n.ID())
 		}
@@ -1319,6 +1382,30 @@ func ClusterLoadgen(r *ClusterRouter, opts LoadgenOptions) (*ClusterReport, erro
 // Kill/Revive/Partition control.
 func WrapFaultyNode(n ClusterNode, fc NodeFaultConfig, id int, inj *FaultInjector) *FaultyNode {
 	return cluster.WrapFaultyNode(n, fc, id, inj)
+}
+
+// NewBinServer builds a binary-protocol listener serving a single
+// node's lookups — the binary analogue of Server.Handler. Register its
+// metrics with srv.RegisterExpo(bs.Expo) and run bs.Serve(lis).
+func NewBinServer(srv *Server) (*BinServer, error) {
+	return cluster.NewBinServer(cluster.BinServerOptions{Backend: srv, Layer: srv.Layer()})
+}
+
+// NewClusterBinServer builds a binary-protocol listener fronting a
+// cluster router — the binary analogue of Router.Handler, so routers
+// federate over either wire.
+func NewClusterBinServer(r *ClusterRouter) (*BinServer, error) {
+	return cluster.NewBinServer(cluster.BinServerOptions{Backend: cluster.RouterBackend{R: r}, Layer: r.Layer()})
+}
+
+// WrapFaultyBinDial wraps a binary-transport dialer with deterministic
+// conn-level fault injection (torn frames, resets, write stalls) per
+// fc.Conn for node id; dial nil means plain TCP, inj may be shared
+// with node- and replica-tier campaigns. Install through
+// ClusterConfig.WrapDial so -chaos-node-* campaigns cover the binary
+// wire too.
+func WrapFaultyBinDial(dial BinDial, fc NodeFaultConfig, id int, inj *FaultInjector) BinDial {
+	return cluster.WrapFaultyDial(dial, fc, id, inj)
 }
 
 // NewReCross builds a fully customized ReCross instance (PE population,
